@@ -1,0 +1,241 @@
+// Benchmarks regenerating every figure and table of the paper's evaluation
+// (scaled-down Quick set-up so a full -bench=. sweep stays tractable; run
+// cmd/figures without -quick for the paper-scale numbers), plus
+// micro-benchmarks of the hot paths: shortest paths, access-cost
+// evaluation, candidate scoring, pool reconfiguration, and the OPT dynamic
+// program.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/experiments"
+	"repro/internal/graph/gen"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: true, Seed: 1}
+}
+
+func benchFigure(b *testing.B, fn func(experiments.Options) (*trace.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := fn(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per figure of the paper's evaluation section.
+
+func BenchmarkFigure1(b *testing.B)  { benchFigure(b, experiments.Figure1) }
+func BenchmarkFigure2(b *testing.B)  { benchFigure(b, experiments.Figure2) }
+func BenchmarkFigure3(b *testing.B)  { benchFigure(b, experiments.Figure3) }
+func BenchmarkFigure4(b *testing.B)  { benchFigure(b, experiments.Figure4) }
+func BenchmarkFigure5(b *testing.B)  { benchFigure(b, experiments.Figure5) }
+func BenchmarkFigure6(b *testing.B)  { benchFigure(b, experiments.Figure6) }
+func BenchmarkFigure7(b *testing.B)  { benchFigure(b, experiments.Figure7) }
+func BenchmarkFigure8(b *testing.B)  { benchFigure(b, experiments.Figure8) }
+func BenchmarkFigure9(b *testing.B)  { benchFigure(b, experiments.Figure9) }
+func BenchmarkFigure10(b *testing.B) { benchFigure(b, experiments.Figure10) }
+func BenchmarkFigure11(b *testing.B) { benchFigure(b, experiments.Figure11) }
+func BenchmarkFigure12(b *testing.B) { benchFigure(b, experiments.Figure12) }
+func BenchmarkFigure13(b *testing.B) { benchFigure(b, experiments.Figure13) }
+func BenchmarkFigure14(b *testing.B) { benchFigure(b, experiments.Figure14) }
+func BenchmarkFigure15(b *testing.B) { benchFigure(b, experiments.Figure15) }
+func BenchmarkFigure16(b *testing.B) { benchFigure(b, experiments.Figure16) }
+func BenchmarkFigure17(b *testing.B) { benchFigure(b, experiments.Figure17) }
+func BenchmarkFigure18(b *testing.B) { benchFigure(b, experiments.Figure18) }
+func BenchmarkFigure19(b *testing.B) { benchFigure(b, experiments.Figure19) }
+
+// BenchmarkTableRocketfuel regenerates the Section V closing experiment on
+// the AS-7018-like topology.
+func BenchmarkTableRocketfuel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableRocketfuel(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationQueue(b *testing.B)  { benchFigure(b, experiments.AblationQueue) }
+func BenchmarkAblationExpiry(b *testing.B) { benchFigure(b, experiments.AblationExpiry) }
+func BenchmarkAblationY(b *testing.B)      { benchFigure(b, experiments.AblationY) }
+func BenchmarkAblationTheta(b *testing.B)  { benchFigure(b, experiments.AblationTheta) }
+func BenchmarkAblationLoad(b *testing.B)   { benchFigure(b, experiments.AblationLoad) }
+func BenchmarkAblationAssign(b *testing.B) { benchFigure(b, experiments.AblationAssign) }
+
+// BenchmarkCompareOnlineVariants pits every online strategy (including the
+// sampling, clustering and work-function variants) against OPT.
+func BenchmarkCompareOnlineVariants(b *testing.B) {
+	benchFigure(b, experiments.CompareOnlineVariants)
+}
+
+// Micro-benchmarks of the library's hot paths.
+
+func benchGraph(b *testing.B, n int) *sim.Env {
+	b.Helper()
+	g, err := gen.ErdosRenyi(n, 0.02, gen.DefaultOptions(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.DefaultParams(), core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env
+}
+
+func BenchmarkAllPairs500(b *testing.B) {
+	g, err := gen.ErdosRenyi(500, 0.01, gen.DefaultOptions(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.AllPairs()
+	}
+}
+
+func BenchmarkAccessLinear(b *testing.B) {
+	env := benchGraph(b, 300)
+	rng := rand.New(rand.NewSource(2))
+	list := make([]int, 128)
+	for i := range list {
+		list[i] = rng.Intn(300)
+	}
+	d := cost.DemandFromList(list)
+	servers := []int{10, 50, 100, 150, 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Eval.Access(servers, d)
+	}
+}
+
+func BenchmarkAccessQuadratic(b *testing.B) {
+	g, err := gen.ErdosRenyi(300, 0.02, gen.DefaultOptions(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Quadratic{}, cost.AssignMinCost,
+		cost.DefaultParams(), core.Params{QueueCap: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	list := make([]int, 128)
+	for i := range list {
+		list[i] = rng.Intn(300)
+	}
+	d := cost.DemandFromList(list)
+	servers := []int{10, 50, 100, 150, 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Eval.Access(servers, d)
+	}
+}
+
+func BenchmarkScorerSweep(b *testing.B) {
+	env := benchGraph(b, 300)
+	rng := rand.New(rand.NewSource(3))
+	list := make([]int, 128)
+	for i := range list {
+		list[i] = rng.Intn(300)
+	}
+	d := cost.DemandFromList(list)
+	servers := []int{10, 50, 100, 150, 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, ok := cost.NewScorer(env.Eval, servers, d)
+		if !ok {
+			b.Fatal("no scorer")
+		}
+		// A full single-change sweep: every move of every server.
+		for si := range servers {
+			for v := 0; v < 300; v += 7 {
+				sc.Move(si, v)
+			}
+		}
+	}
+}
+
+func BenchmarkPoolSwitch(b *testing.B) {
+	pool := core.NewPool(core.Params{Costs: cost.DefaultParams(), QueueCap: 3, Expiry: 20})
+	pool.Bootstrap(core.NewPlacement(1, 2, 3))
+	targets := []core.Placement{
+		core.NewPlacement(1, 2, 4),
+		core.NewPlacement(1, 2, 3),
+		core.NewPlacement(2, 3),
+		core.NewPlacement(2, 3, 5, 7),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pool.SwitchTo(targets[i%len(targets)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOPTLine5(b *testing.B) {
+	g, err := gen.Line(5, gen.DefaultOptions(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.DefaultParams(), core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 10}, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt := offline.NewOPT(seq)
+		if err := opt.Reset(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkONTHCommuter(b *testing.B) {
+	env := benchGraph(b, 200)
+	seq, err := workload.CommuterDynamic(env.Matrix,
+		workload.CommuterConfig{T: workload.TForSize(200), Lambda: 10}, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(env, online.NewONTH(), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkONBRCommuter(b *testing.B) {
+	env := benchGraph(b, 200)
+	seq, err := workload.CommuterDynamic(env.Matrix,
+		workload.CommuterConfig{T: workload.TForSize(200), Lambda: 10}, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(env, online.NewONBR(), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation section and prints the plotted series. With -csvdir the same
+// data is written as one CSV per figure for external plotting.
+//
+// Examples:
+//
+//	figures                  # all figures, paper-scale (takes a while)
+//	figures -quick           # all figures, scaled down
+//	figures -only 15,16,17   # just the OFFSTAT/OPT ratio sweeps
+//	figures -only rocketfuel -csvdir out/
+//	figures -only ablations -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+type figure struct {
+	name string
+	run  func(experiments.Options) (*trace.Table, error)
+}
+
+func allFigures() []figure {
+	return []figure{
+		{"1", experiments.Figure1},
+		{"2", experiments.Figure2},
+		{"3", experiments.Figure3},
+		{"4", experiments.Figure4},
+		{"5", experiments.Figure5},
+		{"6", experiments.Figure6},
+		{"7", experiments.Figure7},
+		{"8", experiments.Figure8},
+		{"9", experiments.Figure9},
+		{"10", experiments.Figure10},
+		{"11", experiments.Figure11},
+		{"12", experiments.Figure12},
+		{"13", experiments.Figure13},
+		{"14", experiments.Figure14},
+		{"15", experiments.Figure15},
+		{"16", experiments.Figure16},
+		{"17", experiments.Figure17},
+		{"18", experiments.Figure18},
+		{"19", experiments.Figure19},
+		{"rocketfuel", func(o experiments.Options) (*trace.Table, error) {
+			res, err := experiments.TableRocketfuel(o)
+			if err != nil {
+				return nil, err
+			}
+			return res.Table(), nil
+		}},
+	}
+}
+
+func ablations() []figure {
+	return []figure{
+		{"ablation-queue", experiments.AblationQueue},
+		{"ablation-expiry", experiments.AblationExpiry},
+		{"ablation-y", experiments.AblationY},
+		{"ablation-theta", experiments.AblationTheta},
+		{"ablation-load", experiments.AblationLoad},
+		{"ablation-assign", experiments.AblationAssign},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	quickFlag := flag.Bool("quick", false, "scaled-down set-up (smaller networks, fewer runs)")
+	only := flag.String("only", "", "comma-separated figure ids (e.g. 3,11,rocketfuel,ablations); empty = all figures")
+	csvDir := flag.String("csvdir", "", "also write one CSV per figure into this directory")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quickFlag, Seed: *seed}
+	selected := selectFigures(*only)
+	if len(selected) == 0 {
+		log.Fatalf("no figures match -only=%q", *only)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, f := range selected {
+		start := time.Now()
+		tab, err := f.run(opts)
+		if err != nil {
+			log.Fatalf("figure %s: %v", f.name, err)
+		}
+		if err := trace.Render(os.Stdout, tab); err != nil {
+			log.Fatalf("figure %s: %v", f.name, err)
+		}
+		fmt.Printf("# elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, "figure-"+f.name+".csv")
+			fh, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := trace.WriteTable(fh, tab); err != nil {
+				log.Fatal(err)
+			}
+			fh.Close()
+		}
+	}
+}
+
+func selectFigures(only string) []figure {
+	if only == "" {
+		return allFigures()
+	}
+	var out []figure
+	for _, tok := range strings.Split(only, ",") {
+		tok = strings.TrimSpace(tok)
+		switch tok {
+		case "":
+			continue
+		case "ablations":
+			out = append(out, ablations()...)
+			continue
+		case "all":
+			out = append(out, allFigures()...)
+			continue
+		}
+		found := false
+		for _, f := range append(allFigures(), ablations()...) {
+			if f.name == tok || f.name == "ablation-"+tok {
+				out = append(out, f)
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("unknown figure %q", tok)
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+// Command flexserve runs one allocation strategy on one scenario and
+// prints the resulting cost ledger, optionally as a per-round CSV.
+//
+// Examples:
+//
+//	flexserve -topo er -n 200 -scenario commuter-dynamic -alg onth
+//	flexserve -topo rocketfuel -scenario timezones -alg offstat -rounds 600
+//	flexserve -topo line -n 5 -scenario commuter-static -alg opt -rounds 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flexserve: ")
+
+	var (
+		topoName = flag.String("topo", "er", "topology: er, line, grid, pa, rocketfuel")
+		n        = flag.Int("n", 200, "network size (er, line, grid, pa)")
+		scenario = flag.String("scenario", "commuter-dynamic", "workload: commuter-dynamic, commuter-static, timezones, uniform")
+		algName  = flag.String("alg", "onth", "strategy: onth, onbr, onbr-dyn, onbr-cluster, onsamp, wfa, onconf, opt, offstat, offbr, offth")
+		rounds   = flag.Int("rounds", 500, "simulated rounds")
+		lambda   = flag.Int("lambda", 10, "rounds per workload phase (λ)")
+		T        = flag.Int("T", 0, "day phases / time periods (0 = derive from network size)")
+		k        = flag.Int("k", 0, "server bound k (0 = unbounded)")
+		beta     = flag.Float64("beta", 40, "migration cost β")
+		createC  = flag.Float64("c", 400, "creation cost c")
+		ra       = flag.Float64("ra", 2.5, "running cost of an active server")
+		ri       = flag.Float64("ri", 0.5, "running cost of an inactive server")
+		loadName = flag.String("load", "linear", "load function: linear, quadratic")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csvPath  = flag.String("csv", "", "write the per-round ledger to this CSV file")
+	)
+	flag.Parse()
+
+	g, err := buildTopology(*topoName, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var load cost.LoadFunc
+	switch *loadName {
+	case "linear":
+		load = cost.Linear{}
+	case "quadratic":
+		load = cost.Quadratic{}
+	default:
+		log.Fatalf("unknown load function %q", *loadName)
+	}
+	params := cost.Params{Beta: *beta, Create: *createC, RunActive: *ra, RunInactive: *ri}
+	env, err := sim.NewEnv(g, load, cost.AssignMinCost, params,
+		core.Params{QueueCap: 3, Expiry: 20, MaxServers: *k})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *T == 0 {
+		*T = workload.TForSize(g.N())
+	}
+	seq, err := buildWorkload(*scenario, env, *T, *lambda, *rounds, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg, err := buildAlgorithm(*algName, seq, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := sim.Run(env, alg, seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("topology:  %v (%s)\n", g, *topoName)
+	fmt.Printf("workload:  %s\n", l.Scenario)
+	fmt.Printf("costs:     %v\n", params)
+	fmt.Printf("algorithm: %s\n\n", l.Algorithm)
+	fmt.Printf("total cost   %12.2f\n", l.Total())
+	fmt.Printf("  latency    %12.2f\n", l.Totals.Latency)
+	fmt.Printf("  load       %12.2f\n", l.Totals.Load)
+	fmt.Printf("  running    %12.2f\n", l.Totals.Run)
+	fmt.Printf("  migration  %12.2f\n", l.Totals.Migration)
+	fmt.Printf("  creation   %12.2f\n", l.Totals.Creation)
+	fmt.Printf("peak servers %12d\n", l.MaxActive())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteLedger(f, l); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}
+
+func buildTopology(name string, n int, seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch name {
+	case "er":
+		return gen.ErdosRenyi(n, 0.01, gen.DefaultOptions(), rng)
+	case "line":
+		return gen.Line(n, gen.DefaultOptions(), rng)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return gen.Grid(side, side, gen.DefaultOptions(), rng)
+	case "pa":
+		return gen.PreferentialAttachment(n, 2, gen.DefaultOptions(), rng)
+	case "rocketfuel":
+		return topo.ASLike(topo.AS7018Config(), rng)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func buildWorkload(name string, env *sim.Env, T, lambda, rounds int, seed int64) (*workload.Sequence, error) {
+	rng := rand.New(rand.NewSource(seed + 1))
+	switch strings.ToLower(name) {
+	case "commuter-dynamic":
+		return workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)
+	case "commuter-static":
+		return workload.CommuterStatic(env.Matrix, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)
+	case "timezones":
+		return workload.TimeZones(env.Matrix, workload.TimeZonesConfig{T: T, P: 0.5, Lambda: lambda}, rounds, rng)
+	case "uniform":
+		return workload.Uniform(env.Graph.N(), 1<<uint(T/2), rounds, rng)
+	default:
+		return nil, fmt.Errorf("unknown scenario %q", name)
+	}
+}
+
+func buildAlgorithm(name string, seq *workload.Sequence, seed int64) (sim.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "onth":
+		return online.NewONTH(), nil
+	case "onbr":
+		return online.NewONBR(), nil
+	case "onbr-dyn":
+		return online.NewONBRDynamic(), nil
+	case "onbr-cluster":
+		return online.NewONBRClustered(8), nil
+	case "onsamp":
+		return online.NewONSAMP(), nil
+	case "wfa":
+		return online.NewWFA(), nil
+	case "onconf":
+		return online.NewONCONF(rand.New(rand.NewSource(seed + 2))), nil
+	case "opt":
+		return offline.NewOPT(seq), nil
+	case "offstat":
+		return offline.NewOFFSTAT(seq), nil
+	case "offbr":
+		return offline.NewOFFBR(seq), nil
+	case "offth":
+		return offline.NewOFFTH(seq), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}

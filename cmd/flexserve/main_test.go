@@ -1,0 +1,104 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestBuildTopology(t *testing.T) {
+	for _, name := range []string{"er", "line", "grid", "pa", "rocketfuel"} {
+		g, err := buildTopology(name, 30, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if g.N() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+		if !g.Connected() {
+			t.Fatalf("%s: disconnected", name)
+		}
+	}
+	if _, err := buildTopology("bogus", 10, 1); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestBuildTopologyGridCoversN(t *testing.T) {
+	g, err := buildTopology("grid", 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() < 10 {
+		t.Fatalf("grid with %d nodes cannot cover n=10", g.N())
+	}
+}
+
+func testEnv(t *testing.T) *sim.Env {
+	t.Helper()
+	g, err := buildTopology("er", 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.DefaultParams(), core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestBuildWorkload(t *testing.T) {
+	env := testEnv(t)
+	for _, name := range []string{"commuter-dynamic", "commuter-static", "timezones", "uniform"} {
+		seq, err := buildWorkload(name, env, 6, 5, 20, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if seq.Len() != 20 {
+			t.Fatalf("%s: %d rounds", name, seq.Len())
+		}
+	}
+	if _, err := buildWorkload("bogus", env, 6, 5, 20, 1); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestBuildAlgorithm(t *testing.T) {
+	seq := workload.NewSequence("x", nil)
+	for _, name := range []string{"onth", "onbr", "onbr-dyn", "onbr-cluster", "onsamp", "wfa", "onconf", "opt", "offstat", "offbr", "offth", "ONTH"} {
+		alg, err := buildAlgorithm(name, seq, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if alg.Name() == "" {
+			t.Fatalf("%s: empty algorithm name", name)
+		}
+	}
+	if _, err := buildAlgorithm("bogus", seq, 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestEndToEndRun(t *testing.T) {
+	// A miniature of what main does, without the flag plumbing.
+	env := testEnv(t)
+	seq, err := buildWorkload("commuter-dynamic", env, workload.TForSize(40), 5, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := buildAlgorithm("onth", seq, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := sim.Run(env, alg, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Total() <= 0 {
+		t.Fatalf("total = %v", l.Total())
+	}
+}

@@ -1,0 +1,112 @@
+// Cloudsap: an SAP-style business application runs in the cloud and is
+// accessed by users around the globe — the paper's time-zone use case. As
+// working hours move around the planet, half of the demand follows the
+// current hotspot region while the rest stays dispersed. The example shows
+// how the online strategies migrate and resize the server fleet and writes
+// a per-round CSV ledger for plotting.
+//
+// Run with:
+//
+//	go run ./examples/cloudsap [-n 200] [-rounds 960] [-csv ledger.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph/gen"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 200, "substrate network size")
+	rounds := flag.Int("rounds", 960, "simulated rounds")
+	zones := flag.Int("zones", 24, "time zones (periods per day)")
+	lambda := flag.Int("lambda", 10, "rounds per time period (sojourn τ)")
+	p := flag.Float64("p", 0.5, "hotspot share of requests")
+	seed := flag.Int64("seed", 11, "random seed")
+	csvPath := flag.String("csv", "", "write ONTH's per-round ledger to this CSV file")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := gen.ErdosRenyi(*n, 0.01, gen.DefaultOptions(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.DefaultParams(), core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := workload.TimeZones(env.Matrix, workload.TimeZonesConfig{
+		T: *zones, P: *p, Lambda: *lambda,
+	}, *rounds, rand.New(rand.NewSource(*seed+1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cloud workload: %s on %v\n\n", seq.Name(), g)
+
+	var onthLedger *sim.Ledger
+	for _, alg := range []sim.Algorithm{online.NewONTH(), online.NewONBR(), online.NewONBRDynamic()} {
+		l, err := sim.Run(env, alg, seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		perRound := l.Total() / float64(len(l.Rounds))
+		fmt.Printf("%-12s total %10.0f  (%.1f/round, %d migrations, %d creations, peak %d servers)\n",
+			l.Algorithm, l.Total(), perRound,
+			countMigrations(l), countCreations(l), l.MaxActive())
+		if _, ok := alg.(*online.ONTH); ok {
+			onthLedger = l
+		}
+	}
+
+	fmt.Println("\nFollow-the-sun behaviour of ONTH (server count by day period):")
+	day := *zones * *lambda
+	if len(onthLedger.Rounds) >= 2*day {
+		for period := 0; period < *zones; period += 4 {
+			r := onthLedger.Rounds[len(onthLedger.Rounds)-day+period**lambda]
+			fmt.Printf("  period %2d: %d active, %d cached inactive\n", period, r.Active, r.Inactive)
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteLedger(f, onthLedger); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+}
+
+func countMigrations(l *sim.Ledger) int {
+	n := 0
+	for _, r := range l.Rounds {
+		if r.Migration > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func countCreations(l *sim.Ledger) int {
+	n := 0
+	for _, r := range l.Rounds {
+		if r.Creation > 0 {
+			n++
+		}
+	}
+	return n
+}

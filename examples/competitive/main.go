@@ -1,0 +1,94 @@
+// Competitive: measures empirical competitive ratios — the cost of each
+// online strategy divided by the optimal offline cost on the same request
+// sequence — on the small line networks where OPT's dynamic program is
+// exact (the paper's Figure 11 methodology). It also shows the static
+// OFFSTAT reference, i.e. the price of forgoing flexibility entirely.
+//
+// Run with:
+//
+//	go run ./examples/competitive [-n 5] [-rounds 200] [-runs 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph/gen"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 5, "line-network size (OPT is exponential in this)")
+	k := flag.Int("k", 3, "server bound")
+	rounds := flag.Int("rounds", 200, "rounds per run")
+	runs := flag.Int("runs", 10, "independent runs to average")
+	lambda := flag.Int("lambda", 10, "commuter phase length λ")
+	seed := flag.Int64("seed", 1, "base seed")
+	flag.Parse()
+
+	type contender struct {
+		label string
+		make  func(seq *workload.Sequence, s int64) sim.Algorithm
+	}
+	contenders := []contender{
+		{"ONTH", func(*workload.Sequence, int64) sim.Algorithm { return online.NewONTH() }},
+		{"ONBR-fixed", func(*workload.Sequence, int64) sim.Algorithm { return online.NewONBR() }},
+		{"ONSAMP", func(*workload.Sequence, int64) sim.Algorithm { return online.NewONSAMP() }},
+		{"WFA", func(*workload.Sequence, int64) sim.Algorithm { return online.NewWFA() }},
+		{"ONCONF", func(_ *workload.Sequence, s int64) sim.Algorithm {
+			return online.NewONCONF(rand.New(rand.NewSource(s + 7)))
+		}},
+		{"OFFSTAT", func(seq *workload.Sequence, _ int64) sim.Algorithm { return offline.NewOFFSTAT(seq) }},
+	}
+	ratios := make(map[string][]float64)
+
+	for run := 0; run < *runs; run++ {
+		s := *seed + int64(run)*7919
+		g, err := gen.Line(*n, gen.DefaultOptions(), rand.New(rand.NewSource(s)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+			cost.DefaultParams(), core.Params{QueueCap: 3, Expiry: 20, MaxServers: *k})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq, err := workload.CommuterDynamic(env.Matrix,
+			workload.CommuterConfig{T: 4, Lambda: *lambda}, *rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		lOpt, err := sim.Run(env, offline.NewOPT(seq), seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range contenders {
+			l, err := sim.Run(env, c.make(seq, s), seq)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ratios[c.label] = append(ratios[c.label], l.Total()/lOpt.Total())
+		}
+	}
+
+	fmt.Printf("empirical competitive ratios vs OPT (line n=%d, k=%d, commuter dynamic, %d runs):\n\n",
+		*n, *k, *runs)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\tmean\tstddev\tworst run")
+	for _, c := range contenders {
+		s := stats.Summarize(ratios[c.label])
+		fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%.3f\n", c.label, s.Mean, s.StdDev, s.Max)
+	}
+	w.Flush()
+	fmt.Println("\nA ratio of 1.0 means the strategy matched the clairvoyant optimum.")
+}

@@ -1,0 +1,99 @@
+// Gaming: a mobile provider offers a latency-sensitive gaming application
+// to commuting users — the paper's motivating mobile scenario. Each
+// morning the players fan out from the city center across the access
+// network and return in the evening. The example compares every dynamic
+// strategy against the best static server placement and prints where the
+// servers follow the players.
+//
+// Run with:
+//
+//	go run ./examples/gaming [-n 300] [-rounds 720] [-seed 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph/gen"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 300, "substrate network size")
+	rounds := flag.Int("rounds", 720, "simulated rounds")
+	lambda := flag.Int("lambda", 15, "rounds per commuter phase (λ)")
+	seed := flag.Int64("seed", 3, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	g, err := gen.ErdosRenyi(*n, 0.01, gen.DefaultOptions(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.DefaultParams(), core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	T := workload.TForSize(*n)
+	seq, err := workload.CommuterStatic(env.Matrix,
+		workload.CommuterConfig{T: T, Lambda: *lambda}, *rounds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gaming workload: %s on %v (day = %d phases à %d rounds)\n\n",
+		seq.Name(), g, T, *lambda)
+
+	algorithms := []sim.Algorithm{
+		online.NewONTH(),
+		online.NewONBR(),
+		online.NewONBRDynamic(),
+		offline.NewOFFSTAT(seq),
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "strategy\ttotal\taccess\trunning\tmigration\tcreation\tpeak servers")
+	var static, onth float64
+	for _, alg := range algorithms {
+		l, err := sim.Run(env, alg, seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%d\n",
+			l.Algorithm, l.Total(), l.Totals.Access(), l.Totals.Run,
+			l.Totals.Migration, l.Totals.Creation, l.MaxActive())
+		switch alg.(type) {
+		case *offline.OFFSTAT:
+			static = l.Total()
+		case *online.ONTH:
+			onth = l.Total()
+		}
+	}
+	w.Flush()
+
+	fmt.Printf("\nONTH (online, no knowledge of the commute) costs %.2fx the "+
+		"clairvoyant static optimum.\n", onth/static)
+	fmt.Println("\nA day in the life of ONTH (servers per phase):")
+	l, err := sim.Run(env, online.NewONTH(), seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	day := T * *lambda
+	start := len(l.Rounds) - day
+	if start < 0 {
+		start = 0
+	}
+	for ph := 0; ph < T && start+ph**lambda < len(l.Rounds); ph++ {
+		r := l.Rounds[start+ph**lambda]
+		fmt.Printf("  phase %2d: %d active servers, %d cached, access cost %.0f\n",
+			ph, r.Active, r.Inactive, r.Latency+r.Load)
+	}
+}

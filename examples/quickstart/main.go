@@ -1,0 +1,65 @@
+// Quickstart: build a substrate, generate a workload, run an online
+// allocation strategy, and read the cost ledger.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph/gen"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	// 1. A substrate network: 200 nodes, Erdős–Rényi with 1% connection
+	//    probability, random T1/T2 bandwidths (the paper's default).
+	rng := rand.New(rand.NewSource(42))
+	g, err := gen.ErdosRenyi(200, 0.01, gen.DefaultOptions(), rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. An environment: cost parameters β=40, c=400, Ra=2.5, Ri=0.5,
+	//    linear load, min-cost request routing, inactive cache of size 3.
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.DefaultParams(), core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("substrate: %v, network center at node %d\n", g, env.Start[0])
+
+	// 3. A workload: commuters fan out from the center each morning and
+	//    return each evening (T=10 phases, λ=15 rounds per phase).
+	seq, err := workload.CommuterDynamic(env.Matrix,
+		workload.CommuterConfig{T: 10, Lambda: 15}, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload:  %s, %d requests over %d rounds\n",
+		seq.Name(), seq.TotalRequests(), seq.Len())
+
+	// 4. Run the ONTH strategy (the paper's best online algorithm).
+	ledger, err := sim.Run(env, online.NewONTH(), seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Read the ledger.
+	fmt.Printf("\n%s on %s:\n", ledger.Algorithm, ledger.Scenario)
+	fmt.Printf("  total cost:     %10.1f\n", ledger.Total())
+	fmt.Printf("    latency:      %10.1f\n", ledger.Totals.Latency)
+	fmt.Printf("    server load:  %10.1f\n", ledger.Totals.Load)
+	fmt.Printf("    running cost: %10.1f\n", ledger.Totals.Run)
+	fmt.Printf("    migrations:   %10.1f\n", ledger.Totals.Migration)
+	fmt.Printf("    creations:    %10.1f\n", ledger.Totals.Creation)
+	fmt.Printf("  peak servers:   %10d\n", ledger.MaxActive())
+}

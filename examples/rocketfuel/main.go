@@ -1,0 +1,66 @@
+// Rocketfuel: the paper's closing experiment — the time-zone scenario on
+// the Rocketfuel AS-7018 (AT&T) topology, with OFFSTAT as the static
+// reference. The measured AT&T router map is replaced by the synthetic
+// AS-like stand-in of internal/topo (see DESIGN.md); the paper's reported
+// outcome is the ordering OFFSTAT < ONTH < ONBR with ONTH "a factor less
+// than two higher" than OFFSTAT.
+//
+// Run with:
+//
+//	go run ./examples/rocketfuel [-rounds 600] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func main() {
+	rounds := flag.Int("rounds", 600, "simulated rounds")
+	lambda := flag.Int("lambda", 20, "rounds per time period")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	g, err := topo.ASLike(topo.AS7018Config(), rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AS-7018-like substrate: %v (%d backbone PoPs)\n",
+		g, topo.AS7018Config().BackbonePoPs)
+
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.DefaultParams(), core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq, err := workload.TimeZones(env.Matrix, workload.TimeZonesConfig{
+		T: 12, P: 0.5, Lambda: *lambda,
+	}, *rounds, rand.New(rand.NewSource(*seed+1)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	offstat := offline.NewOFFSTAT(seq)
+	results := map[string]float64{}
+	for _, alg := range []sim.Algorithm{offstat, online.NewONTH(), online.NewONBR()} {
+		l, err := sim.Run(env, alg, seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[l.Algorithm] = l.Total()
+		fmt.Printf("%-12s total cost %12.2f\n", l.Algorithm, l.Total())
+	}
+	fmt.Printf("\nOFFSTAT chose %d static servers.\n", offstat.Kopt())
+	fmt.Printf("ONTH / OFFSTAT = %.2f (paper: <2)\n", results["ONTH"]/results["OFFSTAT"])
+	fmt.Printf("ONBR / OFFSTAT = %.2f (paper: ~4.3)\n", results["ONBR-fixed"]/results["OFFSTAT"])
+}

@@ -1,0 +1,53 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// ExamplePool walks through the reconfiguration semantics of the paper's
+// Examples 1–3: free deactivation into the cache, free in-place
+// reactivation, β-priced migration and c-priced creation.
+func ExamplePool() {
+	pool := core.NewPool(core.Params{
+		Costs:    cost.DefaultParams(), // β=40, c=400
+		QueueCap: 3,
+		Expiry:   20,
+	})
+	pool.Bootstrap(core.NewPlacement(1, 2, 3))
+
+	// Removing the server at node 2 is free; it enters the inactive cache.
+	d, _ := pool.SwitchTo(core.NewPlacement(1, 3))
+	fmt.Printf("deactivate:  cost %v, cached %d\n", d.Total(), pool.NumInactive())
+
+	// Bringing node 2 back activates the cached server in place: free.
+	d, _ = pool.SwitchTo(core.NewPlacement(1, 2, 3))
+	fmt.Printf("reactivate:  cost %v\n", d.Total())
+
+	// Moving the server at node 3 to the empty node 7 costs β.
+	d, _ = pool.SwitchTo(core.NewPlacement(1, 2, 7))
+	fmt.Printf("migrate:     cost %v\n", d.Total())
+
+	// A fourth server with nothing to migrate must be created: c.
+	d, _ = pool.SwitchTo(core.NewPlacement(1, 2, 7, 9))
+	fmt.Printf("create:      cost %v\n", d.Total())
+
+	// Output:
+	// deactivate:  cost 0, cached 1
+	// reactivate:  cost 0
+	// migrate:     cost 40
+	// create:      cost 400
+}
+
+// ExampleTransitionCost prices a full configuration change in one shot.
+func ExampleTransitionCost() {
+	params := cost.DefaultParams()
+	from := core.Vector{core.StateActive, core.StateActive, core.StateNone, core.StateNone}
+	to := core.Vector{core.StateActive, core.StateNone, core.StateActive, core.StateActive}
+	// One server vacates node 1 and can be migrated (β=40); the second new
+	// node needs a fresh server (c=400).
+	fmt.Println(core.TransitionCost(params, from, to))
+	// Output: 440
+}

@@ -1,0 +1,124 @@
+// Package core implements the server and configuration model of Sections
+// II-C and III of the paper: virtual servers that are not in use, inactive,
+// or active; the inactive-server FIFO cache with expiry used by the online
+// algorithms; the reconfiguration cost semantics of Examples 1–3; and the
+// full configuration vectors enumerated by ONCONF and by the optimal
+// offline dynamic program.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Placement is the set of nodes hosting *active* servers, kept sorted by
+// node id. Placements are value-like: operations return new slices and
+// never alias their input.
+type Placement []int
+
+// NewPlacement returns a sorted, deduplicated placement.
+func NewPlacement(nodes ...int) Placement {
+	p := append(Placement(nil), nodes...)
+	sort.Ints(p)
+	out := p[:0]
+	for i, v := range p {
+		if i == 0 || v != p[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Len returns the number of active servers.
+func (p Placement) Len() int { return len(p) }
+
+// Contains reports whether node v hosts an active server.
+func (p Placement) Contains(v int) bool {
+	i := sort.SearchInts(p, v)
+	return i < len(p) && p[i] == v
+}
+
+// With returns a copy of p with node v added (no-op copy if present).
+func (p Placement) With(v int) Placement {
+	if p.Contains(v) {
+		return p.Clone()
+	}
+	out := make(Placement, 0, len(p)+1)
+	i := sort.SearchInts(p, v)
+	out = append(out, p[:i]...)
+	out = append(out, v)
+	out = append(out, p[i:]...)
+	return out
+}
+
+// Without returns a copy of p with node v removed (no-op copy if absent).
+func (p Placement) Without(v int) Placement {
+	i := sort.SearchInts(p, v)
+	if i >= len(p) || p[i] != v {
+		return p.Clone()
+	}
+	out := make(Placement, 0, len(p)-1)
+	out = append(out, p[:i]...)
+	out = append(out, p[i+1:]...)
+	return out
+}
+
+// Moved returns a copy of p with the server at from relocated to to.
+func (p Placement) Moved(from, to int) Placement {
+	return p.Without(from).With(to)
+}
+
+// Clone returns a copy of p.
+func (p Placement) Clone() Placement {
+	return append(Placement(nil), p...)
+}
+
+// Equal reports whether two placements contain the same nodes.
+func (p Placement) Equal(q Placement) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff returns the nodes entering (in q but not p) and leaving (in p but
+// not q) when reconfiguring from p to q. Both outputs are sorted.
+func (p Placement) Diff(q Placement) (entering, leaving []int) {
+	i, j := 0, 0
+	for i < len(p) && j < len(q) {
+		switch {
+		case p[i] == q[j]:
+			i++
+			j++
+		case p[i] < q[j]:
+			leaving = append(leaving, p[i])
+			i++
+		default:
+			entering = append(entering, q[j])
+			j++
+		}
+	}
+	leaving = append(leaving, p[i:]...)
+	entering = append(entering, q[j:]...)
+	return entering, leaving
+}
+
+// Key returns a canonical string form usable as a map key, e.g. "1,4,7".
+func (p Placement) Key() string {
+	var b strings.Builder
+	for i, v := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	return b.String()
+}
+
+func (p Placement) String() string { return "[" + p.Key() + "]" }

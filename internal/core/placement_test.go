@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPlacementSortsAndDedups(t *testing.T) {
+	p := NewPlacement(5, 1, 3, 1, 5)
+	want := Placement{1, 3, 5}
+	if !p.Equal(want) {
+		t.Fatalf("got %v, want %v", p, want)
+	}
+	if p.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", p.Len())
+	}
+}
+
+func TestPlacementContains(t *testing.T) {
+	p := NewPlacement(2, 4, 6)
+	for _, v := range []int{2, 4, 6} {
+		if !p.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	for _, v := range []int{1, 3, 5, 7} {
+		if p.Contains(v) {
+			t.Errorf("Contains(%d) = true", v)
+		}
+	}
+}
+
+func TestPlacementWithWithout(t *testing.T) {
+	p := NewPlacement(1, 3)
+	q := p.With(2)
+	if !q.Equal(Placement{1, 2, 3}) {
+		t.Fatalf("With(2) = %v", q)
+	}
+	if !p.Equal(Placement{1, 3}) {
+		t.Fatal("With mutated receiver")
+	}
+	r := q.Without(1)
+	if !r.Equal(Placement{2, 3}) {
+		t.Fatalf("Without(1) = %v", r)
+	}
+	if !q.With(3).Equal(q) {
+		t.Fatal("With(existing) changed placement")
+	}
+	if !q.Without(9).Equal(q) {
+		t.Fatal("Without(absent) changed placement")
+	}
+}
+
+func TestPlacementMoved(t *testing.T) {
+	p := NewPlacement(1, 3)
+	if got := p.Moved(1, 7); !got.Equal(Placement{3, 7}) {
+		t.Fatalf("Moved = %v", got)
+	}
+}
+
+func TestPlacementDiff(t *testing.T) {
+	p := NewPlacement(1, 2, 5)
+	q := NewPlacement(2, 3, 5, 7)
+	entering, leaving := p.Diff(q)
+	if !reflect.DeepEqual(entering, []int{3, 7}) {
+		t.Fatalf("entering = %v, want [3 7]", entering)
+	}
+	if !reflect.DeepEqual(leaving, []int{1}) {
+		t.Fatalf("leaving = %v, want [1]", leaving)
+	}
+	e2, l2 := p.Diff(p)
+	if len(e2) != 0 || len(l2) != 0 {
+		t.Fatal("self-diff not empty")
+	}
+}
+
+func TestPlacementKeyString(t *testing.T) {
+	p := NewPlacement(4, 1, 7)
+	if p.Key() != "1,4,7" {
+		t.Fatalf("Key = %q", p.Key())
+	}
+	if p.String() != "[1,4,7]" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if NewPlacement().Key() != "" {
+		t.Fatal("empty key not empty")
+	}
+}
+
+// Property: Diff is consistent with With/Without reconstruction:
+// p plus entering minus leaving equals q.
+func TestPlacementDiffReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	check := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		mk := func() Placement {
+			var nodes []int
+			for v := 0; v < 12; v++ {
+				if local.Intn(2) == 0 {
+					nodes = append(nodes, v)
+				}
+			}
+			return NewPlacement(nodes...)
+		}
+		p, q := mk(), mk()
+		entering, leaving := p.Diff(q)
+		r := p.Clone()
+		for _, v := range leaving {
+			r = r.Without(v)
+		}
+		for _, v := range entering {
+			r = r.With(v)
+		}
+		if !r.Equal(q) {
+			return false
+		}
+		// Diff outputs must be sorted and disjoint from the intersection.
+		if !sort.IntsAreSorted(entering) || !sort.IntsAreSorted(leaving) {
+			return false
+		}
+		for _, v := range entering {
+			if p.Contains(v) || !q.Contains(v) {
+				return false
+			}
+		}
+		for _, v := range leaving {
+			if !p.Contains(v) || q.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(vs []reflect.Value, _ *rand.Rand) {
+			vs[0] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+)
+
+func poolParams() Params {
+	return Params{Costs: cost.DefaultParams(), QueueCap: 3, Expiry: 20, MaxServers: 10}
+}
+
+func newTestPool(start ...int) *Pool {
+	p := NewPool(poolParams())
+	p.Bootstrap(NewPlacement(start...))
+	return p
+}
+
+func TestBootstrapFree(t *testing.T) {
+	p := newTestPool(2)
+	if !p.Active().Equal(Placement{2}) {
+		t.Fatalf("active = %v", p.Active())
+	}
+	if p.NumInactive() != 0 || p.Epoch() != 0 {
+		t.Fatal("bootstrap must start clean")
+	}
+}
+
+func TestSwitchToCreate(t *testing.T) {
+	// Example 1, case 1: no inactive server anywhere, adding a server
+	// costs c.
+	p := newTestPool(1)
+	d, err := p.SwitchTo(NewPlacement(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Creation != 400 || d.Migration != 0 || d.Creations != 1 {
+		t.Fatalf("delta = %+v, want one creation at 400", d)
+	}
+}
+
+func TestSwitchToActivateCachedInPlace(t *testing.T) {
+	// Example 1, case 2: the target node already caches an inactive
+	// server — activation is free.
+	p := newTestPool(1, 4)
+	if _, err := p.SwitchTo(NewPlacement(1)); err != nil { // 4 becomes inactive
+		t.Fatal(err)
+	}
+	if p.NumInactive() != 1 {
+		t.Fatalf("inactive = %d, want 1", p.NumInactive())
+	}
+	d, err := p.SwitchTo(NewPlacement(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != 0 {
+		t.Fatalf("reactivating cached server cost %v, want 0", d.Total())
+	}
+	if p.NumInactive() != 0 {
+		t.Fatal("cached server not consumed")
+	}
+}
+
+func TestSwitchToMigrateCached(t *testing.T) {
+	// Example 1, case 3: an inactive server at v5 is migrated to v4 for β;
+	// no server remains at v5.
+	p := newTestPool(1, 5)
+	if _, err := p.SwitchTo(NewPlacement(1)); err != nil { // 5 cached
+		t.Fatal(err)
+	}
+	d, err := p.SwitchTo(NewPlacement(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Migration != 40 || d.Creation != 0 {
+		t.Fatalf("delta = %+v, want one migration at 40", d)
+	}
+	if p.NumInactive() != 0 {
+		t.Fatalf("inactive = %d, want 0 (server left v5)", p.NumInactive())
+	}
+}
+
+func TestSwitchToMigrateActive(t *testing.T) {
+	// Example 2, case 3: the active server at v3 is migrated to v4 at β;
+	// nothing remains at v3.
+	p := newTestPool(1, 2, 3)
+	d, err := p.SwitchTo(NewPlacement(1, 2, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Migration != 40 || d.Creation != 0 {
+		t.Fatalf("delta = %+v, want one migration", d)
+	}
+	if p.NumInactive() != 0 {
+		t.Fatalf("inactive = %d, want 0 (the vacated server was migrated, not cached)", p.NumInactive())
+	}
+}
+
+func TestSwitchToRemovalFreeAndCached(t *testing.T) {
+	// Example 3: removing a server is free; the server becomes inactive.
+	p := newTestPool(1, 2, 3)
+	d, err := p.SwitchTo(NewPlacement(1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != 0 {
+		t.Fatalf("removal cost %v, want 0", d.Total())
+	}
+	if got := p.InactiveNodes(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("inactive nodes = %v, want [2]", got)
+	}
+}
+
+func TestSwitchToBetaGreaterCNeverMigrates(t *testing.T) {
+	pp := poolParams()
+	pp.Costs = cost.InvertedParams() // β=400, c=40
+	p := NewPool(pp)
+	p.Bootstrap(NewPlacement(1, 2))
+	d, err := p.SwitchTo(NewPlacement(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Migration != 0 || d.Creation != 40 {
+		t.Fatalf("delta = %+v, want creation only", d)
+	}
+	// The vacated server is cached rather than consumed.
+	if got := p.InactiveNodes(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("inactive nodes = %v, want [2]", got)
+	}
+}
+
+func TestQueueFIFOOverflow(t *testing.T) {
+	p := newTestPool(1, 2, 3, 4, 5)
+	// Deactivate 4 servers one by one into a queue of capacity 3.
+	for _, v := range []int{2, 3, 4, 5} {
+		if _, err := p.SwitchTo(p.Active().Without(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.InactiveNodes()
+	want := []int{3, 4, 5} // 2 (the oldest) fell out of use
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("queue = %v, want %v", got, want)
+	}
+}
+
+func TestQueueExpiry(t *testing.T) {
+	pp := poolParams()
+	pp.Expiry = 2
+	p := NewPool(pp)
+	p.Bootstrap(NewPlacement(1, 2))
+	if _, err := p.SwitchTo(NewPlacement(1)); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInactive() != 1 {
+		t.Fatal("expected one cached server")
+	}
+	p.AdvanceEpoch()
+	if p.NumInactive() != 1 {
+		t.Fatal("cached server expired too early")
+	}
+	p.AdvanceEpoch()
+	if p.NumInactive() != 0 {
+		t.Fatal("cached server did not expire after 2 epochs")
+	}
+}
+
+func TestQueueNoExpiryWhenDisabled(t *testing.T) {
+	pp := poolParams()
+	pp.Expiry = 0
+	p := NewPool(pp)
+	p.Bootstrap(NewPlacement(1, 2))
+	if _, err := p.SwitchTo(NewPlacement(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p.AdvanceEpoch()
+	}
+	if p.NumInactive() != 1 {
+		t.Fatal("cached server expired although expiry is disabled")
+	}
+}
+
+func TestQueueCapZero(t *testing.T) {
+	pp := poolParams()
+	pp.QueueCap = 0
+	p := NewPool(pp)
+	p.Bootstrap(NewPlacement(1, 2))
+	if _, err := p.SwitchTo(NewPlacement(1)); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInactive() != 0 {
+		t.Fatal("queue capacity 0 must cache nothing")
+	}
+}
+
+func TestSwitchToRejectsEmptyAndOversized(t *testing.T) {
+	p := newTestPool(1)
+	if _, err := p.SwitchTo(NewPlacement()); err == nil {
+		t.Fatal("empty placement accepted")
+	}
+	pp := poolParams()
+	pp.MaxServers = 2
+	p2 := NewPool(pp)
+	p2.Bootstrap(NewPlacement(1))
+	if _, err := p2.SwitchTo(NewPlacement(1, 2, 3)); err == nil {
+		t.Fatal("placement over k accepted")
+	}
+}
+
+func TestRunCost(t *testing.T) {
+	p := newTestPool(1, 2)
+	if got := p.RunCost(); got != 5 { // 2 × Ra=2.5
+		t.Fatalf("RunCost = %v, want 5", got)
+	}
+	if _, err := p.SwitchTo(NewPlacement(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.RunCost(); got != 3 { // Ra + Ri = 2.5 + 0.5
+		t.Fatalf("RunCost = %v, want 3", got)
+	}
+}
+
+func TestNegativeQueueCapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPool(Params{Costs: cost.DefaultParams(), QueueCap: -1})
+}
+
+// Property: PredictSwitch always equals the delta SwitchTo then charges,
+// and PredictInactiveAfter equals the resulting cache size.
+func TestPredictMatchesSwitch(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	check := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		pp := poolParams()
+		if local.Intn(2) == 0 {
+			pp.Costs = cost.InvertedParams()
+		}
+		pp.QueueCap = local.Intn(4)
+		pool := NewPool(pp)
+		pool.Bootstrap(randomPlacement(local, 10))
+		// Random walk of switches; prediction must match at every step.
+		for step := 0; step < 8; step++ {
+			target := randomPlacement(local, 10)
+			predicted := pool.PredictSwitch(target)
+			predictedInactive := pool.PredictInactiveAfter(target)
+			actual, err := pool.SwitchTo(target)
+			if err != nil {
+				return false
+			}
+			if predicted != actual {
+				return false
+			}
+			if predictedInactive != pool.NumInactive() {
+				return false
+			}
+			if local.Intn(3) == 0 {
+				pool.AdvanceEpoch()
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 200,
+		Values: func(vs []reflect.Value, _ *rand.Rand) {
+			vs[0] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomPlacement(rng *rand.Rand, n int) Placement {
+	var nodes []int
+	for v := 0; v < n; v++ {
+		if rng.Intn(3) == 0 {
+			nodes = append(nodes, v)
+		}
+	}
+	if len(nodes) == 0 {
+		nodes = append(nodes, rng.Intn(n))
+	}
+	return NewPlacement(nodes...)
+}
+
+// Property: a round-trip switch A→B→A never charges more than two full
+// rebuilds, and switching to the current placement is free.
+func TestSwitchIdempotentAndBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 50; trial++ {
+		pool := NewPool(poolParams())
+		a := randomPlacement(rng, 8)
+		b := randomPlacement(rng, 8)
+		pool.Bootstrap(a)
+		if d, err := pool.SwitchTo(a); err != nil || d.Total() != 0 {
+			t.Fatalf("self-switch cost %v err %v", d, err)
+		}
+		d1, err := pool.SwitchTo(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := pool.SwitchTo(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := float64(len(a)+len(b)) * 400
+		if d1.Total()+d2.Total() > bound {
+			t.Fatalf("round trip cost %v exceeds bound %v", d1.Total()+d2.Total(), bound)
+		}
+	}
+}

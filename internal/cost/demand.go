@@ -1,0 +1,113 @@
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeCount is the number of requests issued at one access point in a
+// round (one entry of the multi-set σt of Section II-B).
+type NodeCount struct {
+	Node  int
+	Count int
+}
+
+// Demand is the request multi-set σt of one round: how many requests arrive
+// at each access point. The zero value is the empty demand. Demands are
+// immutable once built; entries are kept sorted by node id.
+type Demand struct {
+	pairs []NodeCount
+	total int
+}
+
+// DemandFromList builds a demand from one access-point id per request.
+func DemandFromList(nodes []int) Demand {
+	counts := make(map[int]int, len(nodes))
+	for _, v := range nodes {
+		counts[v]++
+	}
+	return DemandFromCounts(counts)
+}
+
+// DemandFromCounts builds a demand from a node→count map. Entries with
+// non-positive counts are dropped.
+func DemandFromCounts(counts map[int]int) Demand {
+	d := Demand{pairs: make([]NodeCount, 0, len(counts))}
+	for v, c := range counts {
+		if c > 0 {
+			d.pairs = append(d.pairs, NodeCount{Node: v, Count: c})
+			d.total += c
+		}
+	}
+	sort.Slice(d.pairs, func(i, j int) bool { return d.pairs[i].Node < d.pairs[j].Node })
+	return d
+}
+
+// DemandFromPairs builds a demand from explicit pairs, merging duplicates.
+func DemandFromPairs(pairs ...NodeCount) Demand {
+	counts := make(map[int]int, len(pairs))
+	for _, p := range pairs {
+		counts[p.Node] += p.Count
+	}
+	return DemandFromCounts(counts)
+}
+
+// Aggregate merges several rounds of demand into one multi-set. For
+// separable load functions the access cost is additive over rounds, so
+// algorithms that score a configuration against a whole epoch (ONBR, ONTH,
+// their offline variants) can evaluate the aggregate once instead of every
+// round.
+func Aggregate(ds ...Demand) Demand {
+	counts := make(map[int]int)
+	for _, d := range ds {
+		for _, p := range d.pairs {
+			counts[p.Node] += p.Count
+		}
+	}
+	return DemandFromCounts(counts)
+}
+
+// Total returns the number of requests in the round.
+func (d Demand) Total() int { return d.total }
+
+// Empty reports whether no requests arrived.
+func (d Demand) Empty() bool { return d.total == 0 }
+
+// Pairs returns the (node, count) entries sorted by node id. The slice is
+// owned by the demand and must not be modified.
+func (d Demand) Pairs() []NodeCount { return d.pairs }
+
+// Distinct returns the number of distinct access points.
+func (d Demand) Distinct() int { return len(d.pairs) }
+
+// Count returns the number of requests at node v.
+func (d Demand) Count(v int) int {
+	i := sort.Search(len(d.pairs), func(i int) bool { return d.pairs[i].Node >= v })
+	if i < len(d.pairs) && d.pairs[i].Node == v {
+		return d.pairs[i].Count
+	}
+	return 0
+}
+
+// MaxNode returns the largest access-point id, or -1 for the empty demand.
+func (d Demand) MaxNode() int {
+	if len(d.pairs) == 0 {
+		return -1
+	}
+	return d.pairs[len(d.pairs)-1].Node
+}
+
+// String renders the multi-set compactly, e.g. "{3×2 7×1}".
+func (d Demand) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range d.pairs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d×%d", p.Node, p.Count)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package cost
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestDemandFromList(t *testing.T) {
+	d := DemandFromList([]int{3, 1, 3, 3, 1})
+	if d.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", d.Total())
+	}
+	if d.Count(3) != 3 || d.Count(1) != 2 || d.Count(7) != 0 {
+		t.Fatalf("counts wrong: %v", d)
+	}
+	if d.Distinct() != 2 {
+		t.Fatalf("Distinct = %d, want 2", d.Distinct())
+	}
+	// Pairs sorted by node.
+	pairs := d.Pairs()
+	if pairs[0].Node != 1 || pairs[1].Node != 3 {
+		t.Fatalf("pairs not sorted: %v", pairs)
+	}
+}
+
+func TestDemandEmpty(t *testing.T) {
+	var d Demand
+	if !d.Empty() || d.Total() != 0 || d.Distinct() != 0 {
+		t.Fatal("zero demand not empty")
+	}
+	if d.MaxNode() != -1 {
+		t.Fatalf("MaxNode = %d, want -1", d.MaxNode())
+	}
+}
+
+func TestDemandFromCountsDropsNonPositive(t *testing.T) {
+	d := DemandFromCounts(map[int]int{1: 2, 2: 0, 3: -5})
+	if d.Total() != 2 || d.Distinct() != 1 {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestDemandFromPairsMerges(t *testing.T) {
+	d := DemandFromPairs(NodeCount{1, 2}, NodeCount{1, 3}, NodeCount{4, 1})
+	if d.Count(1) != 5 || d.Count(4) != 1 {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	a := DemandFromList([]int{1, 2})
+	b := DemandFromList([]int{2, 3})
+	agg := Aggregate(a, b)
+	if agg.Total() != 4 || agg.Count(2) != 2 {
+		t.Fatalf("got %v", agg)
+	}
+	if Aggregate().Total() != 0 {
+		t.Fatal("empty aggregate not empty")
+	}
+}
+
+func TestDemandString(t *testing.T) {
+	d := DemandFromList([]int{3, 7, 3})
+	if got, want := d.String(), "{3×2 7×1}"; got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestDemandMaxNode(t *testing.T) {
+	d := DemandFromList([]int{9, 2, 5})
+	if d.MaxNode() != 9 {
+		t.Fatalf("MaxNode = %d, want 9", d.MaxNode())
+	}
+}
+
+// Property: Total is conserved by construction and aggregation.
+func TestDemandConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	check := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		n := 1 + local.Intn(200)
+		list := make([]int, n)
+		for i := range list {
+			list[i] = local.Intn(20)
+		}
+		d := DemandFromList(list)
+		if d.Total() != n {
+			return false
+		}
+		// Splitting and re-aggregating preserves counts.
+		mid := n / 2
+		a := DemandFromList(list[:mid])
+		b := DemandFromList(list[mid:])
+		agg := Aggregate(a, b)
+		if agg.Total() != n || agg.Distinct() != d.Distinct() {
+			return false
+		}
+		for _, p := range d.Pairs() {
+			if agg.Count(p.Node) != p.Count {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 50,
+		Values: func(vs []reflect.Value, _ *rand.Rand) {
+			vs[0] = reflect.ValueOf(rng.Int63())
+		},
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// AccessCost is one round's Costacc split into its two terms from Section
+// II-B: the summed request latencies and the summed server loads.
+type AccessCost struct {
+	Latency float64 // Σ delay(r) over all requests of the round
+	Load    float64 // Σ load(v, t) over all server nodes
+}
+
+// Total returns Costacc = latency + load.
+func (a AccessCost) Total() float64 { return a.Latency + a.Load }
+
+// Infinite reports whether the cost is unbounded (demand with no active
+// server to serve it).
+func (a AccessCost) Infinite() bool {
+	return math.IsInf(a.Latency, 1) || a.Latency == graph.Infinity
+}
+
+// InfiniteAccess is the access cost of a round whose requests cannot be
+// served.
+func InfiniteAccess() AccessCost { return AccessCost{Latency: graph.Infinity} }
+
+// Policy selects how requests are routed to servers.
+type Policy int
+
+const (
+	// AssignMinCost routes every request to the server of minimal access
+	// cost — latency plus the marginal load the request induces — as
+	// prescribed by Section II-B. This is the default.
+	AssignMinCost Policy = iota
+	// AssignNearest ignores load when routing and picks the
+	// latency-nearest server. Used by the assignment-policy ablation.
+	AssignNearest
+)
+
+func (p Policy) String() string {
+	switch p {
+	case AssignMinCost:
+		return "min-cost"
+	case AssignNearest:
+		return "nearest"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Evaluator computes access costs on a fixed substrate. It is safe for
+// concurrent use: all state is read-only after construction.
+type Evaluator struct {
+	g      *graph.Graph
+	m      *graph.Matrix
+	load   LoadFunc
+	policy Policy
+}
+
+// NewEvaluator builds an evaluator for the given substrate and load model.
+func NewEvaluator(g *graph.Graph, m *graph.Matrix, load LoadFunc, policy Policy) *Evaluator {
+	if g.N() != m.N() {
+		panic(fmt.Sprintf("cost: matrix size %d does not match graph size %d", m.N(), g.N()))
+	}
+	return &Evaluator{g: g, m: m, load: load, policy: policy}
+}
+
+// Graph returns the substrate the evaluator was built for.
+func (e *Evaluator) Graph() *graph.Graph { return e.g }
+
+// Matrix returns the all-pairs latency matrix.
+func (e *Evaluator) Matrix() *graph.Matrix { return e.m }
+
+// Load returns the load function.
+func (e *Evaluator) Load() LoadFunc { return e.load }
+
+// Policy returns the routing policy.
+func (e *Evaluator) Policy() Policy { return e.policy }
+
+// Separable reports whether the closed-form fast path applies: separable
+// load function under min-cost routing, or any load function under
+// nearest routing (where routing never depends on load).
+func (e *Evaluator) Separable() bool {
+	return e.policy == AssignNearest || e.load.Separable()
+}
+
+// Access returns Costacc for serving demand d with active servers at the
+// given nodes. Server nodes must be distinct; a node hosts at most one
+// server of the service. An empty server set can serve only empty demand.
+func (e *Evaluator) Access(servers []int, d Demand) AccessCost {
+	if d.Empty() {
+		return AccessCost{}
+	}
+	if len(servers) == 0 {
+		return InfiniteAccess()
+	}
+	if e.Separable() {
+		return e.accessSeparable(servers, d)
+	}
+	return e.accessGreedy(servers, d)
+}
+
+// effMarginal returns the routing offset of a server: the (constant)
+// marginal load under min-cost routing, zero under nearest routing.
+func (e *Evaluator) effMarginal(server int) float64 {
+	if e.policy == AssignNearest {
+		return 0
+	}
+	return e.load.Marginal(e.g.Strength(server), 0)
+}
+
+// accessSeparable exploits that the request-to-server choice decomposes:
+// every request independently minimises latency + routing offset.
+func (e *Evaluator) accessSeparable(servers []int, d Demand) AccessCost {
+	off := make([]float64, len(servers))
+	for i, s := range servers {
+		off[i] = e.effMarginal(s)
+	}
+	eta := make([]float64, len(servers))
+	var ac AccessCost
+	for _, p := range d.Pairs() {
+		best, bestCost := 0, math.MaxFloat64
+		for i, s := range servers {
+			if c := e.m.Dist(p.Node, s) + off[i]; c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		ac.Latency += float64(p.Count) * e.m.Dist(p.Node, servers[best])
+		eta[best] += float64(p.Count)
+	}
+	for i, s := range servers {
+		ac.Load += e.load.Value(e.g.Strength(s), eta[i])
+	}
+	return ac
+}
+
+// accessGreedy routes one request at a time to the server with minimal
+// latency + current marginal load. Requests are processed in ascending
+// access-point order, one unit at a time, so the result is deterministic.
+func (e *Evaluator) accessGreedy(servers []int, d Demand) AccessCost {
+	eta := make([]float64, len(servers))
+	var latency float64
+	for _, p := range d.Pairs() {
+		for u := 0; u < p.Count; u++ {
+			best, bestCost := 0, math.MaxFloat64
+			for i, s := range servers {
+				c := e.m.Dist(p.Node, s) + e.load.Marginal(e.g.Strength(s), eta[i])
+				if c < bestCost {
+					best, bestCost = i, c
+				}
+			}
+			latency += e.m.Dist(p.Node, servers[best])
+			eta[best]++
+		}
+	}
+	var load float64
+	for i, s := range servers {
+		load += e.load.Value(e.g.Strength(s), eta[i])
+	}
+	return AccessCost{Latency: latency, Load: load}
+}
+
+// BestAddition returns the node minimising Access(servers ∪ {v}, d) over
+// all nodes v not already hosting a server, together with the resulting
+// access cost. It is used by ONTH's large-epoch rule ("a new server is
+// activated at an optimal position with respect to the access cost of the
+// latest large epoch") and by the greedy placement of OFFSTAT. The second
+// return is false when no free node exists.
+func (e *Evaluator) BestAddition(servers []int, d Demand) (int, AccessCost, bool) {
+	occupied := make(map[int]bool, len(servers))
+	for _, s := range servers {
+		occupied[s] = true
+	}
+	bestNode, found := -1, false
+	if sc, ok := NewScorer(e, servers, d); ok {
+		bestScore := math.MaxFloat64
+		for v := 0; v < e.g.N(); v++ {
+			if occupied[v] {
+				continue
+			}
+			if score := sc.Add(v); !found || score < bestScore {
+				bestNode, bestScore, found = v, score, true
+			}
+		}
+	} else {
+		bestScore := math.MaxFloat64
+		cand := make([]int, len(servers)+1)
+		copy(cand, servers)
+		for v := 0; v < e.g.N(); v++ {
+			if occupied[v] {
+				continue
+			}
+			cand[len(servers)] = v
+			if score := e.Access(cand, d).Total(); !found || score < bestScore {
+				bestNode, bestScore, found = v, score, true
+			}
+		}
+	}
+	if !found {
+		return -1, AccessCost{}, false
+	}
+	cand := make([]int, 0, len(servers)+1)
+	cand = append(cand, servers...)
+	cand = append(cand, bestNode)
+	return bestNode, e.Access(cand, d), true
+}

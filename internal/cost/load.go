@@ -1,0 +1,84 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+)
+
+// LoadFunc models the latency contribution of server load from Section
+// II-B: load(v, t) = f(ω(v), η(v, t)) where ω(v) is the node strength and
+// η(v, t) the number of requests arriving at the servers hosted by v in
+// round t. The paper's evaluation uses the linear and quadratic instances.
+type LoadFunc interface {
+	// Name identifies the function in reports ("linear", "quadratic", ...).
+	Name() string
+	// Value returns f(strength, eta).
+	Value(strength, eta float64) float64
+	// Marginal returns f(strength, eta+1) − f(strength, eta), the extra
+	// load caused by routing one more request to the node.
+	Marginal(strength, eta float64) float64
+	// Separable reports whether Marginal is independent of eta. For
+	// separable functions the minimal-access-cost routing of Section II-B
+	// decomposes per request (each request independently picks the server
+	// minimising latency + marginal load), which the evaluator exploits
+	// with an exact closed form.
+	Separable() bool
+}
+
+// Linear is the paper's simple model load(v,t) = η(v,t)/ω(v).
+type Linear struct{}
+
+// Name implements LoadFunc.
+func (Linear) Name() string { return "linear" }
+
+// Value implements LoadFunc.
+func (Linear) Value(strength, eta float64) float64 { return eta / strength }
+
+// Marginal implements LoadFunc.
+func (Linear) Marginal(strength, eta float64) float64 { return 1 / strength }
+
+// Separable implements LoadFunc.
+func (Linear) Separable() bool { return true }
+
+// Quadratic is the steeper model load(v,t) = (η(v,t)/ω(v))², used in the
+// paper's Figure 1 and 2 to show that steeper load functions trigger the
+// allocation of more servers.
+type Quadratic struct{}
+
+// Name implements LoadFunc.
+func (Quadratic) Name() string { return "quadratic" }
+
+// Value implements LoadFunc.
+func (Quadratic) Value(strength, eta float64) float64 {
+	r := eta / strength
+	return r * r
+}
+
+// Marginal implements LoadFunc.
+func (Quadratic) Marginal(strength, eta float64) float64 {
+	return (2*eta + 1) / (strength * strength)
+}
+
+// Separable implements LoadFunc.
+func (Quadratic) Separable() bool { return false }
+
+// Power generalises the two above to load(v,t) = (η/ω)^P for P >= 1,
+// supporting the paper's remark that solutions exist "for very general load
+// functions".
+type Power struct{ P float64 }
+
+// Name implements LoadFunc.
+func (p Power) Name() string { return fmt.Sprintf("power(%g)", p.P) }
+
+// Value implements LoadFunc.
+func (p Power) Value(strength, eta float64) float64 {
+	return math.Pow(eta/strength, p.P)
+}
+
+// Marginal implements LoadFunc.
+func (p Power) Marginal(strength, eta float64) float64 {
+	return p.Value(strength, eta+1) - p.Value(strength, eta)
+}
+
+// Separable implements LoadFunc.
+func (p Power) Separable() bool { return p.P == 1 }

@@ -1,0 +1,103 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearLoad(t *testing.T) {
+	var l Linear
+	if got := l.Value(2, 6); got != 3 {
+		t.Fatalf("Value(2,6) = %v, want 3", got)
+	}
+	if got := l.Marginal(4, 100); got != 0.25 {
+		t.Fatalf("Marginal(4,100) = %v, want 0.25", got)
+	}
+	if !l.Separable() {
+		t.Fatal("linear must be separable")
+	}
+	if l.Name() != "linear" {
+		t.Fatalf("Name() = %q", l.Name())
+	}
+}
+
+func TestQuadraticLoad(t *testing.T) {
+	var q Quadratic
+	if got := q.Value(2, 6); got != 9 {
+		t.Fatalf("Value(2,6) = %v, want 9", got)
+	}
+	// Marginal at η grows with η.
+	if q.Marginal(1, 0) >= q.Marginal(1, 5) {
+		t.Fatal("quadratic marginal must grow with load")
+	}
+	if q.Separable() {
+		t.Fatal("quadratic must not be separable")
+	}
+}
+
+func TestPowerLoad(t *testing.T) {
+	p := Power{P: 3}
+	if got := p.Value(1, 2); got != 8 {
+		t.Fatalf("Value(1,2) = %v, want 8", got)
+	}
+	if !(Power{P: 1}).Separable() {
+		t.Fatal("power(1) must be separable")
+	}
+	if p.Separable() {
+		t.Fatal("power(3) must not be separable")
+	}
+}
+
+func TestPowerMatchesLinearAndQuadratic(t *testing.T) {
+	for eta := 0.0; eta < 10; eta++ {
+		for _, w := range []float64{0.5, 1, 2, 4} {
+			if got, want := (Power{P: 1}).Value(w, eta), (Linear{}).Value(w, eta); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("power(1).Value(%v,%v) = %v, linear = %v", w, eta, got, want)
+			}
+			if got, want := (Power{P: 2}).Value(w, eta), (Quadratic{}).Value(w, eta); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("power(2).Value(%v,%v) = %v, quadratic = %v", w, eta, got, want)
+			}
+		}
+	}
+}
+
+// Property: the marginal is consistent with the value function —
+// f(ω, η+1) = f(ω, η) + Marginal(ω, η).
+func TestMarginalConsistency(t *testing.T) {
+	funcs := []LoadFunc{Linear{}, Quadratic{}, Power{P: 1.5}, Power{P: 3}}
+	check := func(wRaw, etaRaw uint8) bool {
+		w := 0.5 + float64(wRaw%8)  // strengths in [0.5, 7.5]
+		eta := float64(etaRaw % 50) // loads in [0, 49]
+		for _, f := range funcs {
+			lhs := f.Value(w, eta+1)
+			rhs := f.Value(w, eta) + f.Marginal(w, eta)
+			if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: load functions are monotone in η and zero at η = 0.
+func TestLoadMonotoneAndZeroAtIdle(t *testing.T) {
+	funcs := []LoadFunc{Linear{}, Quadratic{}, Power{P: 2.5}}
+	for _, f := range funcs {
+		if v := f.Value(3, 0); v != 0 {
+			t.Fatalf("%s.Value(3,0) = %v, want 0", f.Name(), v)
+		}
+		prev := 0.0
+		for eta := 1.0; eta <= 20; eta++ {
+			v := f.Value(3, eta)
+			if v < prev {
+				t.Fatalf("%s not monotone at η=%v", f.Name(), eta)
+			}
+			prev = v
+		}
+	}
+}

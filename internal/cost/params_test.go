@@ -1,0 +1,99 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.Beta != 40 || p.Create != 400 {
+		t.Fatalf("defaults β=%v c=%v, want 40/400", p.Beta, p.Create)
+	}
+	if !p.MigrationBeneficial() {
+		t.Fatal("defaults must have β < c")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvertedParams(t *testing.T) {
+	p := InvertedParams()
+	if p.Beta != 400 || p.Create != 40 {
+		t.Fatalf("inverted β=%v c=%v, want 400/40", p.Beta, p.Create)
+	}
+	if p.MigrationBeneficial() {
+		t.Fatal("inverted must have β ≥ c")
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []Params{
+		{Beta: -1, Create: 1},
+		{Beta: 1, Create: 0},
+		{Beta: math.NaN(), Create: 1},
+		{Beta: 1, Create: math.Inf(1)},
+		{Beta: 1, Create: 1, RunActive: -0.5},
+		{Beta: 1, Create: 1, RunInactive: math.NaN()},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, p)
+		}
+	}
+}
+
+func TestPlaceCost(t *testing.T) {
+	if got := DefaultParams().PlaceCost(); got != 40 {
+		t.Fatalf("PlaceCost = %v, want β=40", got)
+	}
+	if got := InvertedParams().PlaceCost(); got != 40 {
+		t.Fatalf("PlaceCost = %v, want c=40", got)
+	}
+}
+
+func TestRun(t *testing.T) {
+	p := Params{Beta: 1, Create: 1, RunActive: 2.5, RunInactive: 0.5}
+	if got := p.Run(3, 2); got != 8.5 {
+		t.Fatalf("Run(3,2) = %v, want 8.5", got)
+	}
+	if got := p.Run(0, 0); got != 0 {
+		t.Fatalf("Run(0,0) = %v, want 0", got)
+	}
+}
+
+func TestTransition(t *testing.T) {
+	def := DefaultParams() // β=40 < c=400
+	cases := []struct {
+		p                Params
+		created, vacated int
+		want             float64
+	}{
+		{def, 0, 0, 0},
+		{def, 0, 5, 0},               // removals are free
+		{def, 1, 0, 400},             // create from scratch
+		{def, 1, 1, 40},              // migrate the vacated server
+		{def, 3, 1, 40 + 2*400},      // one migration, two creations
+		{def, 2, 5, 80},              // migrations bounded by need
+		{InvertedParams(), 2, 5, 80}, // β ≥ c: two creations at c=40
+		{InvertedParams(), 1, 0, 40},
+	}
+	for i, c := range cases {
+		if got := c.p.Transition(c.created, c.vacated); got != c.want {
+			t.Errorf("case %d: Transition(%d,%d) = %v, want %v", i, c.created, c.vacated, got, c.want)
+		}
+	}
+}
+
+func TestTransitionNegativeCreatedIsFree(t *testing.T) {
+	if got := DefaultParams().Transition(-3, 2); got != 0 {
+		t.Fatalf("Transition(-3,2) = %v, want 0", got)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	if s := DefaultParams().String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,146 @@
+package cost
+
+import "math"
+
+// Scorer accelerates the single-change candidate searches performed by the
+// best-response algorithms (ONBR, ONTH, and their offline variants): given
+// a fixed demand and a fixed server placement, it answers "what would the
+// access cost be if one server were added, removed, or moved?" in
+// O(distinct access points) per candidate instead of a full re-evaluation.
+//
+// Scores are Costacc totals (latency + load folded into per-request
+// effective distances). NewScorer builds an exact scorer when the
+// evaluator's closed form applies; NewScorerApprox builds a linearised
+// approximation for arbitrary load functions, suitable for *searching*
+// candidates whose final cost the caller re-evaluates exactly.
+type Scorer struct {
+	e        *Evaluator
+	servers  []int
+	pairs    []NodeCount
+	offsetAt func(server int) float64
+	// Per demand node: the two smallest effective distances over the
+	// current servers and the index (into servers) achieving the smallest.
+	best1, best2 []float64
+	arg1         []int
+	baseTotal    float64
+}
+
+// NewScorer builds an exact scorer for the placement, or reports false when
+// the closed form does not apply (the caller may then fall back to
+// NewScorerApprox or to full Access evaluations). The closed form folds
+// load into the per-request effective distance, which is exact only for
+// min-cost routing with a separable load function whose idle value f(ω, 0)
+// is zero (true for Linear and Power(1)).
+func NewScorer(e *Evaluator, servers []int, d Demand) (*Scorer, bool) {
+	if e.policy != AssignMinCost || !e.load.Separable() || len(servers) == 0 {
+		return nil, false
+	}
+	s := newScorer(e, servers, d, func(server int) float64 {
+		return e.load.Marginal(e.g.Strength(server), 0)
+	})
+	return s, true
+}
+
+// NewScorerApprox builds a scorer that linearises the load function around
+// the hinted per-server request volume: each server's routing offset is
+// Marginal(ω, etaHint). For separable loads with etaHint irrelevant this
+// coincides with NewScorer; for steeper loads (e.g. Quadratic) it is a
+// search heuristic. It panics on an empty placement.
+func NewScorerApprox(e *Evaluator, servers []int, d Demand, etaHint float64) *Scorer {
+	if len(servers) == 0 {
+		panic("cost: scorer needs at least one server")
+	}
+	return newScorer(e, servers, d, func(server int) float64 {
+		return e.load.Marginal(e.g.Strength(server), etaHint)
+	})
+}
+
+func newScorer(e *Evaluator, servers []int, d Demand, offsetAt func(int) float64) *Scorer {
+	s := &Scorer{
+		e:        e,
+		servers:  append([]int(nil), servers...),
+		pairs:    d.Pairs(),
+		offsetAt: offsetAt,
+		best1:    make([]float64, d.Distinct()),
+		best2:    make([]float64, d.Distinct()),
+		arg1:     make([]int, d.Distinct()),
+	}
+	off := make([]float64, len(servers))
+	for i, sv := range servers {
+		off[i] = offsetAt(sv)
+	}
+	for pi, p := range s.pairs {
+		b1, b2, a1 := math.MaxFloat64, math.MaxFloat64, -1
+		for i, sv := range servers {
+			c := e.m.Dist(p.Node, sv) + off[i]
+			switch {
+			case c < b1:
+				b1, b2, a1 = c, b1, i
+			case c < b2:
+				b2 = c
+			}
+		}
+		s.best1[pi], s.best2[pi], s.arg1[pi] = b1, b2, a1
+		s.baseTotal += float64(p.Count) * b1
+	}
+	return s
+}
+
+// Base returns the access score of the unchanged placement.
+func (s *Scorer) Base() float64 { return s.baseTotal }
+
+// eff returns the effective distance from a demand node to a candidate
+// server node.
+func (s *Scorer) eff(demandNode, server int) float64 {
+	return s.e.m.Dist(demandNode, server) + s.offsetAt(server)
+}
+
+// Add returns the access score with one extra server at node v.
+func (s *Scorer) Add(v int) float64 {
+	total := 0.0
+	for pi, p := range s.pairs {
+		c := s.eff(p.Node, v)
+		if b := s.best1[pi]; b < c {
+			c = b
+		}
+		total += float64(p.Count) * c
+	}
+	return total
+}
+
+// Remove returns the access score with servers[i] removed. It returns +Inf
+// when i indexes the only server and demand is non-empty (requests could no
+// longer be served).
+func (s *Scorer) Remove(i int) float64 {
+	if len(s.servers) == 1 {
+		if len(s.pairs) == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	total := 0.0
+	for pi, p := range s.pairs {
+		c := s.best1[pi]
+		if s.arg1[pi] == i {
+			c = s.best2[pi]
+		}
+		total += float64(p.Count) * c
+	}
+	return total
+}
+
+// Move returns the access score with servers[i] relocated to node v.
+func (s *Scorer) Move(i, v int) float64 {
+	total := 0.0
+	for pi, p := range s.pairs {
+		c := s.best1[pi]
+		if s.arg1[pi] == i {
+			c = s.best2[pi]
+		}
+		if cv := s.eff(p.Node, v); cv < c {
+			c = cv
+		}
+		total += float64(p.Count) * c
+	}
+	return total
+}

@@ -1,0 +1,197 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// randomInstance builds a random connected graph, servers and demand.
+func randomInstance(rng *rand.Rand) (*Evaluator, []int, Demand) {
+	n := 4 + rng.Intn(12)
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, 0.5+rng.Float64()*5, 1)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 2; v < n; v++ {
+			if rng.Float64() < 0.2 {
+				g.MustAddEdge(u, v, 0.5+rng.Float64()*5, 1)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.SetStrength(v, 0.5+rng.Float64()*3)
+	}
+	e := NewEvaluator(g, g.AllPairs(), Linear{}, AssignMinCost)
+	k := 1 + rng.Intn(3)
+	perm := rng.Perm(n)
+	servers := append([]int(nil), perm[:k]...)
+	list := make([]int, 1+rng.Intn(25))
+	for i := range list {
+		list[i] = rng.Intn(n)
+	}
+	return e, servers, DemandFromList(list)
+}
+
+func sorted(s []int) []int {
+	out := append([]int(nil), s...)
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j] < out[i] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// Property: every scorer answer equals a full evaluation of the modified
+// placement (the scorer exists purely as an optimisation).
+func TestScorerMatchesFullEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	const eps = 1e-9
+	for trial := 0; trial < 60; trial++ {
+		e, servers, d := randomInstance(rng)
+		sc, ok := NewScorer(e, servers, d)
+		if !ok {
+			t.Fatal("scorer must apply to linear/min-cost")
+		}
+		if got, want := sc.Base(), e.Access(servers, d).Total(); math.Abs(got-want) > eps {
+			t.Fatalf("trial %d: Base %v != Access %v", trial, got, want)
+		}
+		n := e.Graph().N()
+		inServers := map[int]bool{}
+		for _, s := range servers {
+			inServers[s] = true
+		}
+		// Add.
+		for v := 0; v < n; v++ {
+			if inServers[v] {
+				continue
+			}
+			want := e.Access(append(sorted(servers), v), d).Total()
+			if got := sc.Add(v); math.Abs(got-want) > eps {
+				t.Fatalf("trial %d: Add(%d) %v != %v", trial, v, got, want)
+			}
+		}
+		// Remove (only when another server remains).
+		if len(servers) > 1 {
+			for i := range servers {
+				rest := make([]int, 0, len(servers)-1)
+				for j, s := range servers {
+					if j != i {
+						rest = append(rest, s)
+					}
+				}
+				want := e.Access(rest, d).Total()
+				if got := sc.Remove(i); math.Abs(got-want) > eps {
+					t.Fatalf("trial %d: Remove(%d) %v != %v", trial, i, got, want)
+				}
+			}
+		}
+		// Move.
+		for i := range servers {
+			for v := 0; v < n; v++ {
+				if inServers[v] {
+					continue
+				}
+				moved := make([]int, 0, len(servers))
+				for j, s := range servers {
+					if j != i {
+						moved = append(moved, s)
+					}
+				}
+				moved = append(moved, v)
+				want := e.Access(moved, d).Total()
+				if got := sc.Move(i, v); math.Abs(got-want) > eps {
+					t.Fatalf("trial %d: Move(%d,%d) %v != %v", trial, i, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestScorerRemoveLastServer(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1, 1, 1)
+	e := NewEvaluator(g, g.AllPairs(), Linear{}, AssignMinCost)
+	sc, ok := NewScorer(e, []int{0}, DemandFromList([]int{1}))
+	if !ok {
+		t.Fatal("scorer must build")
+	}
+	if !math.IsInf(sc.Remove(0), 1) {
+		t.Fatal("removing the only server with demand must cost infinity")
+	}
+	scEmpty, _ := NewScorer(e, []int{0}, Demand{})
+	if scEmpty.Remove(0) != 0 {
+		t.Fatal("removing the only server without demand must cost zero")
+	}
+}
+
+func TestNewScorerRejectsNonSeparable(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1, 1, 1)
+	e := NewEvaluator(g, g.AllPairs(), Quadratic{}, AssignMinCost)
+	if _, ok := NewScorer(e, []int{0}, Demand{}); ok {
+		t.Fatal("scorer accepted quadratic load")
+	}
+	eNear := NewEvaluator(g, g.AllPairs(), Linear{}, AssignNearest)
+	if _, ok := NewScorer(eNear, []int{0}, Demand{}); ok {
+		t.Fatal("scorer accepted nearest routing")
+	}
+	if _, ok := NewScorer(e, nil, Demand{}); ok {
+		t.Fatal("scorer accepted empty placement")
+	}
+}
+
+func TestNewScorerApproxPanicsOnEmpty(t *testing.T) {
+	g := graph.New(1)
+	e := NewEvaluator(g, g.AllPairs(), Quadratic{}, AssignMinCost)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty placement")
+		}
+	}()
+	NewScorerApprox(e, nil, Demand{}, 0)
+}
+
+func TestNewScorerApproxCoincidesWithExactForLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		e, servers, d := randomInstance(rng)
+		exact, _ := NewScorer(e, servers, d)
+		approx := NewScorerApprox(e, servers, d, 123.0) // hint irrelevant for linear
+		if math.Abs(exact.Base()-approx.Base()) > 1e-9 {
+			t.Fatalf("trial %d: approx base %v != exact %v", trial, approx.Base(), exact.Base())
+		}
+		for v := 0; v < e.Graph().N(); v++ {
+			if math.Abs(exact.Add(v)-approx.Add(v)) > 1e-9 {
+				t.Fatalf("trial %d: Add(%d) differs", trial, v)
+			}
+		}
+	}
+}
+
+func TestNewScorerApproxOrdersQuadraticCandidates(t *testing.T) {
+	// With all demand at node 4 and a server at 0, the approximation must
+	// still rank node 4 as the best addition.
+	g := graph.New(5)
+	for v := 0; v+1 < 5; v++ {
+		g.MustAddEdge(v, v+1, 1, 1)
+	}
+	e := NewEvaluator(g, g.AllPairs(), Quadratic{}, AssignMinCost)
+	d := DemandFromList([]int{4, 4, 4})
+	sc := NewScorerApprox(e, []int{0}, d, 1.5)
+	best, bestScore := -1, math.Inf(1)
+	for v := 1; v < 5; v++ {
+		if s := sc.Add(v); s < bestScore {
+			best, bestScore = v, s
+		}
+	}
+	if best != 4 {
+		t.Fatalf("approx scorer ranked %d best, want 4", best)
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph/gen"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+
+	"math/rand"
+)
+
+// Ablations probe the design choices that the paper fixes by fiat (queue
+// size 3, expiry x = 20, small-epoch factor y = 2, threshold θ = 2c,
+// min-cost routing). Each returns a table of ONTH/ONBR total cost as the
+// knob varies on a common commuter-dynamic instance.
+
+// ablationInstance builds the shared environment/workload of the ablation
+// studies, parameterised by the pool and evaluator knobs under study.
+func ablationInstance(o Options, pool core.Params, load cost.LoadFunc, policy cost.Policy, seed int64) (*sim.Env, *workload.Sequence, error) {
+	n := pick(o, 150, 60)
+	rounds := pick(o, 400, 120)
+	rng := rand.New(rand.NewSource(seed))
+	g, err := gen.ErdosRenyi(n, ErdosRenyiP, gen.DefaultOptions(), rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	env, err := sim.NewEnv(g, load, policy, cost.DefaultParams(), pool)
+	if err != nil {
+		return nil, nil, err
+	}
+	seq, err := workload.CommuterDynamic(env.Matrix,
+		workload.CommuterConfig{T: workload.TForSize(n), Lambda: 10}, rounds)
+	if err != nil {
+		return nil, nil, err
+	}
+	return env, seq, nil
+}
+
+// ablate sweeps one knob and averages ONTH-or-ONBR totals over runs.
+func ablate(o Options, title, xlabel string, xs []float64,
+	makeAlg func() sim.Algorithm,
+	configure func(x float64, pool *core.Params) (cost.LoadFunc, cost.Policy)) (*trace.Table, error) {
+
+	runs := pick(o, 5, 2)
+	seed := o.seed()
+	tab := &trace.Table{Title: title, XLabel: xlabel, YLabel: "total cost"}
+	var vals []float64
+	for xi, x := range xs {
+		x := x
+		totals, err := parallelRuns(runs, func(run int) (float64, error) {
+			pool := poolDefaults()
+			load, policy := configure(x, &pool)
+			env, seq, err := ablationInstance(o, pool, load, policy, runSeed(seed, xi, run))
+			if err != nil {
+				return 0, err
+			}
+			return runTotal(env, makeAlg(), seq)
+		})
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, stats.Mean(totals))
+		tab.X = append(tab.X, x)
+	}
+	tab.Series = []trace.Series{{Label: "total cost", Values: vals}}
+	return tab, tab.Validate()
+}
+
+// AblationQueue varies the inactive-cache capacity (the paper fixes 3).
+func AblationQueue(o Options) (*trace.Table, error) {
+	return ablate(o, "Ablation: ONTH vs inactive-queue capacity", "queue capacity",
+		[]float64{0, 1, 3, 8},
+		func() sim.Algorithm { return online.NewONTH() },
+		func(x float64, pool *core.Params) (cost.LoadFunc, cost.Policy) {
+			pool.QueueCap = int(x)
+			return cost.Linear{}, cost.AssignMinCost
+		})
+}
+
+// AblationExpiry varies the inactive-server expiry x (the paper fixes 20).
+func AblationExpiry(o Options) (*trace.Table, error) {
+	return ablate(o, "Ablation: ONTH vs inactive-server expiry", "expiry (epochs)",
+		[]float64{1, 5, 20, 100},
+		func() sim.Algorithm { return online.NewONTH() },
+		func(x float64, pool *core.Params) (cost.LoadFunc, cost.Policy) {
+			pool.Expiry = int(x)
+			return cost.Linear{}, cost.AssignMinCost
+		})
+}
+
+// AblationY varies ONTH's small-epoch factor y (threshold y·β; paper: 2).
+func AblationY(o Options) (*trace.Table, error) {
+	runs := pick(o, 5, 2)
+	seed := o.seed()
+	ys := []float64{1, 2, 4, 8}
+	tab := &trace.Table{Title: "Ablation: ONTH vs small-epoch factor y", XLabel: "y", YLabel: "total cost"}
+	var vals []float64
+	for xi, y := range ys {
+		y := y
+		totals, err := parallelRuns(runs, func(run int) (float64, error) {
+			env, seq, err := ablationInstance(o, poolDefaults(), cost.Linear{}, cost.AssignMinCost, runSeed(seed, xi, run))
+			if err != nil {
+				return 0, err
+			}
+			alg := online.NewONTH()
+			alg.Y = y
+			return runTotal(env, alg, seq)
+		})
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, stats.Mean(totals))
+		tab.X = append(tab.X, y)
+	}
+	tab.Series = []trace.Series{{Label: "total cost", Values: vals}}
+	return tab, tab.Validate()
+}
+
+// AblationTheta varies ONBR's threshold factor (θ = factor·c; paper: 2).
+func AblationTheta(o Options) (*trace.Table, error) {
+	runs := pick(o, 5, 2)
+	seed := o.seed()
+	factors := []float64{0.5, 1, 2, 4, 8}
+	tab := &trace.Table{Title: "Ablation: ONBR vs threshold factor", XLabel: "theta/c", YLabel: "total cost"}
+	var vals []float64
+	for xi, f := range factors {
+		f := f
+		totals, err := parallelRuns(runs, func(run int) (float64, error) {
+			env, seq, err := ablationInstance(o, poolDefaults(), cost.Linear{}, cost.AssignMinCost, runSeed(seed, xi, run))
+			if err != nil {
+				return 0, err
+			}
+			alg := online.NewONBR()
+			alg.ThetaFactor = f
+			return runTotal(env, alg, seq)
+		})
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, stats.Mean(totals))
+		tab.X = append(tab.X, f)
+	}
+	tab.Series = []trace.Series{{Label: "total cost", Values: vals}}
+	return tab, tab.Validate()
+}
+
+// AblationLoad compares load models under ONTH: linear, power(1.5),
+// quadratic.
+func AblationLoad(o Options) (*trace.Table, error) {
+	runs := pick(o, 5, 2)
+	seed := o.seed()
+	loads := []cost.LoadFunc{cost.Linear{}, cost.Power{P: 1.5}, cost.Quadratic{}}
+	tab := &trace.Table{Title: "Ablation: ONTH vs load function", XLabel: "load exponent", YLabel: "total cost"}
+	var vals []float64
+	for xi, load := range loads {
+		load := load
+		totals, err := parallelRuns(runs, func(run int) (float64, error) {
+			env, seq, err := ablationInstance(o, poolDefaults(), load, cost.AssignMinCost, runSeed(seed, xi, run))
+			if err != nil {
+				return 0, err
+			}
+			return runTotal(env, online.NewONTH(), seq)
+		})
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, stats.Mean(totals))
+		tab.X = append(tab.X, []float64{1, 1.5, 2}[xi])
+	}
+	tab.Series = []trace.Series{{Label: "total cost", Values: vals}}
+	return tab, tab.Validate()
+}
+
+// AblationAssign compares the min-cost request routing of Section II-B
+// against load-oblivious nearest-server routing, under quadratic load where
+// the difference matters.
+func AblationAssign(o Options) (*trace.Table, error) {
+	runs := pick(o, 5, 2)
+	seed := o.seed()
+	policies := []cost.Policy{cost.AssignMinCost, cost.AssignNearest}
+	tab := &trace.Table{Title: "Ablation: routing policy under quadratic load (ONTH)", XLabel: "policy (0=min-cost,1=nearest)", YLabel: "total cost"}
+	var vals []float64
+	for xi, policy := range policies {
+		policy := policy
+		totals, err := parallelRuns(runs, func(run int) (float64, error) {
+			env, seq, err := ablationInstance(o, poolDefaults(), cost.Quadratic{}, policy, runSeed(seed, xi, run))
+			if err != nil {
+				return 0, err
+			}
+			return runTotal(env, online.NewONTH(), seq)
+		})
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, stats.Mean(totals))
+		tab.X = append(tab.X, float64(xi))
+	}
+	tab.Series = []trace.Series{{Label: "total cost", Values: vals}}
+	return tab, tab.Validate()
+}

@@ -1,0 +1,178 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (Section V). Each FigureN function reproduces the set-up of
+// the corresponding figure — topology family, workload scenario, cost
+// parameters, runtime, and number of averaged runs — and returns the same
+// series the paper plots as a trace.Table.
+//
+// Absolute numbers differ from the paper (the substrate topologies are
+// regenerated, not the authors' exact instances), but the comparative
+// shapes are preserved; EXPERIMENTS.md records paper-vs-measured for every
+// figure.
+//
+// All experiments are deterministic in Options.Seed: run r of a data point
+// derives its RNG from the seed, the x-position, and r.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options scale an experiment.
+type Options struct {
+	// Quick selects a scaled-down variant (smaller networks, fewer rounds
+	// and runs) with the same qualitative behaviour; used by the benchmark
+	// harness and CI. The zero value reproduces the paper's set-up.
+	Quick bool
+	// Seed is the base seed; 0 selects the default (1).
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// pick returns full for the paper set-up and quick in Quick mode.
+func pick(o Options, full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+func pickSizes(o Options, full, quick []int) []int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// ErdosRenyiP is the paper's connection probability for the artificial
+// substrates ("with connection probability 1%").
+const ErdosRenyiP = 0.01
+
+// poolDefaults are the paper's inactive-cache parameters: a FIFO queue of
+// size 3 whose entries expire after x = 20 epochs.
+func poolDefaults() core.Params {
+	return core.Params{QueueCap: 3, Expiry: 20}
+}
+
+// erEnv builds the paper's artificial substrate: an Erdős–Rényi graph with
+// 1% connection probability, T1/T2 bandwidths, and the default cost model.
+func erEnv(n int, load cost.LoadFunc, params cost.Params, seed int64) (*sim.Env, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := gen.ErdosRenyi(n, ErdosRenyiP, gen.DefaultOptions(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewEnv(g, load, cost.AssignMinCost, params, poolDefaults())
+}
+
+// lineEnv builds the paper's OPT substrate: a line graph with random
+// latencies ("to simulate OPT, we constrain ourselves to line graphs").
+func lineEnv(n int, params cost.Params, seed int64) (*sim.Env, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := gen.Line(n, gen.DefaultOptions(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost, params, poolDefaults())
+}
+
+// runSeed derives a deterministic per-run seed from the experiment seed, an
+// x-position index, and the run index.
+func runSeed(base int64, x, run int) int64 {
+	return base + int64(x)*1_000_003 + int64(run)*7_919
+}
+
+// parallelRuns evaluates fn(run) for run = 0..runs-1 across all CPUs and
+// returns the results in run order. The first error wins.
+func parallelRuns(runs int, fn func(run int) (float64, error)) ([]float64, error) {
+	out := make([]float64, runs)
+	errs := make([]error, runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for r := 0; r < runs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[r], errs[r] = fn(r)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// onlineContenders returns fresh instances of the three strategies the
+// paper's online comparisons plot: ONBR with fixed threshold 2c, ONBR with
+// the dynamic threshold 2c/ℓ, and ONTH.
+func onlineContenders() []sim.Algorithm {
+	return []sim.Algorithm{online.NewONBR(), online.NewONBRDynamic(), online.NewONTH()}
+}
+
+// runTotal plays one algorithm over one sequence and returns the total cost.
+func runTotal(env *sim.Env, alg sim.Algorithm, seq *workload.Sequence) (float64, error) {
+	l, err := sim.Run(env, alg, seq)
+	if err != nil {
+		return 0, err
+	}
+	return l.Total(), nil
+}
+
+// scenarioKind selects one of the paper's workload families.
+type scenarioKind int
+
+const (
+	commuterDynamic scenarioKind = iota
+	commuterStatic
+	timeZones
+)
+
+func (s scenarioKind) String() string {
+	switch s {
+	case commuterDynamic:
+		return "commuter-dynamic"
+	case commuterStatic:
+		return "commuter-static"
+	case timeZones:
+		return "time-zones"
+	default:
+		return fmt.Sprintf("scenario(%d)", int(s))
+	}
+}
+
+// buildScenario instantiates a workload of the given kind on a substrate.
+func buildScenario(kind scenarioKind, m *graph.Matrix, T, lambda, rounds, reqPerRound int, rng *rand.Rand) (*workload.Sequence, error) {
+	switch kind {
+	case commuterDynamic:
+		return workload.CommuterDynamic(m, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)
+	case commuterStatic:
+		return workload.CommuterStatic(m, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)
+	case timeZones:
+		return workload.TimeZones(m, workload.TimeZonesConfig{
+			T: T, P: 0.5, Lambda: lambda, RequestsPerRound: reqPerRound,
+		}, rounds, rng)
+	default:
+		return nil, fmt.Errorf("experiments: unknown scenario %d", kind)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// exemplaryRun plays ONTH once and returns the number of active servers per
+// round, the time series Figures 1 and 2 plot for linear and quadratic load
+// functions.
+func exemplaryRun(env *sim.Env, seq *workload.Sequence) ([]float64, error) {
+	l, err := sim.Run(env, online.NewONTH(), seq)
+	if err != nil {
+		return nil, err
+	}
+	active := make([]float64, len(l.Rounds))
+	for t, r := range l.Rounds {
+		active[t] = float64(r.Active)
+	}
+	return active, nil
+}
+
+// figureExec is the shared implementation of Figures 1 and 2.
+func figureExec(o Options, title string, kind scenarioKind, n, T, lambda, rounds int) (*trace.Table, error) {
+	seed := o.seed()
+	tab := &trace.Table{
+		Title:  title,
+		XLabel: "round",
+		YLabel: "active servers (ONTH)",
+	}
+	for _, load := range []cost.LoadFunc{cost.Linear{}, cost.Quadratic{}} {
+		env, err := erEnv(n, load, cost.DefaultParams(), seed)
+		if err != nil {
+			return nil, err
+		}
+		seq, err := buildScenario(kind, env.Matrix, T, lambda, rounds, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		active, err := exemplaryRun(env, seq)
+		if err != nil {
+			return nil, err
+		}
+		tab.Series = append(tab.Series, trace.Series{
+			Label:  fmt.Sprintf("%s load", load.Name()),
+			Values: active,
+		})
+	}
+	tab.X = make([]float64, rounds)
+	for t := range tab.X {
+		tab.X[t] = float64(t)
+	}
+	return tab, tab.Validate()
+}
+
+// Figure1 reproduces Figure 1: an exemplary execution of ONTH in the
+// commuter scenario with dynamic load (runtime 1000 rounds, T = 14, network
+// size 1000, λ = 20), showing that steeper load functions (quadratic vs
+// linear) make ONTH allocate more servers as demand fans out.
+func Figure1(o Options) (*trace.Table, error) {
+	n := pick(o, 1000, 120)
+	rounds := pick(o, 1000, 280)
+	T := pick(o, 14, 8)
+	return figureExec(o, "Figure 1: ONTH execution, commuter dynamic load", commuterDynamic,
+		n, T, 20, rounds)
+}
+
+// Figure2 reproduces Figure 2: the same exemplary execution for the
+// commuter scenario with static load (runtime 1000 rounds, T = 12, network
+// size 500, λ = 20). The system converges quickly to a server count that is
+// largely independent of how many access points the fixed demand originates
+// from, with the quadratic load model requiring more servers.
+func Figure2(o Options) (*trace.Table, error) {
+	n := pick(o, 500, 120)
+	rounds := pick(o, 1000, 280)
+	T := pick(o, 12, 8)
+	return figureExec(o, "Figure 2: ONTH execution, commuter static load", commuterStatic,
+		n, T, 20, rounds)
+}

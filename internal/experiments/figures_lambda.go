@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/cost"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// figureLambda is the shared implementation of Figures 8–10: total cost of
+// the online strategies as a function of λ (runtime 900 rounds, T = 10,
+// network size 200, averaged over 10 runs).
+func figureLambda(o Options, title string, kind scenarioKind) (*trace.Table, error) {
+	n := pick(o, 200, 60)
+	rounds := pick(o, 900, 200)
+	runs := pick(o, 10, 2)
+	lambdas := pickSizes(o, []int{1, 2, 5, 10, 20, 40, 80}, []int{2, 10, 40})
+	T := 10
+	seed := o.seed()
+
+	labels := []string{"ONBR-fixed", "ONBR-dyn", "ONTH"}
+	values := make([][]float64, len(labels))
+	tab := &trace.Table{Title: title, XLabel: "lambda", YLabel: "total cost"}
+	for xi, lambda := range lambdas {
+		tab.X = append(tab.X, float64(lambda))
+		for ai := range labels {
+			ai, lambda := ai, lambda
+			totals, err := parallelRuns(runs, func(run int) (float64, error) {
+				s := runSeed(seed, xi, run)
+				env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
+				if err != nil {
+					return 0, err
+				}
+				seq, err := buildScenario(kind, env.Matrix, T, lambda, rounds, 0, rand.New(rand.NewSource(s+1)))
+				if err != nil {
+					return 0, err
+				}
+				return runTotal(env, onlineContenders()[ai], seq)
+			})
+			if err != nil {
+				return nil, err
+			}
+			values[ai] = append(values[ai], stats.Mean(totals))
+		}
+	}
+	for ai, label := range labels {
+		tab.Series = append(tab.Series, trace.Series{Label: label, Values: values[ai]})
+	}
+	return tab, tab.Validate()
+}
+
+// Figure8 reproduces Figure 8: cost as a function of λ in the commuter
+// scenario with dynamic load. The total cost is largely independent of λ,
+// with ONTH better by roughly a factor of two.
+func Figure8(o Options) (*trace.Table, error) {
+	return figureLambda(o, "Figure 8: cost vs lambda, commuter dynamic load", commuterDynamic)
+}
+
+// Figure9 reproduces Figure 9: the same sweep for the static-load commuter
+// scenario.
+func Figure9(o Options) (*trace.Table, error) {
+	return figureLambda(o, "Figure 9: cost vs lambda, commuter static load", commuterStatic)
+}
+
+// Figure10 reproduces Figure 10: the same sweep for the time-zone scenario
+// with p = 50%. The total cost decreases slightly with λ because fewer
+// migrations are needed when the hotspot moves less often.
+func Figure10(o Options) (*trace.Table, error) {
+	return figureLambda(o, "Figure 10: cost vs lambda, time zones (p=50%)", timeZones)
+}

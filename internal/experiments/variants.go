@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/cost"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// CompareOnlineVariants pits every implemented online strategy — including
+// the paper-sketched speed-ups (ONSAMP sampling, clustered ONBR) and the
+// metrical-task-system baseline WFA — against OPT on a shared small
+// instance where the exponential-space algorithms (ONCONF, WFA, OPT) are
+// still tractable. The output is one series per strategy with its mean
+// total cost and its mean competitive ratio against OPT.
+func CompareOnlineVariants(o Options) (*trace.Table, error) {
+	n := 8
+	rounds := pick(o, 300, 100)
+	runs := pick(o, 10, 2)
+	k := 3
+	seed := o.seed()
+
+	type variant struct {
+		label string
+		make  func(s int64) sim.Algorithm
+	}
+	variants := []variant{
+		{"ONTH", func(int64) sim.Algorithm { return online.NewONTH() }},
+		{"ONBR-fixed", func(int64) sim.Algorithm { return online.NewONBR() }},
+		{"ONBR-dyn", func(int64) sim.Algorithm { return online.NewONBRDynamic() }},
+		{"ONBR-cluster", func(int64) sim.Algorithm { return online.NewONBRClustered(4) }},
+		{"ONSAMP", func(int64) sim.Algorithm { return online.NewONSAMP() }},
+		{"ONCONF", func(s int64) sim.Algorithm { return online.NewONCONF(rand.New(rand.NewSource(s + 99))) }},
+		{"WFA", func(int64) sim.Algorithm { return online.NewWFA() }},
+	}
+
+	totals := make([][]float64, len(variants))
+	ratios := make([][]float64, len(variants))
+	for vi := range variants {
+		totals[vi] = make([]float64, runs)
+		ratios[vi] = make([]float64, runs)
+	}
+	_, err := parallelRuns(runs, func(run int) (float64, error) {
+		s := runSeed(seed, 0, run)
+		env, err := lineEnv(n, cost.DefaultParams(), s)
+		if err != nil {
+			return 0, err
+		}
+		env.Pool.MaxServers = k
+		seq, err := workload.CommuterDynamic(env.Matrix,
+			workload.CommuterConfig{T: 6, Lambda: 8}, rounds)
+		if err != nil {
+			return 0, err
+		}
+		opt, err := runTotal(env, offline.NewOPT(seq), seq)
+		if err != nil {
+			return 0, err
+		}
+		for vi, v := range variants {
+			total, err := runTotal(env, v.make(s), seq)
+			if err != nil {
+				return 0, err
+			}
+			totals[vi][run] = total
+			ratios[vi][run] = stats.Ratio(total, opt)
+		}
+		return 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	tab := &trace.Table{
+		Title:  "Online variants vs OPT (line n=8, k=3, commuter dynamic)",
+		XLabel: "metric (0=total cost, 1=ratio vs OPT)",
+		YLabel: "mean over runs",
+		X:      []float64{0, 1},
+	}
+	for vi, v := range variants {
+		tab.Series = append(tab.Series, trace.Series{
+			Label:  v.label,
+			Values: []float64{stats.Mean(totals[vi]), stats.Mean(ratios[vi])},
+		})
+	}
+	return tab, tab.Validate()
+}

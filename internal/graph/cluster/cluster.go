@@ -1,0 +1,96 @@
+// Package cluster partitions a substrate network into latency clusters.
+// Section III-A and IV-B of the paper suggest "clustering approaches where
+// optimal configurations are only considered on a cluster granularity" to
+// tame the configuration complexity of the allocation algorithms; the
+// cluster centers computed here serve as the reduced candidate set.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Clustering is a partition of the nodes into K latency clusters.
+type Clustering struct {
+	// Centers are the K cluster-center nodes.
+	Centers []int
+	// Assign maps every node to the index (into Centers) of its cluster.
+	Assign []int
+}
+
+// K returns the number of clusters.
+func (c *Clustering) K() int { return len(c.Centers) }
+
+// Members returns the nodes of cluster i.
+func (c *Clustering) Members(i int) []int {
+	var out []int
+	for v, ci := range c.Assign {
+		if ci == i {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// KCenters computes a K-clustering with the classical farthest-point
+// (Gonzalez) 2-approximation of the k-centers objective: the first center
+// is the network center, each further center is the node farthest from all
+// chosen centers, and every node joins its nearest center.
+func KCenters(m *graph.Matrix, k int) (*Clustering, error) {
+	n := m.N()
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: need k >= 1, got %d", k)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty network")
+	}
+	if k > n {
+		k = n
+	}
+	centers := []int{m.Center()}
+	// minDist[v] = distance from v to its nearest chosen center.
+	minDist := make([]float64, n)
+	copy(minDist, m.Row(centers[0]))
+	for len(centers) < k {
+		far, farDist := -1, -1.0
+		for v := 0; v < n; v++ {
+			if minDist[v] > farDist {
+				far, farDist = v, minDist[v]
+			}
+		}
+		if far < 0 || farDist == 0 {
+			break // all nodes coincide with a center
+		}
+		centers = append(centers, far)
+		row := m.Row(far)
+		for v := 0; v < n; v++ {
+			if row[v] < minDist[v] {
+				minDist[v] = row[v]
+			}
+		}
+	}
+	assign := make([]int, n)
+	for v := 0; v < n; v++ {
+		best, bestD := 0, m.Dist(v, centers[0])
+		for ci := 1; ci < len(centers); ci++ {
+			if d := m.Dist(v, centers[ci]); d < bestD {
+				best, bestD = ci, d
+			}
+		}
+		assign[v] = best
+	}
+	return &Clustering{Centers: centers, Assign: assign}, nil
+}
+
+// Radius returns the k-centers objective value: the largest distance from
+// any node to its cluster center.
+func (c *Clustering) Radius(m *graph.Matrix) float64 {
+	r := 0.0
+	for v, ci := range c.Assign {
+		if d := m.Dist(v, c.Centers[ci]); d > r {
+			r = d
+		}
+	}
+	return r
+}

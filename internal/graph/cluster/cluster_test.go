@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+func lineMatrix(n int) *graph.Matrix {
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, 1, 1)
+	}
+	return g.AllPairs()
+}
+
+func TestKCentersLine(t *testing.T) {
+	m := lineMatrix(9) // center = 4
+	c, err := KCenters(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 2 {
+		t.Fatalf("K = %d, want 2", c.K())
+	}
+	if c.Centers[0] != 4 {
+		t.Fatalf("first center = %d, want the network center 4", c.Centers[0])
+	}
+	// The farthest point from 4 on a 9-line is an endpoint.
+	if c.Centers[1] != 0 && c.Centers[1] != 8 {
+		t.Fatalf("second center = %d, want an endpoint", c.Centers[1])
+	}
+}
+
+func TestKCentersAssignmentIsNearest(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := gen.ErdosRenyi(60, 0.08, gen.DefaultOptions(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.AllPairs()
+	c, err := KCenters(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < m.N(); v++ {
+		own := m.Dist(v, c.Centers[c.Assign[v]])
+		for _, ctr := range c.Centers {
+			if m.Dist(v, ctr) < own-1e-9 {
+				t.Fatalf("node %d assigned to a non-nearest center", v)
+			}
+		}
+	}
+}
+
+func TestKCentersRadiusShrinks(t *testing.T) {
+	m := lineMatrix(32)
+	prev := -1.0
+	for _, k := range []int{1, 2, 4, 8} {
+		c, err := KCenters(m, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := c.Radius(m)
+		if prev >= 0 && r > prev+1e-9 {
+			t.Fatalf("radius grew from %v to %v at k=%d", prev, r, k)
+		}
+		prev = r
+	}
+}
+
+func TestKCentersDegenerate(t *testing.T) {
+	m := lineMatrix(3)
+	// k larger than n clamps.
+	c, err := KCenters(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 3 {
+		t.Fatalf("K = %d, want 3", c.K())
+	}
+	if c.Radius(m) != 0 {
+		t.Fatalf("radius = %v, want 0 when every node is a center", c.Radius(m))
+	}
+	if _, err := KCenters(m, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KCenters(graph.New(0).AllPairs(), 1); err == nil {
+		t.Fatal("empty network accepted")
+	}
+}
+
+func TestMembersPartition(t *testing.T) {
+	m := lineMatrix(20)
+	c, err := KCenters(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 20)
+	for i := 0; i < c.K(); i++ {
+		for _, v := range c.Members(i) {
+			if seen[v] {
+				t.Fatalf("node %d in two clusters", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v, s := range seen {
+		if !s {
+			t.Fatalf("node %d in no cluster", v)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Infinity is the distance reported between disconnected nodes.
+const Infinity = math.MaxFloat64
+
+// item is a node with a tentative distance in the Dijkstra frontier.
+type item struct {
+	node int
+	dist float64
+}
+
+// frontier is a binary min-heap keyed by tentative distance.
+type frontier []item
+
+func (f frontier) Len() int            { return len(f) }
+func (f frontier) Less(i, j int) bool  { return f[i].dist < f[j].dist }
+func (f frontier) Swap(i, j int)       { f[i], f[j] = f[j], f[i] }
+func (f *frontier) Push(x interface{}) { *f = append(*f, x.(item)) }
+func (f *frontier) Pop() interface{} {
+	old := *f
+	n := len(old)
+	it := old[n-1]
+	*f = old[:n-1]
+	return it
+}
+
+// ShortestFrom runs Dijkstra's algorithm from src and returns the latency of
+// the shortest path to every node. Unreachable nodes get Infinity. The
+// request access cost of Section II-B assumes requests travel along such
+// shortest (latency) paths.
+func (g *Graph) ShortestFrom(src int) []float64 {
+	dist := make([]float64, g.N())
+	g.shortestFromInto(src, dist)
+	return dist
+}
+
+// shortestFromInto is ShortestFrom writing into a caller-provided slice,
+// which lets the all-pairs computation reuse one row per goroutine without
+// per-source allocation of the result.
+func (g *Graph) shortestFromInto(src int, dist []float64) {
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[src] = 0
+	f := make(frontier, 0, 64)
+	heap.Push(&f, item{node: src, dist: 0})
+	for f.Len() > 0 {
+		cur := heap.Pop(&f).(item)
+		if cur.dist > dist[cur.node] {
+			continue // stale entry
+		}
+		for _, e := range g.adj[cur.node] {
+			if nd := cur.dist + e.Latency; nd < dist[e.To] {
+				dist[e.To] = nd
+				heap.Push(&f, item{node: e.To, dist: nd})
+			}
+		}
+	}
+}
+
+// ShortestPath returns one latency-shortest path from src to dst as a node
+// sequence including both endpoints, together with its total latency. The
+// second return is false if dst is unreachable.
+func (g *Graph) ShortestPath(src, dst int) ([]int, float64, bool) {
+	n := g.N()
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	for i := range dist {
+		dist[i] = Infinity
+		prev[i] = -1
+	}
+	dist[src] = 0
+	f := make(frontier, 0, 64)
+	heap.Push(&f, item{node: src, dist: 0})
+	for f.Len() > 0 {
+		cur := heap.Pop(&f).(item)
+		if cur.dist > dist[cur.node] {
+			continue
+		}
+		if cur.node == dst {
+			break
+		}
+		for _, e := range g.adj[cur.node] {
+			if nd := cur.dist + e.Latency; nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = cur.node
+				heap.Push(&f, item{node: e.To, dist: nd})
+			}
+		}
+	}
+	if dist[dst] == Infinity {
+		return nil, Infinity, false
+	}
+	// Walk predecessors back from dst.
+	path := []int{dst}
+	for v := dst; v != src; v = prev[v] {
+		path = append(path, prev[v])
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, dist[dst], true
+}
+
+// Eccentricity returns the largest finite shortest-path latency from v, or
+// Infinity if some node is unreachable from v.
+func (g *Graph) Eccentricity(v int) float64 {
+	dist := g.ShortestFrom(v)
+	ecc := 0.0
+	for _, d := range dist {
+		if d == Infinity {
+			return Infinity
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Center returns a node with minimum eccentricity. Both ONBR and ONTH start
+// "hosting one server at the network center" (Section III-A). Ties break
+// toward the smaller node id; the empty graph has no center and yields -1.
+func (g *Graph) Center() int {
+	best, bestEcc := -1, Infinity
+	for v := 0; v < g.N(); v++ {
+		if ecc := g.Eccentricity(v); ecc < bestEcc || best == -1 {
+			best, bestEcc = v, ecc
+		}
+	}
+	return best
+}

@@ -1,0 +1,299 @@
+// Package gen constructs the substrate topologies used by the paper's
+// evaluation (Section V-A): Erdős–Rényi random graphs with 1% connection
+// probability, and line graphs on which the optimal offline algorithm OPT
+// is simulated. Additional standard families (ring, star, grid, tree,
+// preferential attachment) are provided for wider testing and for the
+// Rocketfuel-like synthetic topology in internal/topo.
+//
+// All generators are deterministic given the caller-supplied *rand.Rand.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Options control the link attributes assigned by the generators.
+type Options struct {
+	// MinLatency and MaxLatency bound the uniformly distributed link
+	// latency. MaxLatency must be >= MinLatency > 0.
+	MinLatency, MaxLatency float64
+	// T1T2Bandwidth selects the paper's bandwidth model: each link is a T1
+	// or a T2 line with equal probability. When false, FixedBandwidth is
+	// used instead.
+	T1T2Bandwidth bool
+	// FixedBandwidth is the capacity assigned when T1T2Bandwidth is false.
+	FixedBandwidth float64
+}
+
+// DefaultOptions mirror the paper's simulation set-up: random T1/T2 links
+// and latencies spread over an order of magnitude.
+func DefaultOptions() Options {
+	return Options{MinLatency: 1, MaxLatency: 10, T1T2Bandwidth: true}
+}
+
+func (o Options) validate() error {
+	if o.MinLatency <= 0 || o.MaxLatency < o.MinLatency {
+		return fmt.Errorf("gen: invalid latency range [%v,%v]", o.MinLatency, o.MaxLatency)
+	}
+	if !o.T1T2Bandwidth && o.FixedBandwidth < 0 {
+		return fmt.Errorf("gen: negative fixed bandwidth %v", o.FixedBandwidth)
+	}
+	return nil
+}
+
+func (o Options) latency(rng *rand.Rand) float64 {
+	if o.MaxLatency == o.MinLatency {
+		return o.MinLatency
+	}
+	return o.MinLatency + rng.Float64()*(o.MaxLatency-o.MinLatency)
+}
+
+func (o Options) bandwidth(rng *rand.Rand) float64 {
+	if !o.T1T2Bandwidth {
+		return o.FixedBandwidth
+	}
+	if rng.Intn(2) == 0 {
+		return graph.BandwidthT1
+	}
+	return graph.BandwidthT2
+}
+
+// ErdosRenyi samples G(n, p) and then, if the sample is disconnected,
+// stitches the components together with one extra random link per missing
+// component. The paper's simulations require a connected substrate (every
+// request must be able to reach every server), and with p = 1% the raw
+// sample is disconnected with non-negligible probability at the network
+// sizes evaluated; stitching preserves the degree distribution up to an
+// O(#components) additive term.
+func ErdosRenyi(n int, p float64, opts Options, rng *rand.Rand) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: ErdosRenyi needs n > 0, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: connection probability %v outside [0,1]", p)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v, opts.latency(rng), opts.bandwidth(rng))
+			}
+		}
+	}
+	connect(g, opts, rng)
+	return g, nil
+}
+
+// connect adds random links between connected components until the graph is
+// connected. Component representatives are picked uniformly at random.
+func connect(g *graph.Graph, opts Options, rng *rand.Rand) {
+	n := g.N()
+	comp := components(g)
+	// Group nodes by component id.
+	byComp := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		byComp[comp[v]] = append(byComp[comp[v]], v)
+	}
+	if len(byComp) <= 1 {
+		return
+	}
+	ids := make([]int, 0, len(byComp))
+	for id := range byComp {
+		ids = append(ids, id)
+	}
+	// Deterministic iteration order: component ids as assigned by the DFS
+	// in components are already 0..k-1; sort-free since map order varies.
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[i] > ids[j] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	base := byComp[ids[0]]
+	for _, id := range ids[1:] {
+		nodes := byComp[id]
+		u := base[rng.Intn(len(base))]
+		v := nodes[rng.Intn(len(nodes))]
+		g.MustAddEdge(u, v, opts.latency(rng), opts.bandwidth(rng))
+		base = append(base, nodes...)
+	}
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// components labels each node with a connected-component id in [0, k).
+func components(g *graph.Graph) []int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	var stack []int
+	for s := 0; s < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.Neighbors(u) {
+				if comp[e.To] == -1 {
+					comp[e.To] = next
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// Line returns the path graph v0 - v1 - ... - v(n-1). OPT's dynamic program
+// is exercised on line graphs exactly as in the paper ("To simulate OPT, we
+// constrain ourselves to line graphs").
+func Line(n int, opts Options, rng *rand.Rand) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: Line needs n > 0, got %d", n)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, opts.latency(rng), opts.bandwidth(rng))
+	}
+	return g, nil
+}
+
+// Ring returns the cycle graph on n nodes (n >= 3).
+func Ring(n int, opts Options, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("gen: Ring needs n >= 3, got %d", n)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New(n)
+	for v := 0; v < n; v++ {
+		g.MustAddEdge(v, (v+1)%n, opts.latency(rng), opts.bandwidth(rng))
+	}
+	return g, nil
+}
+
+// Star returns the star graph with node 0 as the hub.
+func Star(n int, opts Options, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("gen: Star needs n >= 2, got %d", n)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(0, v, opts.latency(rng), opts.bandwidth(rng))
+	}
+	return g, nil
+}
+
+// Grid returns the rows×cols lattice with 4-neighbourhoods.
+func Grid(rows, cols int, opts Options, rng *rand.Rand) (*graph.Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("gen: Grid needs positive dimensions, got %dx%d", rows, cols)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New(rows * cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.MustAddEdge(id(r, c), id(r, c+1), opts.latency(rng), opts.bandwidth(rng))
+			}
+			if r+1 < rows {
+				g.MustAddEdge(id(r, c), id(r+1, c), opts.latency(rng), opts.bandwidth(rng))
+			}
+		}
+	}
+	return g, nil
+}
+
+// Tree returns a random recursive tree: node v > 0 attaches to a uniformly
+// random earlier node.
+func Tree(n int, opts Options, rng *rand.Rand) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: Tree needs n > 0, got %d", n)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v, opts.latency(rng), opts.bandwidth(rng))
+	}
+	return g, nil
+}
+
+// PreferentialAttachment grows a Barabási–Albert-style graph: starting from
+// a small clique, each new node attaches m links to existing nodes chosen
+// proportionally to degree. ISP topologies such as the Rocketfuel maps
+// exhibit the resulting heavy-tailed degree distribution.
+func PreferentialAttachment(n, m int, opts Options, rng *rand.Rand) (*graph.Graph, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("gen: PreferentialAttachment needs m >= 1, got %d", m)
+	}
+	if n < m+1 {
+		return nil, fmt.Errorf("gen: PreferentialAttachment needs n >= m+1 = %d, got %d", m+1, n)
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	g := graph.New(n)
+	// Seed clique on the first m+1 nodes.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			g.MustAddEdge(u, v, opts.latency(rng), opts.bandwidth(rng))
+		}
+	}
+	// Repeated-endpoints list: node v appears deg(v) times.
+	var ends []int
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			ends = append(ends, u, v)
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		// Collect m distinct targets in draw order so the construction is
+		// deterministic for a given rng (map iteration order is not).
+		chosen := make([]int, 0, m)
+		for len(chosen) < m {
+			t := ends[rng.Intn(len(ends))]
+			if t == v || contains(chosen, t) {
+				continue
+			}
+			chosen = append(chosen, t)
+		}
+		for _, t := range chosen {
+			g.MustAddEdge(v, t, opts.latency(rng), opts.bandwidth(rng))
+			ends = append(ends, v, t)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,241 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func opts() Options { return DefaultOptions() }
+
+func TestErdosRenyiConnectedAndSized(t *testing.T) {
+	for _, n := range []int{1, 10, 50, 200} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		g, err := ErdosRenyi(n, 0.01, opts(), rng)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if g.N() != n {
+			t.Fatalf("n=%d: got %d nodes", n, g.N())
+		}
+		if !g.Connected() {
+			t.Fatalf("n=%d: disconnected after stitching", n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a, err := ErdosRenyi(40, 0.05, opts(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ErdosRenyi(40, 0.05, opts(), rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatalf("same seed produced %d and %d edges", a.M(), b.M())
+	}
+	for u := 0; u < a.N(); u++ {
+		for v := u + 1; v < a.N(); v++ {
+			if a.HasEdge(u, v) != b.HasEdge(u, v) {
+				t.Fatalf("same seed differs on edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestErdosRenyiErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := ErdosRenyi(0, 0.5, opts(), rng); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := ErdosRenyi(5, -0.1, opts(), rng); err == nil {
+		t.Error("p<0 accepted")
+	}
+	if _, err := ErdosRenyi(5, 1.1, opts(), rng); err == nil {
+		t.Error("p>1 accepted")
+	}
+	bad := opts()
+	bad.MinLatency = 0
+	if _, err := ErdosRenyi(5, 0.5, bad, rng); err == nil {
+		t.Error("zero MinLatency accepted")
+	}
+}
+
+func TestErdosRenyiBandwidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g, err := ErdosRenyi(60, 0.1, opts(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawT1, sawT2 := false, false
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(u) {
+			switch e.Bandwidth {
+			case graph.BandwidthT1:
+				sawT1 = true
+			case graph.BandwidthT2:
+				sawT2 = true
+			default:
+				t.Fatalf("unexpected bandwidth %v", e.Bandwidth)
+			}
+		}
+	}
+	if !sawT1 || !sawT2 {
+		t.Fatalf("expected both T1 and T2 links, got T1=%v T2=%v", sawT1, sawT2)
+	}
+}
+
+func TestFixedBandwidth(t *testing.T) {
+	o := Options{MinLatency: 1, MaxLatency: 1, FixedBandwidth: 7}
+	g, err := Line(4, o, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if e.Bandwidth != 7 {
+				t.Fatalf("bandwidth %v, want 7", e.Bandwidth)
+			}
+			if e.Latency != 1 {
+				t.Fatalf("latency %v, want 1", e.Latency)
+			}
+		}
+	}
+}
+
+func TestLine(t *testing.T) {
+	g, err := Line(5, opts(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 4 {
+		t.Fatalf("M = %d, want 4", g.M())
+	}
+	if g.Degree(0) != 1 || g.Degree(4) != 1 || g.Degree(2) != 2 {
+		t.Fatal("line degrees wrong")
+	}
+	if _, err := Line(0, opts(), rand.New(rand.NewSource(2))); err == nil {
+		t.Error("Line(0) accepted")
+	}
+	single, err := Line(1, opts(), rand.New(rand.NewSource(2)))
+	if err != nil || single.N() != 1 {
+		t.Fatalf("Line(1): %v", err)
+	}
+}
+
+func TestRing(t *testing.T) {
+	g, err := Ring(6, opts(), rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 6 {
+		t.Fatalf("M = %d, want 6", g.M())
+	}
+	for v := 0; v < 6; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("Degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if _, err := Ring(2, opts(), rand.New(rand.NewSource(3))); err == nil {
+		t.Error("Ring(2) accepted")
+	}
+}
+
+func TestStar(t *testing.T) {
+	g, err := Star(5, opts(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(0) != 4 {
+		t.Fatalf("hub degree = %d, want 4", g.Degree(0))
+	}
+	if _, err := Star(1, opts(), rand.New(rand.NewSource(4))); err == nil {
+		t.Error("Star(1) accepted")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(3, 4, opts(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 12 {
+		t.Fatalf("N = %d, want 12", g.N())
+	}
+	// 3x4 grid: 3*(4-1) horizontal + (3-1)*4 vertical = 9 + 8 = 17 edges.
+	if g.M() != 17 {
+		t.Fatalf("M = %d, want 17", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("grid disconnected")
+	}
+	if _, err := Grid(0, 3, opts(), rand.New(rand.NewSource(5))); err == nil {
+		t.Error("Grid(0,3) accepted")
+	}
+}
+
+func TestTree(t *testing.T) {
+	g, err := Tree(30, opts(), rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 29 {
+		t.Fatalf("tree edges = %d, want 29", g.M())
+	}
+	if !g.Connected() {
+		t.Fatal("tree disconnected")
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g, err := PreferentialAttachment(50, 2, opts(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Connected() {
+		t.Fatal("PA graph disconnected")
+	}
+	// Seed clique on 3 nodes (3 edges) + 47 nodes à 2 links.
+	if want := 3 + 47*2; g.M() != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+	if _, err := PreferentialAttachment(2, 2, opts(), rand.New(rand.NewSource(7))); err == nil {
+		t.Error("n < m+1 accepted")
+	}
+	if _, err := PreferentialAttachment(5, 0, opts(), rand.New(rand.NewSource(7))); err == nil {
+		t.Error("m=0 accepted")
+	}
+}
+
+func TestPreferentialAttachmentDeterministic(t *testing.T) {
+	a, _ := PreferentialAttachment(40, 2, opts(), rand.New(rand.NewSource(8)))
+	b, _ := PreferentialAttachment(40, 2, opts(), rand.New(rand.NewSource(8)))
+	for u := 0; u < a.N(); u++ {
+		for v := u + 1; v < a.N(); v++ {
+			if a.HasEdge(u, v) != b.HasEdge(u, v) {
+				t.Fatalf("same seed differs on edge (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestLatencyRangeRespected(t *testing.T) {
+	o := Options{MinLatency: 3, MaxLatency: 4, FixedBandwidth: 1}
+	g, err := ErdosRenyi(40, 0.2, o, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if e.Latency < 3 || e.Latency >= 4+1e-9 {
+				t.Fatalf("latency %v outside [3,4]", e.Latency)
+			}
+		}
+	}
+}

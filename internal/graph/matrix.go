@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Matrix holds all-pairs shortest-path latencies of a graph. Access-cost
+// evaluation queries distances for every request in every round, so the
+// simulator computes the matrix once per topology and shares it.
+type Matrix struct {
+	n    int
+	dist []float64 // row-major n×n
+}
+
+// AllPairs computes the all-pairs shortest-path latency matrix by running
+// one Dijkstra per source, fanned out over all CPUs.
+func (g *Graph) AllPairs() *Matrix {
+	n := g.N()
+	m := &Matrix{n: n, dist: make([]float64, n*n)}
+	if n == 0 {
+		return m
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for src := range next {
+				g.shortestFromInto(src, m.dist[src*n:(src+1)*n])
+			}
+		}()
+	}
+	for src := 0; src < n; src++ {
+		next <- src
+	}
+	close(next)
+	wg.Wait()
+	return m
+}
+
+// N returns the node count the matrix was built for.
+func (m *Matrix) N() int { return m.n }
+
+// Dist returns the shortest-path latency from u to v (Infinity if
+// unreachable).
+func (m *Matrix) Dist(u, v int) float64 { return m.dist[u*m.n+v] }
+
+// Row returns the distances from u to every node. The returned slice is
+// owned by the matrix and must not be modified.
+func (m *Matrix) Row(u int) []float64 { return m.dist[u*m.n : (u+1)*m.n] }
+
+// Center returns a node with minimum eccentricity according to the matrix,
+// or -1 for an empty matrix. Ties break toward the smaller node id.
+func (m *Matrix) Center() int {
+	best, bestEcc := -1, Infinity
+	for v := 0; v < m.n; v++ {
+		ecc := 0.0
+		for _, d := range m.Row(v) {
+			if d > ecc {
+				ecc = d
+			}
+		}
+		if best == -1 || ecc < bestEcc {
+			best, bestEcc = v, ecc
+		}
+	}
+	return best
+}
+
+// Diameter returns the largest finite pairwise distance, or Infinity if the
+// underlying graph was disconnected.
+func (m *Matrix) Diameter() float64 {
+	diam := 0.0
+	for _, d := range m.dist {
+		if d > diam {
+			diam = d
+		}
+	}
+	return diam
+}

@@ -1,0 +1,127 @@
+package offline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// lookahead collects the upcoming epoch: the rounds starting at `from`
+// whose cost in the current configuration would accumulate to the given
+// threshold (mirroring how the online epoch of the same algorithm would
+// end), capped by the end of the horizon.
+func lookahead(env *sim.Env, seq *workload.Sequence, placement core.Placement, inactive int, from int, threshold float64) (agg cost.Demand, length int) {
+	accum := 0.0
+	run := env.Costs.Run(placement.Len(), inactive)
+	var window []cost.Demand
+	for t := from; t < seq.Len(); t++ {
+		d := seq.Demand(t)
+		window = append(window, d)
+		accum += env.Eval.Access(placement, d).Total() + run
+		if accum >= threshold {
+			break
+		}
+	}
+	return cost.Aggregate(window...), len(window)
+}
+
+// OFFBR is the offline adaption of ONBR from Section IV-B: it keeps ONBR's
+// epoch structure (an epoch ends when the accumulated cost reaches θ) but,
+// "rather than switching to the configuration of lowest cost w.r.t. the
+// passed epoch, we switch to the configuration of lowest cost in the
+// upcoming epoch". The upcoming epoch is the maximal window over which the
+// current configuration would accumulate at most θ — the horizon the next
+// online epoch would span if the configuration were kept.
+type OFFBR struct {
+	seq *workload.Sequence
+	// Dynamic selects the θ = 2c/ℓ variant, mirroring ONBR.
+	Dynamic bool
+	// ThetaFactor scales the threshold θ = ThetaFactor · c; zero means 2.
+	ThetaFactor float64
+
+	env        *sim.Env
+	pool       *core.Pool
+	theta      float64
+	accum      float64
+	epochStart int
+}
+
+// NewOFFBR returns the fixed-threshold offline best-response strategy.
+func NewOFFBR(seq *workload.Sequence) *OFFBR { return &OFFBR{seq: seq} }
+
+// Name implements sim.Algorithm.
+func (a *OFFBR) Name() string {
+	if a.Dynamic {
+		return "OFFBR-dyn"
+	}
+	return "OFFBR-fixed"
+}
+
+func (a *OFFBR) factor() float64 {
+	if a.ThetaFactor > 0 {
+		return a.ThetaFactor
+	}
+	return 2
+}
+
+// Reset implements sim.Algorithm.
+func (a *OFFBR) Reset(env *sim.Env) error {
+	if len(env.Start) == 0 {
+		return fmt.Errorf("offbr: empty initial placement")
+	}
+	a.env = env
+	a.pool = env.NewPool()
+	a.pool.Bootstrap(env.Start)
+	a.theta = a.factor() * env.Costs.Create
+	a.accum = 0
+	a.epochStart = 0
+	return nil
+}
+
+// Placement implements sim.Algorithm.
+func (a *OFFBR) Placement() core.Placement { return a.pool.Active() }
+
+// Inactive implements sim.Algorithm.
+func (a *OFFBR) Inactive() int { return a.pool.NumInactive() }
+
+// Prepare implements sim.Algorithm: OFFBR reconfigures between epochs,
+// before serving the first round of the upcoming epoch.
+func (a *OFFBR) Prepare(t int) core.Delta {
+	if t != a.epochStart {
+		return core.Delta{}
+	}
+	agg, length := lookahead(a.env, a.seq, a.pool.Active(), a.pool.NumInactive(), t, a.theta)
+	if length == 0 {
+		return core.Delta{}
+	}
+	target := online.BestResponse(a.env, a.pool, agg, length, online.SearchMoves{Move: true, Deactivate: true, Add: true})
+	if target.Equal(a.pool.Active()) {
+		return core.Delta{}
+	}
+	delta, err := a.pool.SwitchTo(target)
+	if err != nil {
+		panic(err)
+	}
+	return delta
+}
+
+// Observe implements sim.Algorithm: accumulate cost and detect epoch ends
+// with exactly ONBR's trigger.
+func (a *OFFBR) Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta {
+	a.accum += access.Total() + a.pool.RunCost()
+	if a.accum < a.theta {
+		return core.Delta{}
+	}
+	length := t - a.epochStart + 1
+	a.pool.AdvanceEpoch()
+	if a.Dynamic && length > 0 {
+		a.theta = a.factor() * a.env.Costs.Create / float64(length)
+	}
+	a.accum = 0
+	a.epochStart = t + 1
+	return core.Delta{}
+}

@@ -1,0 +1,173 @@
+package offline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func commuterSeq(t *testing.T, env *sim.Env, T, lambda, rounds int) *workload.Sequence {
+	t.Helper()
+	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func TestOFFSTATPicksKopt(t *testing.T) {
+	env := lineEnv(t, 8, 4, cost.DefaultParams())
+	seq := commuterSeq(t, env, 4, 3, 60)
+	o := NewOFFSTAT(seq)
+	if err := o.Reset(env); err != nil {
+		t.Fatal(err)
+	}
+	if o.Kopt() < 1 || o.Kopt() > 4 {
+		t.Fatalf("kopt = %d outside [1,4]", o.Kopt())
+	}
+	curve := o.CostCurve()
+	if len(curve) == 0 {
+		t.Fatal("empty cost curve")
+	}
+	// kopt must be the argmin of the curve.
+	best := 0
+	for i, c := range curve {
+		if c < curve[best] {
+			best = i
+		}
+	}
+	if o.Kopt() != best+1 {
+		t.Fatalf("kopt = %d but curve argmin is %d", o.Kopt(), best+1)
+	}
+}
+
+func TestOFFSTATStaysStatic(t *testing.T) {
+	env := lineEnv(t, 6, 3, cost.DefaultParams())
+	seq := commuterSeq(t, env, 4, 2, 40)
+	o := NewOFFSTAT(seq)
+	l, err := sim.Run(env, o, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 1; tt < len(l.Rounds); tt++ {
+		r := l.Rounds[tt]
+		if r.Migration != 0 || r.Creation != 0 {
+			t.Fatalf("round %d: OFFSTAT reconfigured", tt)
+		}
+		if r.Active != o.Kopt() {
+			t.Fatalf("round %d: %d active servers, want kopt=%d", tt, r.Active, o.Kopt())
+		}
+	}
+	// Installation happens before round 0 and is charged there.
+	if o.Kopt() > 1 && l.Rounds[0].Creation == 0 && l.Rounds[0].Migration == 0 {
+		t.Fatal("multi-server static configuration installed for free")
+	}
+}
+
+func TestOFFSTATCurveMatchesLedger(t *testing.T) {
+	// The curve value at kopt must equal the realised run total.
+	env := lineEnv(t, 6, 3, cost.DefaultParams())
+	seq := commuterSeq(t, env, 4, 2, 40)
+	o := NewOFFSTAT(seq)
+	l, err := sim.Run(env, o, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := o.CostCurve()[o.Kopt()-1]
+	if math.Abs(l.Total()-want) > 1e-6 {
+		t.Fatalf("ledger %v != curve value %v", l.Total(), want)
+	}
+}
+
+func TestOPTNeverWorseThanOFFSTAT(t *testing.T) {
+	// OFFSTAT is one feasible offline strategy, so OPT must not cost more
+	// on any instance — the core of the paper's Figures 13–19.
+	for _, params := range []cost.Params{cost.DefaultParams(), cost.InvertedParams()} {
+		env := lineEnv(t, 5, 3, params)
+		seq := commuterSeq(t, env, 4, 5, 60)
+		lOpt, err := sim.Run(env, NewOPT(seq), seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lStat, err := sim.Run(env, NewOFFSTAT(seq), seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lOpt.Total() > lStat.Total()+1e-6 {
+			t.Fatalf("β=%v c=%v: OPT %v > OFFSTAT %v", params.Beta, params.Create, lOpt.Total(), lStat.Total())
+		}
+	}
+}
+
+func TestOFFBRRuns(t *testing.T) {
+	env := lineEnv(t, 6, 3, cost.DefaultParams())
+	seq := commuterSeq(t, env, 4, 3, 80)
+	a := NewOFFBR(seq)
+	l, err := sim.Run(env, a, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Total() <= 0 || math.IsInf(l.Total(), 0) || math.IsNaN(l.Total()) {
+		t.Fatalf("degenerate total %v", l.Total())
+	}
+	if a.Name() != "OFFBR-fixed" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	dyn := NewOFFBR(seq)
+	dyn.Dynamic = true
+	if dyn.Name() != "OFFBR-dyn" {
+		t.Fatalf("dyn Name = %q", dyn.Name())
+	}
+	if _, err := sim.Run(env, dyn, seq); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOFFTHRuns(t *testing.T) {
+	env := lineEnv(t, 6, 3, cost.DefaultParams())
+	seq := commuterSeq(t, env, 4, 3, 80)
+	a := NewOFFTH(seq)
+	l, err := sim.Run(env, a, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Total() <= 0 || math.IsNaN(l.Total()) {
+		t.Fatalf("degenerate total %v", l.Total())
+	}
+	if a.Name() != "OFFTH" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}
+
+func TestOPTNeverWorseThanLookaheadHeuristics(t *testing.T) {
+	env := lineEnv(t, 5, 3, cost.DefaultParams())
+	seq := commuterSeq(t, env, 4, 4, 60)
+	lOpt, err := sim.Run(env, NewOPT(seq), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []sim.Algorithm{NewOFFBR(seq), NewOFFTH(seq)} {
+		l, err := sim.Run(env, alg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lOpt.Total() > l.Total()+1e-6 {
+			t.Fatalf("OPT %v > %s %v", lOpt.Total(), alg.Name(), l.Total())
+		}
+	}
+}
+
+func TestOffstatEmptyNetworkFails(t *testing.T) {
+	env := lineEnv(t, 1, 1, cost.DefaultParams())
+	seq := workload.NewSequence("empty", []cost.Demand{cost.DemandFromList([]int{0})})
+	o := NewOFFSTAT(seq)
+	if err := o.Reset(env); err != nil {
+		t.Fatalf("single-node network should still work: %v", err)
+	}
+	if o.Kopt() != 1 {
+		t.Fatalf("kopt = %d, want 1", o.Kopt())
+	}
+}

@@ -1,0 +1,130 @@
+package offline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// OFFTH is the offline adaption of ONTH sketched in Section IV-B ("a
+// similar transformation can be done from ONTH to OFFTH: we simply compute
+// optimal strategies of small epochs at hindsight"): it keeps ONTH's
+// small/large epoch triggers but scores the restricted best response
+// against the *upcoming* small epoch, and places the extra server of a
+// large-epoch end at the position optimal for the upcoming demand window.
+type OFFTH struct {
+	seq *workload.Sequence
+	// Y is the small-epoch factor (threshold y·β); zero means the paper's
+	// y = 2.
+	Y float64
+
+	env  *sim.Env
+	pool *core.Pool
+
+	smallAccum float64
+	smallStart int
+	pendingBR  bool
+
+	largeAccess float64
+	largeRun    float64
+	largeLen    int
+	pendingAdd  bool
+}
+
+// NewOFFTH returns the offline threshold strategy for the sequence.
+func NewOFFTH(seq *workload.Sequence) *OFFTH { return &OFFTH{seq: seq} }
+
+// Name implements sim.Algorithm.
+func (a *OFFTH) Name() string { return "OFFTH" }
+
+func (a *OFFTH) y() float64 {
+	if a.Y > 0 {
+		return a.Y
+	}
+	return 2
+}
+
+// Reset implements sim.Algorithm.
+func (a *OFFTH) Reset(env *sim.Env) error {
+	if len(env.Start) == 0 {
+		return fmt.Errorf("offth: empty initial placement")
+	}
+	a.env = env
+	a.pool = env.NewPool()
+	a.pool.Bootstrap(env.Start)
+	a.smallAccum, a.smallStart = 0, 0
+	a.largeAccess, a.largeRun, a.largeLen = 0, 0, 0
+	a.pendingBR, a.pendingAdd = true, false // best-respond to the first window
+	return nil
+}
+
+// Placement implements sim.Algorithm.
+func (a *OFFTH) Placement() core.Placement { return a.pool.Active() }
+
+// Inactive implements sim.Algorithm.
+func (a *OFFTH) Inactive() int { return a.pool.NumInactive() }
+
+// Prepare implements sim.Algorithm: apply the reconfiguration decided at
+// the last epoch boundary, scored against the upcoming window.
+func (a *OFFTH) Prepare(t int) core.Delta {
+	var delta core.Delta
+	if a.pendingAdd {
+		a.pendingAdd = false
+		cur := a.pool.Active()
+		if a.env.Pool.MaxServers <= 0 || cur.Len() < a.env.Pool.MaxServers {
+			agg, length := lookahead(a.env, a.seq, cur, a.pool.NumInactive(), t, a.y()*a.env.Costs.Beta)
+			if length > 0 {
+				if v, _, ok := a.env.Eval.BestAddition(cur, agg); ok {
+					d, err := a.pool.SwitchTo(cur.With(v))
+					if err != nil {
+						panic(err)
+					}
+					delta = delta.Add(d)
+				}
+			}
+		}
+	}
+	if a.pendingBR {
+		a.pendingBR = false
+		agg, length := lookahead(a.env, a.seq, a.pool.Active(), a.pool.NumInactive(), t, a.y()*a.env.Costs.Beta)
+		if length > 0 {
+			target := online.BestResponse(a.env, a.pool, agg, length, online.SearchMoves{Move: true, Deactivate: true})
+			if !target.Equal(a.pool.Active()) {
+				d, err := a.pool.SwitchTo(target)
+				if err != nil {
+					panic(err)
+				}
+				delta = delta.Add(d)
+			}
+		}
+	}
+	return delta
+}
+
+// Observe implements sim.Algorithm: run ONTH's two epoch triggers on the
+// actually charged costs.
+func (a *OFFTH) Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta {
+	run := a.pool.RunCost()
+	a.smallAccum += access.Total() + run
+	a.largeAccess += access.Total()
+	a.largeRun += run
+	a.largeLen++
+
+	kcur := float64(a.pool.NumActive())
+	if a.largeAccess/(kcur+1)-a.largeRun > a.env.Costs.Create {
+		a.pendingAdd = true
+		a.largeAccess, a.largeRun, a.largeLen = 0, 0, 0
+		a.smallAccum, a.smallStart = 0, t+1
+		return core.Delta{}
+	}
+	if a.smallAccum >= a.y()*a.env.Costs.Beta {
+		a.pendingBR = true
+		a.pool.AdvanceEpoch()
+		a.smallAccum, a.smallStart = 0, t+1
+	}
+	return core.Delta{}
+}

@@ -1,0 +1,270 @@
+// Package offline implements the paper's offline strategies (Section IV),
+// which know the whole request sequence in advance: the optimal dynamic
+// program OPT, the lookahead best-response variants OFFBR and OFFTH, and
+// the static reference OFFSTAT used to quantify the benefit of dynamic
+// allocation and migration.
+package offline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Tractability bounds for the dynamic program. The paper simulates OPT on
+// small line graphs for the same reason: "the computational complexity of
+// OPT is rather high for scenarios with many servers".
+const (
+	// MaxOPTStates bounds the number of configurations (per-node
+	// none/inactive/active vectors with at most k servers).
+	MaxOPTStates = 60000
+	// MaxOPTNodes bounds the node count so occupied sets fit a bitmask.
+	MaxOPTNodes = 63
+)
+
+// OPT is the optimal offline algorithm of Section IV-A. It fills the
+// matrix opt[time][configuration] by dynamic programming over full
+// configurations γ (for every node: no server, inactive server, or active
+// server), exploiting the optimal-substructure property of the migration
+// problem:
+//
+//	opt[t][γ] = min over γ' of opt[t−1][γ'] + Cost(γ'→γ)
+//	          + Costrun(γ) + Costacc(σt, γ)
+//
+// and reconstructs the cost-minimal configuration path backwards from the
+// cheapest final configuration.
+type OPT struct {
+	seq *workload.Sequence
+
+	env      *sim.Env
+	schedule []core.Vector // chosen configuration per round
+	cursor   int
+	planned  float64 // DP objective, for cross-checking against the ledger
+}
+
+// NewOPT returns the optimal offline strategy for the given sequence.
+func NewOPT(seq *workload.Sequence) *OPT { return &OPT{seq: seq} }
+
+// Name implements sim.Algorithm.
+func (o *OPT) Name() string { return "OPT" }
+
+// PlannedCost returns the dynamic program's objective value: the total
+// cost of the chosen schedule excluding nothing. It equals the ledger
+// total of a simulation run (up to floating-point rounding) and is exposed
+// for integration tests and for competitive-ratio computations.
+func (o *OPT) PlannedCost() float64 { return o.planned }
+
+// Schedule returns the chosen configuration per round. The slice is owned
+// by the algorithm.
+func (o *OPT) Schedule() []core.Vector { return o.schedule }
+
+// Reset implements sim.Algorithm: it solves the dynamic program.
+func (o *OPT) Reset(env *sim.Env) error {
+	n := env.Graph.N()
+	if n > MaxOPTNodes {
+		return fmt.Errorf("opt: %d nodes exceed the tractable bound %d", n, MaxOPTNodes)
+	}
+	k := env.Pool.MaxServers
+	if k <= 0 {
+		k = n
+	}
+	if count := core.CountVectors(n, k, MaxOPTStates); count > MaxOPTStates {
+		return fmt.Errorf("opt: configuration space exceeds the tractable bound %d (n=%d, k=%d)",
+			MaxOPTStates, n, k)
+	}
+	states := core.EnumerateVectors(n, k, 0)
+	o.env = env
+	o.cursor = 0
+
+	rounds := o.seq.Len()
+	if rounds == 0 {
+		o.schedule = nil
+		o.planned = 0
+		return nil
+	}
+
+	// Precompute per-state masks and group states by occupied mask: the
+	// transition cost Cost(γ'→γ) depends only on the occupied sets, so the
+	// minimisation over γ' can run over occupied masks instead of states.
+	occOf := make([]uint64, len(states))
+	actOf := make([]uint64, len(states))
+	runOf := make([]float64, len(states))
+	for i, st := range states {
+		occOf[i] = st.OccupiedMask()
+		actOf[i] = st.ActiveMask()
+		runOf[i] = st.RunCost(env.Costs)
+	}
+	maskIndex := make(map[uint64]int) // occupied mask → dense index
+	var masks []uint64
+	maskOf := make([]int, len(states))
+	for i, m := range occOf {
+		idx, ok := maskIndex[m]
+		if !ok {
+			idx = len(masks)
+			maskIndex[m] = idx
+			masks = append(masks, m)
+		}
+		maskOf[i] = idx
+	}
+
+	// Access cost per round is shared by all states with the same active
+	// set; memoised lazily per round.
+	placementOf := make(map[uint64]core.Placement)
+	for i, st := range states {
+		if _, ok := placementOf[actOf[i]]; !ok {
+			placementOf[actOf[i]] = st.ActivePlacement()
+		}
+	}
+	accessFor := func(t int, cache map[uint64]float64, active uint64) float64 {
+		if v, ok := cache[active]; ok {
+			return v
+		}
+		ac := env.Eval.Access(placementOf[active], o.seq.Demand(t))
+		v := math.Inf(1)
+		if !ac.Infinite() {
+			v = ac.Total()
+		}
+		cache[active] = v
+		return v
+	}
+
+	// γ0 is the shared initial configuration: Start nodes active.
+	start := core.NewVector(n)
+	for _, v := range env.Start {
+		start[v] = core.StateActive
+	}
+	startOcc := start.OccupiedMask()
+
+	prev := make([]float64, len(states))
+	next := make([]float64, len(states))
+	parent := make([][]int32, rounds)
+	// Round 0: opt[0][γ] = Cost(γ0→γ) + Costrun(γ) + Costacc(σ0, γ).
+	cache := make(map[uint64]float64)
+	parent[0] = make([]int32, len(states))
+	for i := range states {
+		prev[i] = core.TransitionCostMasks(env.Costs, startOcc, occOf[i]) +
+			runOf[i] + accessFor(0, cache, actOf[i])
+		parent[0][i] = -1
+	}
+
+	// Rounds 1..T−1.
+	bestByMask := make([]float64, len(masks))
+	argByMask := make([]int32, len(masks))
+	for t := 1; t < rounds; t++ {
+		for mi := range bestByMask {
+			bestByMask[mi] = math.Inf(1)
+			argByMask[mi] = -1
+		}
+		for i := range states {
+			mi := maskOf[i]
+			if prev[i] < bestByMask[mi] {
+				bestByMask[mi] = prev[i]
+				argByMask[mi] = int32(i)
+			}
+		}
+		cache = make(map[uint64]float64)
+		parent[t] = make([]int32, len(states))
+		for i := range states {
+			best, arg := math.Inf(1), int32(-1)
+			for mi, frm := range masks {
+				if math.IsInf(bestByMask[mi], 1) {
+					continue
+				}
+				c := bestByMask[mi] + core.TransitionCostMasks(env.Costs, frm, occOf[i])
+				if c < best {
+					best, arg = c, argByMask[mi]
+				}
+			}
+			next[i] = best + runOf[i] + accessFor(t, cache, actOf[i])
+			parent[t][i] = arg
+		}
+		prev, next = next, prev
+	}
+
+	// Backtrack from the cheapest final configuration.
+	bestFinal, argFinal := math.Inf(1), -1
+	for i, c := range prev {
+		if c < bestFinal {
+			bestFinal, argFinal = c, i
+		}
+	}
+	if argFinal < 0 {
+		return fmt.Errorf("opt: no feasible schedule (every configuration has infinite cost)")
+	}
+	o.planned = bestFinal
+	o.schedule = make([]core.Vector, rounds)
+	cur := int32(argFinal)
+	for t := rounds - 1; t >= 0; t-- {
+		o.schedule[t] = states[cur]
+		cur = parent[t][cur]
+	}
+	return nil
+}
+
+// vectorAt returns the configuration serving round t (γ0 before round 0).
+func (o *OPT) vectorAt(t int) core.Vector {
+	if t < 0 || len(o.schedule) == 0 {
+		n := o.env.Graph.N()
+		v := core.NewVector(n)
+		for _, s := range o.env.Start {
+			v[s] = core.StateActive
+		}
+		return v
+	}
+	if t >= len(o.schedule) {
+		t = len(o.schedule) - 1
+	}
+	return o.schedule[t]
+}
+
+// Prepare implements sim.Algorithm: OPT reconfigures before serving the
+// round, exactly as in the dynamic program's recurrence.
+func (o *OPT) Prepare(t int) core.Delta {
+	from, to := o.vectorAt(t-1), o.vectorAt(t)
+	o.cursor = t
+	total := core.TransitionCost(o.env.Costs, from, to)
+	if total == 0 {
+		return core.Delta{}
+	}
+	// Split the closed-form total back into β- and c-parts for the ledger.
+	created := popcountMask(to.OccupiedMask() &^ from.OccupiedMask())
+	vacated := popcountMask(from.OccupiedMask() &^ to.OccupiedMask())
+	migr := vacated
+	if migr > created {
+		migr = created
+	}
+	if o.env.Costs.Beta >= o.env.Costs.Create {
+		migr = 0
+	}
+	return core.Delta{
+		Migration:  float64(migr) * o.env.Costs.Beta,
+		Creation:   float64(created-migr) * o.env.Costs.Create,
+		Migrations: migr,
+		Creations:  created - migr,
+	}
+}
+
+func popcountMask(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Placement implements sim.Algorithm.
+func (o *OPT) Placement() core.Placement { return o.vectorAt(o.cursor).ActivePlacement() }
+
+// Inactive implements sim.Algorithm.
+func (o *OPT) Inactive() int {
+	_, inactive := o.vectorAt(o.cursor).Counts()
+	return inactive
+}
+
+// Observe implements sim.Algorithm: OPT acts only in Prepare.
+func (o *OPT) Observe(int, cost.Demand, cost.AccessCost) core.Delta { return core.Delta{} }

@@ -1,0 +1,228 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func lineEnv(t *testing.T, n, k int, params cost.Params) *sim.Env {
+	t.Helper()
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, 1, 1)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost, params,
+		core.Params{QueueCap: 3, Expiry: 20, MaxServers: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// bruteForceOPT enumerates every configuration path and returns the minimal
+// total cost, for cross-checking the dynamic program.
+func bruteForceOPT(env *sim.Env, seq *workload.Sequence, k int) float64 {
+	states := core.EnumerateVectors(env.Graph.N(), k, 0)
+	start := core.NewVector(env.Graph.N())
+	for _, v := range env.Start {
+		start[v] = core.StateActive
+	}
+	var rec func(t int, prev core.Vector) float64
+	rec = func(t int, prev core.Vector) float64 {
+		if t == seq.Len() {
+			return 0
+		}
+		best := math.Inf(1)
+		for _, st := range states {
+			c := core.TransitionCost(env.Costs, prev, st) + st.RunCost(env.Costs)
+			ac := env.Eval.Access(st.ActivePlacement(), seq.Demand(t))
+			if ac.Infinite() {
+				continue
+			}
+			c += ac.Total() + rec(t+1, st)
+			if c < best {
+				best = c
+			}
+		}
+		return best
+	}
+	return rec(0, start)
+}
+
+func TestOPTMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 6; trial++ {
+		params := cost.Params{Beta: 3, Create: 10, RunActive: 1, RunInactive: 0.2}
+		if trial%2 == 1 {
+			params.Beta, params.Create = 10, 3 // β > c variant
+		}
+		env := lineEnv(t, 3, 2, params)
+		demands := make([]cost.Demand, 3)
+		for i := range demands {
+			list := make([]int, 1+rng.Intn(3))
+			for j := range list {
+				list[j] = rng.Intn(3)
+			}
+			demands[i] = cost.DemandFromList(list)
+		}
+		seq := workload.NewSequence("brute", demands)
+
+		opt := NewOPT(seq)
+		if err := opt.Reset(env); err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForceOPT(env, seq, 2)
+		if math.Abs(opt.PlannedCost()-want) > 1e-9 {
+			t.Fatalf("trial %d: DP cost %v != brute force %v", trial, opt.PlannedCost(), want)
+		}
+	}
+}
+
+func TestOPTLedgerMatchesPlannedCost(t *testing.T) {
+	env := lineEnv(t, 5, 3, cost.DefaultParams())
+	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 3}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := NewOPT(seq)
+	l, err := sim.Run(env, opt, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Total()-opt.PlannedCost()) > 1e-6 {
+		t.Fatalf("ledger total %v != planned %v", l.Total(), opt.PlannedCost())
+	}
+}
+
+func TestOPTNeverWorseThanAnyStatic(t *testing.T) {
+	// Optimality sanity: OPT must cost at most any fixed configuration.
+	env := lineEnv(t, 4, 2, cost.DefaultParams())
+	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 2}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := NewOPT(seq)
+	lOpt, err := sim.Run(env, opt, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range core.EnumeratePlacements(4, 2) {
+		total := env.Costs.Transition(len(p), 0) // pessimistic static build-out
+		entering, leaving := env.Start.Diff(p)
+		total = env.Costs.Transition(len(entering), len(leaving))
+		for tt := 0; tt < seq.Len(); tt++ {
+			total += env.Eval.Access(p, seq.Demand(tt)).Total() + env.Costs.Run(p.Len(), 0)
+		}
+		if lOpt.Total() > total+1e-9 {
+			t.Fatalf("OPT %v beats static %v only by losing (static cost %v)", lOpt.Total(), p, total)
+		}
+	}
+}
+
+func TestOPTConstantDemandConverges(t *testing.T) {
+	// Under constant demand at node 0, OPT should settle on a fixed
+	// configuration (no migration churn after the first move).
+	env := lineEnv(t, 4, 2, cost.DefaultParams())
+	demands := make([]cost.Demand, 40)
+	for i := range demands {
+		demands[i] = cost.DemandFromList([]int{0, 0, 0})
+	}
+	seq := workload.NewSequence("const", demands)
+	opt := NewOPT(seq)
+	l, err := sim.Run(env, opt, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := l.Rounds[len(l.Rounds)-1]
+	if late.Migration != 0 || late.Creation != 0 {
+		t.Fatal("OPT still reconfiguring at the horizon under constant demand")
+	}
+}
+
+func TestOPTRespectsServerBound(t *testing.T) {
+	env := lineEnv(t, 5, 2, cost.DefaultParams())
+	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 2}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := NewOPT(seq)
+	if err := opt.Reset(env); err != nil {
+		t.Fatal(err)
+	}
+	for tt, v := range opt.Schedule() {
+		a, i := v.Counts()
+		if a+i > 2 {
+			t.Fatalf("round %d: %d servers exceed k=2", tt, a+i)
+		}
+	}
+}
+
+func TestOPTGuards(t *testing.T) {
+	// Too many nodes.
+	g := graph.New(70)
+	for v := 0; v+1 < 70; v++ {
+		g.MustAddEdge(v, v+1, 1, 1)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost, cost.DefaultParams(), core.Params{MaxServers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := NewOPT(workload.NewSequence("x", []cost.Demand{cost.DemandFromList([]int{0})}))
+	if err := opt.Reset(env); err == nil {
+		t.Fatal("70-node OPT accepted")
+	}
+	// Too many states.
+	env2 := lineEnv(t, 12, 0, cost.DefaultParams()) // k unbounded → 3^12 states
+	if err := NewOPT(workload.NewSequence("x", []cost.Demand{cost.DemandFromList([]int{0})})).Reset(env2); err == nil {
+		t.Fatal("3^12 states accepted")
+	}
+}
+
+func TestOPTEmptySequence(t *testing.T) {
+	env := lineEnv(t, 3, 2, cost.DefaultParams())
+	opt := NewOPT(workload.NewSequence("empty", nil))
+	l, err := sim.Run(env, opt, workload.NewSequence("empty", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Total() != 0 || opt.PlannedCost() != 0 {
+		t.Fatal("empty sequence must cost nothing")
+	}
+}
+
+func TestOPTUsesInactiveStateWhenWorthIt(t *testing.T) {
+	// Demand alternates between the two ends of a line in long blocks.
+	// Keeping a server inactive at the idle end (paying Ri) must beat
+	// repeatedly re-creating it when Ri is tiny and c is large.
+	params := cost.Params{Beta: 1000, Create: 50, RunActive: 5, RunInactive: 0.01}
+	env := lineEnv(t, 2, 2, params)
+	var demands []cost.Demand
+	for block := 0; block < 4; block++ {
+		node := block % 2
+		for r := 0; r < 10; r++ {
+			demands = append(demands, cost.DemandFromList([]int{node, node, node, node}))
+		}
+	}
+	seq := workload.NewSequence("alt", demands)
+	opt := NewOPT(seq)
+	if err := opt.Reset(env); err != nil {
+		t.Fatal(err)
+	}
+	sawInactive := false
+	for _, v := range opt.Schedule() {
+		if _, inact := v.Counts(); inact > 0 {
+			sawInactive = true
+			break
+		}
+	}
+	if !sawInactive {
+		t.Fatal("OPT never parked a server inactive although Ri ≪ re-creation cost")
+	}
+}

@@ -1,0 +1,109 @@
+package online
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// MaxONCONFConfigs bounds the configuration space ONCONF is willing to
+// track. The paper itself notes that "due to the configuration complexity,
+// the runtime is only acceptable for a small number of servers k", which is
+// why the efficient variants ONBR and ONTH exist.
+const MaxONCONFConfigs = 1 << 16
+
+// ONCONF is the generic configuration-counter algorithm of Section III,
+// generalising the single-server algorithm of Bienkowski et al. (VISA'10).
+// It maintains a counter C(γ) for every configuration γ (every non-empty
+// placement of at most k active servers). During an epoch each round adds
+// to every counter the cost that configuration would have paid for the
+// round (access cost plus running cost). The current configuration is kept
+// until its counter reaches k·c; then ONCONF switches to a configuration
+// chosen uniformly at random among those with C(γ) < k·c. If no such
+// configuration remains, the epoch ends and all counters reset.
+type ONCONF struct {
+	base
+	// Rand drives the uniform random switch. It must be set (use
+	// NewONCONF).
+	Rand *rand.Rand
+
+	configs  []core.Placement
+	counters []float64
+	cur      int
+	budget   float64 // k·c
+}
+
+// NewONCONF returns an ONCONF driven by the given source of randomness.
+func NewONCONF(rng *rand.Rand) *ONCONF { return &ONCONF{Rand: rng} }
+
+// Name implements sim.Algorithm.
+func (a *ONCONF) Name() string { return "ONCONF" }
+
+// Reset implements sim.Algorithm. It fails when the configuration space of
+// the environment is too large to enumerate.
+func (a *ONCONF) Reset(env *sim.Env) error {
+	if a.Rand == nil {
+		return fmt.Errorf("onconf: no random source")
+	}
+	if len(env.Start) == 0 {
+		return fmt.Errorf("onconf: empty initial placement")
+	}
+	k := env.Pool.MaxServers
+	if k <= 0 {
+		k = env.Graph.N()
+	}
+	if count := core.CountPlacements(env.Graph.N(), k, MaxONCONFConfigs); count > MaxONCONFConfigs {
+		return fmt.Errorf("onconf: configuration space exceeds the tractable bound %d (n=%d, k=%d); use ONBR or ONTH",
+			MaxONCONFConfigs, env.Graph.N(), k)
+	}
+	a.configs = core.EnumeratePlacements(env.Graph.N(), k)
+	a.reset(env)
+	a.counters = make([]float64, len(a.configs))
+	a.cur = -1
+	for i, c := range a.configs {
+		if c.Equal(env.Start) {
+			a.cur = i
+			break
+		}
+	}
+	if a.cur < 0 {
+		return fmt.Errorf("onconf: initial placement %v not in configuration space", env.Start)
+	}
+	a.budget = float64(k) * env.Costs.Create
+	return nil
+}
+
+// Observe implements sim.Algorithm.
+func (a *ONCONF) Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta {
+	// Every configuration is charged what it would have paid this round.
+	for i, c := range a.configs {
+		ac := a.env.Eval.Access(c, d)
+		a.counters[i] += ac.Total() + a.env.Costs.Run(c.Len(), 0)
+	}
+	if a.counters[a.cur] < a.budget {
+		return core.Delta{}
+	}
+	// Switch uniformly at random among configurations still under budget.
+	alive := make([]int, 0, len(a.configs))
+	for i, cnt := range a.counters {
+		if cnt < a.budget {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		// Epoch over: reset counters, keep the configuration.
+		for i := range a.counters {
+			a.counters[i] = 0
+		}
+		a.pool.AdvanceEpoch()
+		return core.Delta{}
+	}
+	next := alive[a.Rand.Intn(len(alive))]
+	a.cur = next
+	delta := a.apply(a.configs[next])
+	a.pool.AdvanceEpoch()
+	return delta
+}

@@ -1,0 +1,151 @@
+// Package online implements the paper's online allocation strategies
+// (Section III): the configuration-counter algorithm ONCONF, its efficient
+// sequential best-response variant ONBR (fixed and dynamic threshold), and
+// the threshold algorithm ONTH with its small/large epoch structure. All
+// three decide without any knowledge of future requests.
+//
+// The exported BestResponse search is shared with the offline variants
+// OFFBR and OFFTH (Section IV-B), which the paper derives from the online
+// strategies by scoring the upcoming instead of the passed epoch.
+package online
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// SearchMoves describes which single-change candidates a best response may
+// consider.
+type SearchMoves struct {
+	Move       bool // relocate one server to a free node (β)
+	Deactivate bool // one server becomes inactive (free)
+	Add        bool // activate a cached server or create a new one
+	// Targets restricts where servers may be moved to or added; nil allows
+	// every node. The clustered variants pass cluster centers here, the
+	// "cluster granularity" speed-up of Sections III-A and IV-B.
+	Targets []int
+}
+
+// EpochScorer builds the candidate scorer for an epoch's aggregated demand:
+// the exact closed form when available, otherwise the linearised
+// approximation around the epoch's average per-server, per-round volume.
+func EpochScorer(env *sim.Env, servers core.Placement, agg cost.Demand, rounds int) *cost.Scorer {
+	if s, ok := cost.NewScorer(env.Eval, servers, agg); ok {
+		return s
+	}
+	hint := 0.0
+	if len(servers) > 0 && rounds > 0 {
+		hint = float64(agg.Total()) / float64(len(servers)*rounds)
+	}
+	return cost.NewScorerApprox(env.Eval, servers, agg, hint)
+}
+
+// BestResponse scores the pool's current placement and all allowed
+// single-change candidates against an epoch summary (demand aggregated
+// over `rounds` rounds) and returns the cheapest target. The score of a
+// candidate is
+//
+//	reconfiguration cost + access score + rounds · predicted running cost,
+//
+// matching ONBR's "cheapest configuration w.r.t. the passed epoch including
+// access, migration, running, and creation cost".
+func BestResponse(env *sim.Env, pool *core.Pool, agg cost.Demand, rounds int, moves SearchMoves) core.Placement {
+	cur := pool.Active()
+	if len(cur) == 0 {
+		return cur
+	}
+	sc := EpochScorer(env, cur, agg, rounds)
+	occupied := make(map[int]bool, len(cur))
+	for _, s := range cur {
+		occupied[s] = true
+	}
+	run := func(target core.Placement) float64 {
+		return float64(rounds) * env.Costs.Run(target.Len(), pool.PredictInactiveAfter(target))
+	}
+	// Baseline: keep the configuration.
+	best := cur
+	bestScore := sc.Base() + run(cur)
+
+	consider := func(target core.Placement, access float64) {
+		score := access + pool.PredictSwitch(target).Total() + run(target)
+		if score < bestScore {
+			best, bestScore = target, score
+		}
+	}
+	targets := moves.Targets
+	if targets == nil {
+		targets = make([]int, env.Graph.N())
+		for v := range targets {
+			targets[v] = v
+		}
+	}
+	if moves.Move {
+		for i, s := range cur {
+			for _, v := range targets {
+				if occupied[v] {
+					continue
+				}
+				consider(cur.Moved(s, v), sc.Move(i, v))
+			}
+		}
+	}
+	if moves.Deactivate && len(cur) > 1 {
+		for i, s := range cur {
+			if access := sc.Remove(i); !math.IsInf(access, 1) {
+				consider(cur.Without(s), access)
+			}
+		}
+	}
+	if moves.Add && (env.Pool.MaxServers <= 0 || len(cur) < env.Pool.MaxServers) {
+		for _, v := range targets {
+			if occupied[v] {
+				continue
+			}
+			consider(cur.With(v), sc.Add(v))
+		}
+	}
+	return best
+}
+
+// base carries the pool plumbing shared by the online strategies.
+type base struct {
+	env  *sim.Env
+	pool *core.Pool
+}
+
+func (b *base) reset(env *sim.Env) {
+	b.env = env
+	b.pool = env.NewPool()
+	b.pool.Bootstrap(env.Start)
+}
+
+// Placement implements sim.Algorithm.
+func (b *base) Placement() core.Placement { return b.pool.Active() }
+
+// Inactive implements sim.Algorithm.
+func (b *base) Inactive() int { return b.pool.NumInactive() }
+
+// Prepare implements sim.Algorithm. Online strategies never reconfigure
+// before seeing a round's requests.
+func (b *base) Prepare(int) core.Delta { return core.Delta{} }
+
+func (b *base) bestResponse(agg cost.Demand, rounds int, moves SearchMoves) core.Placement {
+	return BestResponse(b.env, b.pool, agg, rounds, moves)
+}
+
+// apply switches the pool to the target and returns the charged delta.
+func (b *base) apply(target core.Placement) core.Delta {
+	if target.Equal(b.pool.Active()) {
+		return core.Delta{}
+	}
+	d, err := b.pool.SwitchTo(target)
+	if err != nil {
+		// Candidate generation never proposes empty or over-k placements,
+		// so an error here is a programming bug.
+		panic(err)
+	}
+	return d
+}

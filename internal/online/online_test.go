@@ -1,0 +1,298 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func lineEnv(t *testing.T, n, k int, params cost.Params) *sim.Env {
+	t.Helper()
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, 1, 1)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost, params,
+		core.Params{QueueCap: 3, Expiry: 20, MaxServers: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func erEnv(t *testing.T, n, k int, seed int64) *sim.Env {
+	t.Helper()
+	g, err := gen.ErdosRenyi(n, 0.05, gen.DefaultOptions(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost, cost.DefaultParams(),
+		core.Params{QueueCap: 3, Expiry: 20, MaxServers: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func checkLedgerSane(t *testing.T, l *sim.Ledger) {
+	t.Helper()
+	if math.IsNaN(l.Total()) || math.IsInf(l.Total(), 0) || l.Total() < 0 {
+		t.Fatalf("%s: degenerate total %v", l.Algorithm, l.Total())
+	}
+	for tt, r := range l.Rounds {
+		if r.Active < 1 {
+			t.Fatalf("%s round %d: no active servers", l.Algorithm, tt)
+		}
+	}
+}
+
+func TestONBRMigratesTowardDemand(t *testing.T) {
+	// All demand at one end of a long line: ONBR must eventually stop
+	// paying the full line latency — either by migrating or by creating a
+	// server near the demand.
+	env := lineEnv(t, 10, 3, cost.DefaultParams())
+	demands := make([]cost.Demand, 200)
+	for i := range demands {
+		demands[i] = cost.DemandFromList([]int{9, 9, 9})
+	}
+	seq := workload.NewSequence("corner", demands)
+	l, err := sim.Run(env, NewONBR(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedgerSane(t, l)
+	last := l.Rounds[len(l.Rounds)-1]
+	if last.Latency != 0 {
+		t.Fatalf("final round latency %v, want 0 (server should sit on the demand)", last.Latency)
+	}
+}
+
+func TestONBRBeatsDoNothingOnSkewedDemand(t *testing.T) {
+	env := lineEnv(t, 10, 3, cost.DefaultParams())
+	demands := make([]cost.Demand, 300)
+	for i := range demands {
+		demands[i] = cost.DemandFromList([]int{9, 9, 9, 9})
+	}
+	seq := workload.NewSequence("corner", demands)
+	lBR, err := sim.Run(env, NewONBR(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Do-nothing reference: center server forever.
+	doNothing := 0.0
+	for tt := 0; tt < seq.Len(); tt++ {
+		doNothing += env.Eval.Access(env.Start, seq.Demand(tt)).Total() + env.Costs.Run(1, 0)
+	}
+	if lBR.Total() >= doNothing {
+		t.Fatalf("ONBR %v not better than never reconfiguring %v", lBR.Total(), doNothing)
+	}
+}
+
+func TestONBRVariantNames(t *testing.T) {
+	if NewONBR().Name() != "ONBR-fixed" {
+		t.Fatal("fixed name wrong")
+	}
+	if NewONBRDynamic().Name() != "ONBR-dyn" {
+		t.Fatal("dyn name wrong")
+	}
+}
+
+func TestONBRDynamicAdaptsTheta(t *testing.T) {
+	env := lineEnv(t, 8, 3, cost.DefaultParams())
+	a := NewONBRDynamic()
+	demands := make([]cost.Demand, 100)
+	for i := range demands {
+		demands[i] = cost.DemandFromList([]int{7, 7, 7, 7, 7})
+	}
+	if _, err := sim.Run(env, a, workload.NewSequence("x", demands)); err != nil {
+		t.Fatal(err)
+	}
+	if a.theta == a.factor()*env.Costs.Create {
+		t.Fatal("dynamic θ never changed")
+	}
+}
+
+func TestONTHAddsServersUnderLoad(t *testing.T) {
+	// Heavy spread demand across an ER network must push ONTH's large
+	// epoch rule to allocate extra servers.
+	env := erEnv(t, 60, 8, 5)
+	rng := rand.New(rand.NewSource(6))
+	seq, err := workload.Uniform(60, 40, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := sim.Run(env, NewONTH(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedgerSane(t, l)
+	if l.MaxActive() < 2 {
+		t.Fatalf("ONTH never added a server (max active %d)", l.MaxActive())
+	}
+}
+
+func TestONTHConvergesUnderConstantDemand(t *testing.T) {
+	// "Both ONBR and ONTH have the appealing property that in case of
+	// constant demand, they will eventually converge to a stable
+	// configuration."
+	env := lineEnv(t, 10, 3, cost.DefaultParams())
+	demands := make([]cost.Demand, 400)
+	for i := range demands {
+		demands[i] = cost.DemandFromList([]int{2, 7})
+	}
+	seq := workload.NewSequence("const", demands)
+	for _, alg := range []sim.Algorithm{NewONTH(), NewONBR()} {
+		l, err := sim.Run(env, alg, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkLedgerSane(t, l)
+		// No reconfiguration cost in the last quarter of the run.
+		for tt := 3 * len(l.Rounds) / 4; tt < len(l.Rounds); tt++ {
+			if l.Rounds[tt].Migration != 0 || l.Rounds[tt].Creation != 0 {
+				t.Fatalf("%s still reconfiguring in round %d", alg.Name(), tt)
+			}
+		}
+	}
+}
+
+func TestONTHRespectsServerBound(t *testing.T) {
+	env := erEnv(t, 40, 2, 9)
+	seq, err := workload.Uniform(40, 60, 200, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := sim.Run(env, NewONTH(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.MaxActive() > 2 {
+		t.Fatalf("ONTH used %d servers, bound is 2", l.MaxActive())
+	}
+}
+
+func TestONTHQuadraticAllocatesMoreServers(t *testing.T) {
+	// Figure 1/2's qualitative claim: a steeper load function makes ONTH
+	// run more servers.
+	mk := func(load cost.LoadFunc) int {
+		g, err := gen.ErdosRenyi(50, 0.08, gen.DefaultOptions(), rand.New(rand.NewSource(21)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := sim.NewEnv(g, load, cost.AssignMinCost, cost.DefaultParams(),
+			core.Params{QueueCap: 3, Expiry: 20, MaxServers: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := workload.Uniform(50, 30, 250, rand.New(rand.NewSource(22)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := sim.Run(env, NewONTH(), seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l.MaxActive()
+	}
+	lin, quad := mk(cost.Linear{}), mk(cost.Quadratic{})
+	if quad < lin {
+		t.Fatalf("quadratic load used %d servers, linear %d; expected ≥", quad, lin)
+	}
+}
+
+func TestONCONFSmallInstance(t *testing.T) {
+	env := lineEnv(t, 5, 2, cost.Params{Beta: 10, Create: 30, RunActive: 1, RunInactive: 0.2})
+	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 3}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewONCONF(rand.New(rand.NewSource(33)))
+	l, err := sim.Run(env, a, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLedgerSane(t, l)
+	if a.Name() != "ONCONF" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+}
+
+func TestONCONFRejectsHugeInstance(t *testing.T) {
+	env := erEnv(t, 200, 10, 11)
+	a := NewONCONF(rand.New(rand.NewSource(1)))
+	if err := a.Reset(env); err == nil {
+		t.Fatal("huge configuration space accepted")
+	}
+}
+
+func TestONCONFRequiresRand(t *testing.T) {
+	env := lineEnv(t, 4, 2, cost.DefaultParams())
+	a := &ONCONF{}
+	if err := a.Reset(env); err == nil {
+		t.Fatal("missing rng accepted")
+	}
+}
+
+func TestOnlineAlgorithmsOnCommuterScenario(t *testing.T) {
+	// Integration: all online strategies survive the paper's commuter
+	// scenario on an ER graph with sane ledgers.
+	env := erEnv(t, 80, 6, 13)
+	seq, err := workload.CommuterStatic(env.Matrix,
+		workload.CommuterConfig{T: workload.TForSize(80), Lambda: 5}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []sim.Algorithm{NewONBR(), NewONBRDynamic(), NewONTH()} {
+		l, err := sim.Run(env, alg, seq)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		checkLedgerSane(t, l)
+	}
+}
+
+func TestBestResponsePrefersNoChangeOnTinyEpoch(t *testing.T) {
+	// With demand already sitting on the server, any move must lose.
+	env := lineEnv(t, 6, 3, cost.DefaultParams())
+	pool := env.NewPool()
+	pool.Bootstrap(core.NewPlacement(2))
+	agg := cost.DemandFromList([]int{2, 2})
+	target := BestResponse(env, pool, agg, 1, SearchMoves{Move: true, Deactivate: true, Add: true})
+	if !target.Equal(core.NewPlacement(2)) {
+		t.Fatalf("best response moved to %v although demand is local", target)
+	}
+}
+
+func TestBestResponseEmptyPool(t *testing.T) {
+	env := lineEnv(t, 4, 2, cost.DefaultParams())
+	pool := env.NewPool()
+	pool.Bootstrap(core.NewPlacement())
+	target := BestResponse(env, pool, cost.Demand{}, 1, SearchMoves{Move: true})
+	if target.Len() != 0 {
+		t.Fatalf("best response on empty pool = %v", target)
+	}
+}
+
+func TestEpochScorerFallsBackForQuadratic(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1, 1)
+	g.MustAddEdge(1, 2, 1, 1)
+	env, err := sim.NewEnv(g, cost.Quadratic{}, cost.AssignMinCost, cost.DefaultParams(), core.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := EpochScorer(env, core.NewPlacement(1), cost.DemandFromList([]int{0, 2}), 2)
+	if sc == nil {
+		t.Fatal("no scorer built")
+	}
+	if sc.Base() <= 0 {
+		t.Fatalf("approx base = %v", sc.Base())
+	}
+}

@@ -1,0 +1,127 @@
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// ONTH is the threshold algorithm of Section III-A. It divides time into
+// small and large epochs:
+//
+//   - A small epoch ends when the cost accumulated in the current
+//     configuration reaches y·β (the paper uses y = 2). The algorithm then
+//     switches to the cheapest configuration — w.r.t. the passed epoch and
+//     including access, migration and running cost — among keeping the
+//     configuration, migrating one server, or deactivating one server.
+//   - A large epoch ends when the accumulated access cost outweighs the
+//     accumulated running cost of the active servers, concretely when
+//     Costacc/(kcur+1) − Costrun > c. A new server is then activated at the
+//     position that is optimal with respect to the access cost of the
+//     latest large epoch.
+//
+// Unlike ONBR, ONTH needs no externally tuned threshold θ: the decision to
+// add servers is automated by the large-epoch rule. Under constant demand
+// it converges to a stable configuration.
+type ONTH struct {
+	base
+	// Y is the small-epoch factor (threshold y·β). Zero selects the
+	// paper's y = 2.
+	Y float64
+
+	smallAccum float64
+	smallAgg   []cost.Demand
+	smallStart int
+
+	largeAccess float64
+	largeRun    float64
+	largeAgg    []cost.Demand
+	largeStart  int
+}
+
+// NewONTH returns ONTH with the paper's parameters.
+func NewONTH() *ONTH { return &ONTH{} }
+
+// Name implements sim.Algorithm.
+func (a *ONTH) Name() string { return "ONTH" }
+
+func (a *ONTH) y() float64 {
+	if a.Y > 0 {
+		return a.Y
+	}
+	return 2
+}
+
+// Reset implements sim.Algorithm.
+func (a *ONTH) Reset(env *sim.Env) error {
+	if len(env.Start) == 0 {
+		return fmt.Errorf("onth: empty initial placement")
+	}
+	a.reset(env)
+	a.smallAccum, a.smallStart = 0, 0
+	a.smallAgg = a.smallAgg[:0]
+	a.largeAccess, a.largeRun, a.largeStart = 0, 0, 0
+	a.largeAgg = a.largeAgg[:0]
+	return nil
+}
+
+// Observe implements sim.Algorithm.
+func (a *ONTH) Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta {
+	run := a.pool.RunCost()
+	a.smallAccum += access.Total() + run
+	a.smallAgg = append(a.smallAgg, d)
+	a.largeAccess += access.Total()
+	a.largeRun += run
+	a.largeAgg = append(a.largeAgg, d)
+
+	var delta core.Delta
+	if a.largeEpochOver() {
+		delta = delta.Add(a.endLargeEpoch(t))
+	}
+	if a.smallAccum >= a.y()*a.env.Costs.Beta {
+		delta = delta.Add(a.endSmallEpoch(t))
+	}
+	return delta
+}
+
+// largeEpochOver evaluates the paper's condition
+// Costacc/(kcur+1) − Costrun > c.
+func (a *ONTH) largeEpochOver() bool {
+	kcur := float64(a.pool.NumActive())
+	return a.largeAccess/(kcur+1)-a.largeRun > a.env.Costs.Create
+}
+
+// endLargeEpoch activates one more server at the position optimal for the
+// access cost of the epoch that just ended.
+func (a *ONTH) endLargeEpoch(t int) core.Delta {
+	var delta core.Delta
+	cur := a.pool.Active()
+	if a.env.Pool.MaxServers <= 0 || cur.Len() < a.env.Pool.MaxServers {
+		agg := cost.Aggregate(a.largeAgg...)
+		if v, _, ok := a.env.Eval.BestAddition(cur, agg); ok {
+			delta = a.apply(cur.With(v))
+		}
+	}
+	a.largeAccess, a.largeRun, a.largeStart = 0, 0, t+1
+	a.largeAgg = a.largeAgg[:0]
+	// The configuration changed; restart the small epoch so its best
+	// response judges the new configuration on fresh observations.
+	a.smallAccum, a.smallStart = 0, t+1
+	a.smallAgg = a.smallAgg[:0]
+	return delta
+}
+
+// endSmallEpoch runs the restricted best response (no additions — growing
+// the configuration is the large epoch's job).
+func (a *ONTH) endSmallEpoch(t int) core.Delta {
+	length := t - a.smallStart + 1
+	agg := cost.Aggregate(a.smallAgg...)
+	target := a.bestResponse(agg, length, SearchMoves{Move: true, Deactivate: true})
+	delta := a.apply(target)
+	a.pool.AdvanceEpoch()
+	a.smallAccum, a.smallStart = 0, t+1
+	a.smallAgg = a.smallAgg[:0]
+	return delta
+}

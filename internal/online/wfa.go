@@ -1,0 +1,125 @@
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/sim"
+)
+
+// WFA is the classical work-function algorithm for metrical task systems,
+// included as the theory-grounded baseline the paper's related-work section
+// points to ("there is, e.g., an asymptotically optimal deterministic
+// Θ(n)-competitive algorithm, where n is the state space"). States are the
+// active placements of at most k servers; the per-round task cost of a
+// state is its access plus running cost; the transition cost between
+// states is the reconfiguration cost of Examples 1–3.
+//
+// WFA maintains the work function
+//
+//	w_t(γ) = min over γ' of [ w_{t-1}(γ') + task_t(γ') + d(γ', γ) ]
+//
+// (the cheapest cost of any schedule that serves rounds 0..t and ends in
+// γ) and, after each round, moves to the state minimising
+// w_t(γ) + d(γ_cur, γ). Like ONCONF it is only tractable for small
+// configuration spaces; Reset fails beyond MaxONCONFConfigs states.
+type WFA struct {
+	base
+
+	configs []core.Placement
+	work    []float64
+	scratch []float64
+	dist    [][]float64 // d[i][j]: reconfiguration cost i → j
+	cur     int
+}
+
+// NewWFA returns the work-function baseline.
+func NewWFA() *WFA { return &WFA{} }
+
+// Name implements sim.Algorithm.
+func (a *WFA) Name() string { return "WFA" }
+
+// Reset implements sim.Algorithm.
+func (a *WFA) Reset(env *sim.Env) error {
+	if len(env.Start) == 0 {
+		return fmt.Errorf("wfa: empty initial placement")
+	}
+	k := env.Pool.MaxServers
+	if k <= 0 {
+		k = env.Graph.N()
+	}
+	if count := core.CountPlacements(env.Graph.N(), k, MaxONCONFConfigs); count > MaxONCONFConfigs {
+		return fmt.Errorf("wfa: configuration space exceeds the tractable bound %d (n=%d, k=%d)",
+			MaxONCONFConfigs, env.Graph.N(), k)
+	}
+	a.reset(env)
+	a.configs = core.EnumeratePlacements(env.Graph.N(), k)
+	a.work = make([]float64, len(a.configs))
+	a.scratch = make([]float64, len(a.configs))
+	a.dist = make([][]float64, len(a.configs))
+	a.cur = -1
+	for i, c := range a.configs {
+		if c.Equal(env.Start) {
+			a.cur = i
+		}
+	}
+	if a.cur < 0 {
+		return fmt.Errorf("wfa: initial placement %v not in configuration space", env.Start)
+	}
+	for i, ci := range a.configs {
+		a.dist[i] = make([]float64, len(a.configs))
+		for j, cj := range a.configs {
+			entering, leaving := ci.Diff(cj)
+			a.dist[i][j] = env.Costs.Transition(len(entering), len(leaving))
+		}
+		// Initial work function: cost of moving from the start state.
+		entering, leaving := env.Start.Diff(ci)
+		a.work[i] = env.Costs.Transition(len(entering), len(leaving))
+	}
+	return nil
+}
+
+// Observe implements sim.Algorithm: incorporate round t's task costs into
+// the work function and move with the operational rule of Borodin &
+// El-Yaniv,
+//
+//	γ_next = argmin over γ of [ w_{t-1}(γ) + task_t(γ) + d(γ_cur, γ) ],
+//
+// which strictly improves when staying keeps accumulating task cost (the
+// plain "argmin w_t(γ) + d" rule never moves: by the work function's
+// Lipschitz property the current state is always among its minimisers).
+func (a *WFA) Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta {
+	// scratch(γ) = w_{t-1}(γ) + task_t(γ).
+	for i, c := range a.configs {
+		ac := a.env.Eval.Access(c, d)
+		task := math.Inf(1)
+		if !ac.Infinite() {
+			task = ac.Total() + a.env.Costs.Run(c.Len(), 0)
+		}
+		a.scratch[i] = a.work[i] + task
+	}
+	// Move rule; ties keep the current state.
+	next, bestVal := a.cur, a.scratch[a.cur]
+	for j := range a.configs {
+		if v := a.scratch[j] + a.dist[a.cur][j]; v < bestVal {
+			next, bestVal = j, v
+		}
+	}
+	// w_t(γ) = min_γ' scratch(γ') + d(γ', γ).
+	for j := range a.configs {
+		best := math.Inf(1)
+		for i := range a.configs {
+			if c := a.scratch[i] + a.dist[i][j]; c < best {
+				best = c
+			}
+		}
+		a.work[j] = best
+	}
+	if next == a.cur {
+		return core.Delta{}
+	}
+	a.cur = next
+	return a.apply(a.configs[next])
+}

@@ -1,0 +1,45 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Example runs ONTH on a tiny deterministic instance: a 5-node line with
+// unit latencies and all demand pinned to one end. The strategy starts at
+// the network center and converges onto the demand.
+func Example() {
+	g := graph.New(5)
+	for v := 0; v+1 < 5; v++ {
+		g.MustAddEdge(v, v+1, 1, graph.BandwidthT1)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.Params{Beta: 10, Create: 100, RunActive: 1, RunInactive: 0.1},
+		core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		panic(err)
+	}
+	demands := make([]cost.Demand, 60)
+	for i := range demands {
+		demands[i] = cost.DemandFromList([]int{4, 4, 4})
+	}
+	seq := workload.NewSequence("pinned", demands)
+
+	ledger, err := sim.Run(env, online.NewONTH(), seq)
+	if err != nil {
+		panic(err)
+	}
+	first, last := ledger.Rounds[0], ledger.Rounds[len(ledger.Rounds)-1]
+	fmt.Printf("round 0:  server at %v, latency %v\n", env.Start, first.Latency)
+	fmt.Printf("round %d: latency %v, migrations paid %v\n",
+		len(ledger.Rounds)-1, last.Latency, ledger.Totals.Migration)
+	// Output:
+	// round 0:  server at [2], latency 6
+	// round 59: latency 0, migrations paid 10
+}

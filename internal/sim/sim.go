@@ -1,0 +1,179 @@
+// Package sim drives the synchronous allocation game of Section II-E: in
+// every round t the requests σt arrive at their access points, the
+// algorithm pays the access cost to the servers of the current
+// configuration plus the configuration's running cost, and then it may
+// reconfigure (allocate, remove, activate, deactivate, migrate servers),
+// paying migration and creation costs.
+//
+// Offline algorithms reconfigure *before* serving a round (hook Prepare),
+// exactly as in the dynamic program of Section IV-A; online algorithms
+// react *after* serving (hook Observe), exactly as in the online game of
+// Section II-E. The paper notes the two orderings are equivalent for its
+// analysis because one round's requests are much cheaper than a migration.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// Env is the immutable world one simulation runs in.
+type Env struct {
+	Graph  *graph.Graph
+	Matrix *graph.Matrix
+	Eval   *cost.Evaluator
+	Costs  cost.Params
+	Pool   core.Params    // queue capacity, expiry, server bound k
+	Start  core.Placement // initial configuration γ0 shared by all algorithms
+}
+
+// NewEnv assembles an environment: all-pairs distances, evaluator, and the
+// paper's default initial configuration (one server at the network center).
+func NewEnv(g *graph.Graph, load cost.LoadFunc, policy cost.Policy, costs cost.Params, pool core.Params) (*Env, error) {
+	if err := costs.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	m := g.AllPairs()
+	pool.Costs = costs
+	return &Env{
+		Graph:  g,
+		Matrix: m,
+		Eval:   cost.NewEvaluator(g, m, load, policy),
+		Costs:  costs,
+		Pool:   pool,
+		Start:  core.NewPlacement(m.Center()),
+	}, nil
+}
+
+// NewPool returns a pool configured for this environment.
+func (e *Env) NewPool() *core.Pool {
+	return core.NewPool(e.Pool)
+}
+
+// Algorithm is a server allocation strategy playing the synchronous game.
+type Algorithm interface {
+	// Name identifies the strategy in ledgers and reports.
+	Name() string
+	// Reset discards run state and installs the initial configuration.
+	Reset(env *Env) error
+	// Placement returns the nodes currently hosting active servers.
+	Placement() core.Placement
+	// Inactive returns the number of cached inactive servers.
+	Inactive() int
+	// Prepare runs before round t is served. Offline strategies apply
+	// their precomputed reconfiguration here; online strategies must not
+	// reconfigure in Prepare (they have not seen σt yet) and typically
+	// return the zero Delta.
+	Prepare(t int) core.Delta
+	// Observe runs after round t was served under the current placement
+	// and charged; online strategies reconfigure here.
+	Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta
+}
+
+// RoundCost is the ledger entry of one round.
+type RoundCost struct {
+	Latency   float64 // Σ delay(r) of the round's requests
+	Load      float64 // Σ load(v, t) over server nodes
+	Run       float64 // Costrun of the serving configuration
+	Migration float64 // β-costs charged this round
+	Creation  float64 // c-costs charged this round
+	Active    int     // active servers while serving
+	Inactive  int     // cached inactive servers while serving
+}
+
+// Total returns the round's summed cost.
+func (r RoundCost) Total() float64 {
+	return r.Latency + r.Load + r.Run + r.Migration + r.Creation
+}
+
+// Breakdown accumulates costs by category.
+type Breakdown struct {
+	Latency   float64
+	Load      float64
+	Run       float64
+	Migration float64
+	Creation  float64
+}
+
+// Access returns the summed access cost Costacc.
+func (b Breakdown) Access() float64 { return b.Latency + b.Load }
+
+// Total returns the summed overall cost.
+func (b Breakdown) Total() float64 {
+	return b.Latency + b.Load + b.Run + b.Migration + b.Creation
+}
+
+func (b Breakdown) add(r RoundCost) Breakdown {
+	b.Latency += r.Latency
+	b.Load += r.Load
+	b.Run += r.Run
+	b.Migration += r.Migration
+	b.Creation += r.Creation
+	return b
+}
+
+// Ledger records one full run.
+type Ledger struct {
+	Algorithm string
+	Scenario  string
+	Rounds    []RoundCost
+	Totals    Breakdown
+}
+
+// Total returns the run's overall cost.
+func (l *Ledger) Total() float64 { return l.Totals.Total() }
+
+// MaxActive returns the peak number of active servers over the run.
+func (l *Ledger) MaxActive() int {
+	max := 0
+	for _, r := range l.Rounds {
+		if r.Active > max {
+			max = r.Active
+		}
+	}
+	return max
+}
+
+// Run plays the whole sequence and returns the ledger. It fails if a round
+// with requests is served by a configuration without active servers.
+func Run(env *Env, alg Algorithm, seq *workload.Sequence) (*Ledger, error) {
+	if err := alg.Reset(env); err != nil {
+		return nil, fmt.Errorf("sim: reset %s: %w", alg.Name(), err)
+	}
+	l := &Ledger{
+		Algorithm: alg.Name(),
+		Scenario:  seq.Name(),
+		Rounds:    make([]RoundCost, 0, seq.Len()),
+	}
+	for t := 0; t < seq.Len(); t++ {
+		pre := alg.Prepare(t)
+		placement := alg.Placement()
+		d := seq.Demand(t)
+		access := env.Eval.Access(placement, d)
+		if access.Infinite() {
+			return nil, fmt.Errorf("sim: %s has no active server for %d requests in round %d", alg.Name(), d.Total(), t)
+		}
+		inactive := alg.Inactive()
+		post := alg.Observe(t, d, access)
+		delta := pre.Add(post)
+		rc := RoundCost{
+			Latency:   access.Latency,
+			Load:      access.Load,
+			Run:       env.Costs.Run(placement.Len(), inactive),
+			Migration: delta.Migration,
+			Creation:  delta.Creation,
+			Active:    placement.Len(),
+			Inactive:  inactive,
+		}
+		l.Rounds = append(l.Rounds, rc)
+		l.Totals = l.Totals.add(rc)
+	}
+	return l, nil
+}

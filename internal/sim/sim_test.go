@@ -1,0 +1,198 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// static is a do-nothing algorithm serving everything from γ0.
+type static struct {
+	env *Env
+}
+
+func (s *static) Name() string              { return "static-test" }
+func (s *static) Reset(env *Env) error      { s.env = env; return nil }
+func (s *static) Placement() core.Placement { return s.env.Start.Clone() }
+func (s *static) Inactive() int             { return 0 }
+func (s *static) Prepare(int) core.Delta    { return core.Delta{} }
+func (s *static) Observe(int, cost.Demand, cost.AccessCost) core.Delta {
+	return core.Delta{}
+}
+
+// mover reconfigures once in Observe of round 0 to a fixed target.
+type mover struct {
+	static
+	target core.Placement
+	pool   *core.Pool
+}
+
+func (m *mover) Name() string { return "mover-test" }
+func (m *mover) Reset(env *Env) error {
+	m.env = env
+	m.pool = env.NewPool()
+	m.pool.Bootstrap(env.Start)
+	return nil
+}
+func (m *mover) Placement() core.Placement { return m.pool.Active() }
+func (m *mover) Inactive() int             { return m.pool.NumInactive() }
+func (m *mover) Observe(t int, _ cost.Demand, _ cost.AccessCost) core.Delta {
+	if t != 0 {
+		return core.Delta{}
+	}
+	d, err := m.pool.SwitchTo(m.target)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func testEnv(t *testing.T, n int) *Env {
+	t.Helper()
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, 1, 1)
+	}
+	env, err := NewEnv(g, cost.Linear{}, cost.AssignMinCost, cost.DefaultParams(),
+		core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestNewEnvStartsAtCenter(t *testing.T) {
+	env := testEnv(t, 5)
+	if !env.Start.Equal(core.NewPlacement(2)) {
+		t.Fatalf("start = %v, want center [2]", env.Start)
+	}
+}
+
+func TestNewEnvRejectsBadInputs(t *testing.T) {
+	g := graph.New(3) // disconnected
+	if _, err := NewEnv(g, cost.Linear{}, cost.AssignMinCost, cost.DefaultParams(), core.Params{}); err == nil {
+		t.Fatal("disconnected graph accepted")
+	}
+	line := graph.New(2)
+	line.MustAddEdge(0, 1, 1, 1)
+	if _, err := NewEnv(line, cost.Linear{}, cost.AssignMinCost, cost.Params{}, core.Params{}); err == nil {
+		t.Fatal("invalid cost params accepted")
+	}
+}
+
+func TestRunStaticLedger(t *testing.T) {
+	env := testEnv(t, 5) // line, center 2
+	seq := workload.NewSequence("test", []cost.Demand{
+		cost.DemandFromList([]int{0}),    // dist 2 + load 1
+		cost.DemandFromList([]int{4, 4}), // dist 4 + load 2... distances: 2 each
+	})
+	l, err := Run(env, &static{}, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Rounds) != 2 {
+		t.Fatalf("rounds = %d", len(l.Rounds))
+	}
+	r0 := l.Rounds[0]
+	if r0.Latency != 2 || r0.Load != 1 {
+		t.Fatalf("round 0 = %+v", r0)
+	}
+	if r0.Run != 2.5 || r0.Active != 1 || r0.Inactive != 0 {
+		t.Fatalf("round 0 run/active = %+v", r0)
+	}
+	r1 := l.Rounds[1]
+	if r1.Latency != 4 || r1.Load != 2 {
+		t.Fatalf("round 1 = %+v", r1)
+	}
+	wantTotal := (2.0 + 1 + 2.5) + (4 + 2 + 2.5)
+	if math.Abs(l.Total()-wantTotal) > 1e-12 {
+		t.Fatalf("total = %v, want %v", l.Total(), wantTotal)
+	}
+	if l.Algorithm != "static-test" || l.Scenario != "test" {
+		t.Fatal("ledger labels wrong")
+	}
+}
+
+func TestRunChargesReconfiguration(t *testing.T) {
+	env := testEnv(t, 5)
+	seq := workload.NewSequence("test", []cost.Demand{
+		cost.DemandFromList([]int{0}),
+		cost.DemandFromList([]int{0}),
+	})
+	m := &mover{target: core.NewPlacement(2, 0)} // add server at node 0: creation
+	l, err := Run(env, m, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rounds[0].Creation != 400 {
+		t.Fatalf("round 0 creation = %v, want 400", l.Rounds[0].Creation)
+	}
+	// Round 1 is served by the new two-server placement.
+	if l.Rounds[1].Active != 2 {
+		t.Fatalf("round 1 active = %d, want 2", l.Rounds[1].Active)
+	}
+	if l.Rounds[1].Latency != 0 {
+		t.Fatalf("round 1 latency = %v, want 0 (local server)", l.Rounds[1].Latency)
+	}
+	if l.MaxActive() != 2 {
+		t.Fatalf("MaxActive = %d", l.MaxActive())
+	}
+}
+
+func TestRunObserveSeesDemandAfterCharging(t *testing.T) {
+	// The engine must charge round t's access cost on the placement as of
+	// Prepare, not on what Observe switches to. mover reconfigures in
+	// round 0's Observe, so round 0 is still charged from the center.
+	env := testEnv(t, 5)
+	seq := workload.NewSequence("test", []cost.Demand{cost.DemandFromList([]int{0})})
+	m := &mover{target: core.NewPlacement(0)}
+	l, err := Run(env, m, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Rounds[0].Latency != 2 {
+		t.Fatalf("round 0 latency = %v, want 2 (served from the center)", l.Rounds[0].Latency)
+	}
+}
+
+func TestRunEmptySequence(t *testing.T) {
+	env := testEnv(t, 3)
+	l, err := Run(env, &static{}, workload.NewSequence("empty", nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Total() != 0 || len(l.Rounds) != 0 {
+		t.Fatal("empty run must cost nothing")
+	}
+}
+
+// broken reports no active servers.
+type broken struct{ static }
+
+func (b *broken) Placement() core.Placement { return nil }
+
+func TestRunFailsWithoutServers(t *testing.T) {
+	env := testEnv(t, 3)
+	seq := workload.NewSequence("test", []cost.Demand{cost.DemandFromList([]int{0})})
+	if _, err := Run(env, &broken{}, seq); err == nil {
+		t.Fatal("run with unserved requests must fail")
+	}
+}
+
+func TestBreakdownAccessors(t *testing.T) {
+	b := Breakdown{Latency: 1, Load: 2, Run: 3, Migration: 4, Creation: 5}
+	if b.Access() != 3 {
+		t.Fatalf("Access = %v", b.Access())
+	}
+	if b.Total() != 15 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+	r := RoundCost{Latency: 1, Load: 1, Run: 1, Migration: 1, Creation: 1}
+	if r.Total() != 5 {
+		t.Fatalf("RoundCost.Total = %v", r.Total())
+	}
+}

@@ -1,0 +1,101 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to aggregate simulation runs: the paper's figures average
+// every data point over 5 or 10 independently seeded runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a sample of run results.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over the sample. An empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.3f sd=%.3f min=%.3f max=%.3f n=%d", s.Mean, s.StdDev, s.Min, s.Max, s.N)
+}
+
+// Mean is a convenience for Summarize(xs).Mean.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// Median returns the sample median (the sample is not modified), or NaN for
+// an empty sample.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// Ratio returns a/b, or NaN when b is zero — used for the
+// competitive-ratio and OFFSTAT/OPT figures.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// MeanRatio averages element-wise ratios of two equally long samples,
+// skipping pairs with a zero denominator. The paper's ratio figures
+// average the per-run ratio, not the ratio of averages.
+func MeanRatio(num, den []float64) float64 {
+	if len(num) != len(den) {
+		panic(fmt.Sprintf("stats: ratio of samples with different sizes %d and %d", len(num), len(den)))
+	}
+	sum, n := 0.0, 0
+	for i := range num {
+		if den[i] == 0 {
+			continue
+		}
+		sum += num[i] / den[i]
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}

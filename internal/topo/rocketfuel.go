@@ -1,0 +1,155 @@
+// Package topo provides the synthetic stand-in for the Rocketfuel
+// AS-7018 (AT&T) topology used in the paper's final experiment. The
+// measured Rocketfuel maps and latencies are not redistributable inside
+// this offline module, so ASLike generates a topology with the same
+// structural ingredients the experiment relies on: a PoP-level ISP
+// backbone with heavy-tailed connectivity and wide-area latencies, plus
+// per-PoP access routers with short local latencies. The experiment's
+// qualitative outcome (the cost ordering OFFSTAT < ONTH < ONBR and the
+// roughly 2× gap between ONTH and OFFSTAT) depends on this shape, not on
+// the exact AT&T router list; see DESIGN.md for the substitution note.
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// ASConfig shapes the synthetic ISP topology.
+type ASConfig struct {
+	// BackbonePoPs is the number of backbone points of presence.
+	BackbonePoPs int
+	// ExtraBackboneLinks adds redundancy beyond the backbone ring, drawn
+	// with preference for already well-connected PoPs.
+	ExtraBackboneLinks int
+	// MinAccess and MaxAccess bound the number of access routers per PoP.
+	MinAccess, MaxAccess int
+	// BackboneLatency bounds the uniformly drawn wide-area link latency.
+	BackboneLatencyMin, BackboneLatencyMax float64
+	// AccessLatency bounds the uniformly drawn local link latency.
+	AccessLatencyMin, AccessLatencyMax float64
+}
+
+// AS7018Config mirrors the published scale of the Rocketfuel AS-7018
+// PoP-level map: on the order of 25 backbone PoPs and a little over a
+// hundred routers in total, wide-area latencies up to tens of
+// milliseconds, and single-digit local latencies.
+func AS7018Config() ASConfig {
+	return ASConfig{
+		BackbonePoPs:       25,
+		ExtraBackboneLinks: 20,
+		MinAccess:          2,
+		MaxAccess:          5,
+		BackboneLatencyMin: 2,
+		BackboneLatencyMax: 40,
+		AccessLatencyMin:   1,
+		AccessLatencyMax:   5,
+	}
+}
+
+func (c ASConfig) validate() error {
+	switch {
+	case c.BackbonePoPs < 3:
+		return fmt.Errorf("topo: need at least 3 backbone PoPs, got %d", c.BackbonePoPs)
+	case c.MinAccess < 0 || c.MaxAccess < c.MinAccess:
+		return fmt.Errorf("topo: invalid access-router range [%d,%d]", c.MinAccess, c.MaxAccess)
+	case c.BackboneLatencyMin <= 0 || c.BackboneLatencyMax < c.BackboneLatencyMin:
+		return fmt.Errorf("topo: invalid backbone latency range [%v,%v]", c.BackboneLatencyMin, c.BackboneLatencyMax)
+	case c.AccessLatencyMin <= 0 || c.AccessLatencyMax < c.AccessLatencyMin:
+		return fmt.Errorf("topo: invalid access latency range [%v,%v]", c.AccessLatencyMin, c.AccessLatencyMax)
+	case c.ExtraBackboneLinks < 0:
+		return fmt.Errorf("topo: negative extra backbone links %d", c.ExtraBackboneLinks)
+	}
+	return nil
+}
+
+// ASLike generates the synthetic ISP topology. Node ids [0, BackbonePoPs)
+// are the backbone PoPs; the remaining ids are access routers attached to
+// their PoP. All links carry T1 or T2 bandwidth with equal probability,
+// matching the paper's set-up.
+func ASLike(cfg ASConfig, rng *rand.Rand) (*graph.Graph, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	nb := cfg.BackbonePoPs
+	// Draw the per-PoP access-router counts first so the total is known.
+	accCount := make([]int, nb)
+	total := nb
+	for i := range accCount {
+		accCount[i] = cfg.MinAccess
+		if cfg.MaxAccess > cfg.MinAccess {
+			accCount[i] += rng.Intn(cfg.MaxAccess - cfg.MinAccess + 1)
+		}
+		total += accCount[i]
+	}
+	g := graph.New(total)
+	wan := func() float64 {
+		return cfg.BackboneLatencyMin + rng.Float64()*(cfg.BackboneLatencyMax-cfg.BackboneLatencyMin)
+	}
+	lan := func() float64 {
+		return cfg.AccessLatencyMin + rng.Float64()*(cfg.AccessLatencyMax-cfg.AccessLatencyMin)
+	}
+	bw := func() float64 {
+		if rng.Intn(2) == 0 {
+			return graph.BandwidthT1
+		}
+		return graph.BandwidthT2
+	}
+
+	// Backbone ring for guaranteed connectivity.
+	for i := 0; i < nb; i++ {
+		g.MustAddEdge(i, (i+1)%nb, wan(), bw())
+	}
+	// Redundant backbone links, preferring well-connected PoPs (degree
+	// proportional sampling gives the heavy-tailed ISP core).
+	for added := 0; added < cfg.ExtraBackboneLinks; added++ {
+		u := weightedPoP(g, nb, rng)
+		v := rng.Intn(nb)
+		if u == v || g.HasEdge(u, v) {
+			continue
+		}
+		g.MustAddEdge(u, v, wan(), bw())
+	}
+	// Access routers: each attaches to its PoP; some gain a redundant
+	// up-link to a random second PoP.
+	next := nb
+	for pop := 0; pop < nb; pop++ {
+		for a := 0; a < accCount[pop]; a++ {
+			g.MustAddEdge(pop, next, lan(), bw())
+			if rng.Float64() < 0.2 {
+				other := rng.Intn(nb)
+				if other != pop {
+					g.MustAddEdge(other, next, wan(), bw())
+				}
+			}
+			// Backbone PoPs aggregate many routers: give them more
+			// strength so the load model favours placing servers there.
+			g.SetStrength(next, 1)
+			next++
+		}
+		g.SetStrength(pop, 4)
+	}
+	return g, nil
+}
+
+// weightedPoP samples a backbone PoP with probability proportional to its
+// degree.
+func weightedPoP(g *graph.Graph, nb int, rng *rand.Rand) int {
+	total := 0
+	for i := 0; i < nb; i++ {
+		total += g.Degree(i)
+	}
+	if total == 0 {
+		return rng.Intn(nb)
+	}
+	r := rng.Intn(total)
+	for i := 0; i < nb; i++ {
+		r -= g.Degree(i)
+		if r < 0 {
+			return i
+		}
+	}
+	return nb - 1
+}

@@ -1,0 +1,113 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestASLikeShape(t *testing.T) {
+	cfg := AS7018Config()
+	g, err := ASLike(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() < cfg.BackbonePoPs+cfg.BackbonePoPs*cfg.MinAccess {
+		t.Fatalf("only %d nodes", g.N())
+	}
+	if g.N() > cfg.BackbonePoPs*(1+cfg.MaxAccess) {
+		t.Fatalf("%d nodes exceed the maximum", g.N())
+	}
+	if !g.Connected() {
+		t.Fatal("disconnected topology")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASLikeScaleMatchesRocketfuelPoPMap(t *testing.T) {
+	// The stand-in should land around the published AS-7018 scale: on the
+	// order of a hundred routers.
+	g, err := ASLike(AS7018Config(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() < 60 || g.N() > 200 {
+		t.Fatalf("%d nodes, want ISP scale (60–200)", g.N())
+	}
+}
+
+func TestASLikeLatencyRanges(t *testing.T) {
+	cfg := AS7018Config()
+	g, err := ASLike(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < g.N(); u++ {
+		for _, e := range g.Neighbors(u) {
+			if e.Latency < cfg.AccessLatencyMin || e.Latency > cfg.BackboneLatencyMax {
+				t.Fatalf("edge (%d,%d) latency %v outside all ranges", u, e.To, e.Latency)
+			}
+			if e.Bandwidth != graph.BandwidthT1 && e.Bandwidth != graph.BandwidthT2 {
+				t.Fatalf("edge (%d,%d) bandwidth %v not T1/T2", u, e.To, e.Bandwidth)
+			}
+		}
+	}
+}
+
+func TestASLikeBackboneStrongerThanAccess(t *testing.T) {
+	cfg := AS7018Config()
+	g, err := ASLike(cfg, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pop := 0; pop < cfg.BackbonePoPs; pop++ {
+		if g.Strength(pop) <= g.Strength(g.N()-1) {
+			t.Fatalf("PoP %d strength %v not above access strength %v", pop, g.Strength(pop), g.Strength(g.N()-1))
+		}
+	}
+}
+
+func TestASLikeDeterministic(t *testing.T) {
+	a, _ := ASLike(AS7018Config(), rand.New(rand.NewSource(5)))
+	b, _ := ASLike(AS7018Config(), rand.New(rand.NewSource(5)))
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatalf("same seed produced %d/%d vs %d/%d", a.N(), a.M(), b.N(), b.M())
+	}
+}
+
+func TestASLikeHeavyTailedCore(t *testing.T) {
+	// Degree-proportional extra links should leave some PoP with degree
+	// well above the ring baseline of 2.
+	g, err := ASLike(AS7018Config(), rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := 0
+	for v := 0; v < AS7018Config().BackbonePoPs; v++ {
+		if g.Degree(v) > max {
+			max = g.Degree(v)
+		}
+	}
+	if max < 5 {
+		t.Fatalf("max backbone degree %d, expected a hub", max)
+	}
+}
+
+func TestASLikeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bad := []ASConfig{
+		{BackbonePoPs: 2, MinAccess: 1, MaxAccess: 2, BackboneLatencyMin: 1, BackboneLatencyMax: 2, AccessLatencyMin: 1, AccessLatencyMax: 2},
+		func() ASConfig { c := AS7018Config(); c.MinAccess = 5; c.MaxAccess = 2; return c }(),
+		func() ASConfig { c := AS7018Config(); c.BackboneLatencyMin = 0; return c }(),
+		func() ASConfig { c := AS7018Config(); c.AccessLatencyMax = 0.5; return c }(),
+		func() ASConfig { c := AS7018Config(); c.ExtraBackboneLinks = -1; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := ASLike(cfg, rng); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package trace serialises simulation ledgers and experiment series as CSV
+// so the paper's figures can be re-plotted with any external tool.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/sim"
+)
+
+// WriteLedger emits one row per round with the full cost breakdown and
+// server counts.
+func WriteLedger(w io.Writer, l *sim.Ledger) error {
+	cw := csv.NewWriter(w)
+	header := []string{"round", "latency", "load", "run", "migration", "creation", "total", "active", "inactive"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for t, r := range l.Rounds {
+		rec := []string{
+			strconv.Itoa(t),
+			f(r.Latency), f(r.Load), f(r.Run), f(r.Migration), f(r.Creation), f(r.Total()),
+			strconv.Itoa(r.Active), strconv.Itoa(r.Inactive),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Series is one plotted line: a label and one value per x-position.
+type Series struct {
+	Label  string
+	Values []float64
+}
+
+// Table is the data behind one figure: shared x-axis values plus any number
+// of series.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+}
+
+// Validate checks that every series matches the x-axis length.
+func (t *Table) Validate() error {
+	for _, s := range t.Series {
+		if len(s.Values) != len(t.X) {
+			return fmt.Errorf("trace: series %q has %d values for %d x positions", s.Label, len(s.Values), len(t.X))
+		}
+	}
+	return nil
+}
+
+// WriteTable emits the table as CSV: a header with the x-label and series
+// labels, then one row per x position.
+func WriteTable(w io.Writer, t *Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{t.XLabel}, labels(t.Series)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, x := range t.X {
+		rec := make([]string, 0, 1+len(t.Series))
+		rec = append(rec, f(x))
+		for _, s := range t.Series {
+			rec = append(rec, f(s.Values[i]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Render pretty-prints the table for terminal output: the experiment
+// binaries print the same rows the paper's figures plot.
+func Render(w io.Writer, t *Table) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "# %s\n", t.Title)
+	}
+	if t.YLabel != "" {
+		fmt.Fprintf(w, "# y: %s\n", t.YLabel)
+	}
+	fmt.Fprintf(w, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(w, " %16s", s.Label)
+	}
+	fmt.Fprintln(w)
+	for i, x := range t.X {
+		fmt.Fprintf(w, "%-12g", x)
+		for _, s := range t.Series {
+			fmt.Fprintf(w, " %16.4f", s.Values[i])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func labels(ss []Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Label
+	}
+	return out
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func sampleLedger() *sim.Ledger {
+	l := &sim.Ledger{Algorithm: "X", Scenario: "Y"}
+	l.Rounds = []sim.RoundCost{
+		{Latency: 1, Load: 2, Run: 3, Active: 1},
+		{Latency: 4, Load: 5, Run: 6, Migration: 40, Active: 2, Inactive: 1},
+	}
+	return l
+}
+
+func TestWriteLedger(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLedger(&buf, sampleLedger()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "round,latency,load,run") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "1,4,5,6,40,0,55,2,1") {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func sampleTable() *Table {
+	return &Table{
+		Title:  "Figure X",
+		XLabel: "lambda",
+		YLabel: "total cost",
+		X:      []float64{1, 2},
+		Series: []Series{
+			{Label: "ONTH", Values: []float64{10, 20}},
+			{Label: "ONBR", Values: []float64{30, 40}},
+		},
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	want := "lambda,ONTH,ONBR\n1,10,30\n2,20,40\n"
+	if buf.String() != want {
+		t.Fatalf("got %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	bad := sampleTable()
+	bad.Series[0].Values = []float64{1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ragged table validated")
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, bad); err == nil {
+		t.Fatal("ragged table written")
+	}
+	if err := Render(&buf, bad); err == nil {
+		t.Fatal("ragged table rendered")
+	}
+}
+
+func TestRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Render(&buf, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Figure X", "# y: total cost", "ONTH", "ONBR", "10.0000", "40.0000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tab := sampleTable()
+	tab.Title, tab.YLabel = "", ""
+	var buf bytes.Buffer
+	if err := Render(&buf, tab); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "#") {
+		t.Fatal("unexpected comment lines")
+	}
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := NewSequence("rt", []cost.Demand{
+		cost.DemandFromList([]int{1, 1, 4}),
+		{},
+		cost.DemandFromList([]int{0}),
+	})
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 {
+		t.Fatalf("horizon = %d, want 3", got.Len())
+	}
+	for tt := 0; tt < 3; tt++ {
+		want, have := orig.Demand(tt), got.Demand(tt)
+		if want.Total() != have.Total() || want.Distinct() != have.Distinct() {
+			t.Fatalf("round %d: %v != %v", tt, have, want)
+		}
+		for _, p := range want.Pairs() {
+			if have.Count(p.Node) != p.Count {
+				t.Fatalf("round %d node %d: %d != %d", tt, p.Node, have.Count(p.Node), p.Count)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripGenerated(t *testing.T) {
+	m := lineMatrix(20)
+	orig, err := CommuterDynamic(m, CommuterConfig{T: 6, Lambda: 2}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, orig.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalRequests() != orig.TotalRequests() {
+		t.Fatalf("totals differ: %d vs %d", got.TotalRequests(), orig.TotalRequests())
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("0,3,2\n1,4,1\n"), "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Demand(0).Count(3) != 2 || s.Demand(1).Count(4) != 1 {
+		t.Fatalf("parsed wrong: %v / %v", s.Demand(0), s.Demand(1))
+	}
+}
+
+func TestReadCSVAccumulatesDuplicates(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("round,node,count\n0,3,2\n0,3,5\n"), "dup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Demand(0).Count(3) != 7 {
+		t.Fatalf("count = %d, want 7", s.Demand(0).Count(3))
+	}
+}
+
+func TestReadCSVSkipsNonPositiveCounts(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader("0,3,0\n2,4,1\n"), "sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("horizon = %d, want 3 (largest round + 1)", s.Len())
+	}
+	if !s.Demand(0).Empty() || !s.Demand(1).Empty() {
+		t.Fatal("zero-count rows must not create demand")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"0,3\n",    // wrong arity
+		"x,3,1\n",  // bad round
+		"0,y,1\n",  // bad node
+		"0,3,z\n",  // bad count
+		"-1,3,1\n", // negative round
+		"0,-3,1\n", // negative node
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in), "bad"); err == nil {
+			t.Errorf("case %d: %q accepted", i, in)
+		}
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	s, err := ReadCSV(strings.NewReader(""), "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Fatalf("horizon = %d, want 0", s.Len())
+	}
+}
+
+func TestCSVLargeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	orig, err := Uniform(50, 20, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < orig.Len(); tt++ {
+		if got.Demand(tt).Total() != orig.Demand(tt).Total() {
+			t.Fatalf("round %d differs", tt)
+		}
+	}
+}

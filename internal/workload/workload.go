@@ -1,0 +1,354 @@
+// Package workload generates the request sequences σ0, σ1, ... of the
+// paper's two evaluation scenarios (Section V-A): the time-zones scenario,
+// in which a rotating hotspot models global daytime effects, and the
+// commuter scenario, in which requests fan out from the network center in
+// the morning and fan back in in the evening, in a static-load and a
+// dynamic-load variant.
+//
+// All generators precompute the whole sequence at construction from a
+// caller-supplied *rand.Rand, so a sequence is deterministic, can be
+// replayed (offline algorithms see the future), and is safe for concurrent
+// reads.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/graph"
+)
+
+// Sequence is a fixed request sequence over a finite horizon.
+type Sequence struct {
+	name    string
+	demands []cost.Demand
+}
+
+// NewSequence wraps precomputed demands.
+func NewSequence(name string, demands []cost.Demand) *Sequence {
+	return &Sequence{name: name, demands: demands}
+}
+
+// Name identifies the scenario, e.g. "commuter-dynamic(T=10,λ=20)".
+func (s *Sequence) Name() string { return s.name }
+
+// Len returns the horizon (number of rounds).
+func (s *Sequence) Len() int { return len(s.demands) }
+
+// Demand returns σt. Rounds beyond the horizon have empty demand.
+func (s *Sequence) Demand(t int) cost.Demand {
+	if t < 0 || t >= len(s.demands) {
+		return cost.Demand{}
+	}
+	return s.demands[t]
+}
+
+// TotalRequests sums requests over the whole horizon.
+func (s *Sequence) TotalRequests() int {
+	total := 0
+	for _, d := range s.demands {
+		total += d.Total()
+	}
+	return total
+}
+
+// Slice returns the sub-sequence of rounds [from, to).
+func (s *Sequence) Slice(from, to int) *Sequence {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.demands) {
+		to = len(s.demands)
+	}
+	if from > to {
+		from = to
+	}
+	return &Sequence{name: s.name, demands: s.demands[from:to]}
+}
+
+// Aggregate merges the demand of rounds [from, to) into one multi-set.
+func (s *Sequence) Aggregate(from, to int) cost.Demand {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s.demands) {
+		to = len(s.demands)
+	}
+	if from >= to {
+		return cost.Demand{}
+	}
+	return cost.Aggregate(s.demands[from:to]...)
+}
+
+// centerOrdering returns all nodes sorted by shortest-path latency from the
+// network center (the center itself first; ties broken by node id). The
+// commuter scenario draws its access points "around the center" from the
+// prefix of this ordering.
+func centerOrdering(m *graph.Matrix) []int {
+	center := m.Center()
+	order := make([]int, m.N())
+	for i := range order {
+		order[i] = i
+	}
+	row := m.Row(center)
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := row[order[a]], row[order[b]]
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// spread returns the commuter fan index i for day phase ph in [0, T): it
+// rises 0, 1, ..., T/2 during the first half of the day and falls back
+// T/2−1, ..., 1 during the second half, so requests spread over 2^i access
+// points.
+func spread(ph, T int) int {
+	if ph <= T/2 {
+		return ph
+	}
+	return T - ph
+}
+
+// CommuterConfig parameterises both commuter variants.
+type CommuterConfig struct {
+	// T is the number of day phases; must be even and ≥ 2. The paper
+	// assumes the network has at least 2^(T/2) access points; when it does
+	// not, the generators keep the request volume and spread it over all
+	// nodes instead (the fan-out saturates).
+	T int
+	// Lambda is the number of rounds between phase changes (the parameter
+	// λ of Section V-A).
+	Lambda int
+}
+
+func (c CommuterConfig) validate(n int) error {
+	if c.T < 2 || c.T%2 != 0 {
+		return fmt.Errorf("workload: commuter needs even T >= 2, got %d", c.T)
+	}
+	if c.T/2 >= 30 {
+		return fmt.Errorf("workload: commuter T=%d overflows the 2^(T/2) request volume", c.T)
+	}
+	if c.Lambda < 1 {
+		return fmt.Errorf("workload: commuter needs λ >= 1, got %d", c.Lambda)
+	}
+	if n < 1 {
+		return fmt.Errorf("workload: commuter needs a non-empty network")
+	}
+	return nil
+}
+
+// fanPoints caps the fan-out at the network size: the paper assumes
+// 2^(T/2) ≤ |A| access points exist; for larger T we keep the request
+// volume and spread it over all n nodes instead.
+func fanPoints(i, n int) int {
+	points := 1 << uint(i)
+	if points > n {
+		points = n
+	}
+	return points
+}
+
+// distribute spreads total requests evenly over the first `points` entries
+// of order (the nodes closest to the center), giving the remainder to the
+// closest nodes.
+func distribute(order []int, points, total int) map[int]int {
+	counts := make(map[int]int, points)
+	per, rem := total/points, total%points
+	for j := 0; j < points; j++ {
+		c := per
+		if j < rem {
+			c++
+		}
+		if c > 0 {
+			counts[order[j]] = c
+		}
+	}
+	return counts
+}
+
+// TForSize returns the largest even T whose maximum fan-out 2^(T/2) still
+// fits into a network of n nodes. The paper's network-size sweeps note that
+// "T increases with network size in our model".
+func TForSize(n int) int {
+	T := 2
+	for (1 << uint(T/2+1)) <= n {
+		T += 2
+	}
+	return T
+}
+
+// CommuterStatic builds the static-load commuter scenario: the total demand
+// is fixed to 2^(T/2) requests per round; in phase i they originate from
+// 2^i access points around the center (2^(T/2−i) requests each), fanning
+// out to single requests from 2^(T/2) points and back in to one point, the
+// network center.
+func CommuterStatic(m *graph.Matrix, cfg CommuterConfig, rounds int) (*Sequence, error) {
+	if err := cfg.validate(m.N()); err != nil {
+		return nil, err
+	}
+	order := centerOrdering(m)
+	total := 1 << uint(cfg.T/2)
+	demands := make([]cost.Demand, rounds)
+	for t := 0; t < rounds; t++ {
+		ph := (t / cfg.Lambda) % cfg.T
+		points := fanPoints(spread(ph, cfg.T), m.N())
+		demands[t] = cost.DemandFromCounts(distribute(order, points, total))
+	}
+	name := fmt.Sprintf("commuter-static(T=%d,λ=%d)", cfg.T, cfg.Lambda)
+	return NewSequence(name, demands), nil
+}
+
+// CommuterDynamic builds the dynamic-load commuter scenario: in phase i a
+// single request originates from each of 2^i access points around the
+// center, so the total demand itself swings between 1 and 2^(T/2) requests
+// per round.
+func CommuterDynamic(m *graph.Matrix, cfg CommuterConfig, rounds int) (*Sequence, error) {
+	if err := cfg.validate(m.N()); err != nil {
+		return nil, err
+	}
+	order := centerOrdering(m)
+	demands := make([]cost.Demand, rounds)
+	for t := 0; t < rounds; t++ {
+		ph := (t / cfg.Lambda) % cfg.T
+		total := 1 << uint(spread(ph, cfg.T))
+		points := fanPoints(spread(ph, cfg.T), m.N())
+		demands[t] = cost.DemandFromCounts(distribute(order, points, total))
+	}
+	name := fmt.Sprintf("commuter-dynamic(T=%d,λ=%d)", cfg.T, cfg.Lambda)
+	return NewSequence(name, demands), nil
+}
+
+// TimeZonesConfig parameterises the time-zones scenario.
+type TimeZonesConfig struct {
+	// T is the number of time periods a day is divided into.
+	T int
+	// P is the hotspot share: the fraction of each round's requests that
+	// originate from the period's hotspot node (the paper uses p = 50%).
+	P float64
+	// Lambda is the sojourn time: the number of rounds a period lasts (the
+	// parameter the λ-sweeps of Figures 10 and 17 vary).
+	Lambda int
+	// RequestsPerRound is the demand volume. Zero selects a default
+	// comparable to the commuter scenario's 2^(T/2).
+	RequestsPerRound int
+}
+
+func (c TimeZonesConfig) validate() error {
+	if c.T < 1 {
+		return fmt.Errorf("workload: time zones needs T >= 1, got %d", c.T)
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("workload: hotspot share p=%v outside [0,1]", c.P)
+	}
+	if c.Lambda < 1 {
+		return fmt.Errorf("workload: time zones needs λ >= 1, got %d", c.Lambda)
+	}
+	if c.RequestsPerRound < 0 {
+		return fmt.Errorf("workload: negative requests per round %d", c.RequestsPerRound)
+	}
+	return nil
+}
+
+// TimeZones builds the time-zones scenario: a day is divided into T
+// periods; period i has a fixed hotspot node (drawn uniformly once — "the
+// same each day") from which p% of the round's requests originate, while
+// the remaining background requests come from access points drawn
+// uniformly at random each round.
+func TimeZones(m *graph.Matrix, cfg TimeZonesConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := m.N()
+	if n == 0 {
+		return nil, fmt.Errorf("workload: empty network")
+	}
+	reqs := cfg.RequestsPerRound
+	if reqs == 0 {
+		reqs = 1 << uint(TForSize(n)/2)
+	}
+	hotspots := make([]int, cfg.T)
+	for i := range hotspots {
+		hotspots[i] = rng.Intn(n)
+	}
+	hotCount := int(math.Round(cfg.P * float64(reqs)))
+	demands := make([]cost.Demand, rounds)
+	for t := 0; t < rounds; t++ {
+		period := (t / cfg.Lambda) % cfg.T
+		counts := make(map[int]int, reqs-hotCount+1)
+		if hotCount > 0 {
+			counts[hotspots[period]] += hotCount
+		}
+		for r := hotCount; r < reqs; r++ {
+			counts[rng.Intn(n)]++
+		}
+		demands[t] = cost.DemandFromCounts(counts)
+	}
+	name := fmt.Sprintf("time-zones(T=%d,p=%g,λ=%d,R=%d)", cfg.T, cfg.P, cfg.Lambda, reqs)
+	return NewSequence(name, demands), nil
+}
+
+// Uniform builds a memoryless baseline: every round, each of the given
+// number of requests originates from a node drawn uniformly at random.
+// This is the "arbitrary request sets σt, completely independent of σt−1"
+// extreme discussed in Section II-D.
+func Uniform(n, requestsPerRound, rounds int, rng *rand.Rand) (*Sequence, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: uniform needs a non-empty network")
+	}
+	if requestsPerRound < 0 {
+		return nil, fmt.Errorf("workload: negative requests per round %d", requestsPerRound)
+	}
+	demands := make([]cost.Demand, rounds)
+	for t := range demands {
+		counts := make(map[int]int, requestsPerRound)
+		for r := 0; r < requestsPerRound; r++ {
+			counts[rng.Intn(n)]++
+		}
+		demands[t] = cost.DemandFromCounts(counts)
+	}
+	return NewSequence(fmt.Sprintf("uniform(R=%d)", requestsPerRound), demands), nil
+}
+
+// OnOff builds the on/off mobility model of Section II-D: each of `users`
+// terminals appears at a uniformly random access point, stays there for a
+// sojourn time drawn uniformly from [minStay, maxStay] rounds, then jumps
+// to another random access point.
+func OnOff(n, users, minStay, maxStay, rounds int, rng *rand.Rand) (*Sequence, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: on/off needs a non-empty network")
+	}
+	if users < 0 {
+		return nil, fmt.Errorf("workload: negative user count %d", users)
+	}
+	if minStay < 1 || maxStay < minStay {
+		return nil, fmt.Errorf("workload: invalid sojourn range [%d,%d]", minStay, maxStay)
+	}
+	pos := make([]int, users)
+	until := make([]int, users)
+	stay := func() int { return minStay + rng.Intn(maxStay-minStay+1) }
+	for u := range pos {
+		pos[u] = rng.Intn(n)
+		until[u] = stay()
+	}
+	demands := make([]cost.Demand, rounds)
+	for t := range demands {
+		counts := make(map[int]int, users)
+		for u := range pos {
+			if until[u] == 0 {
+				pos[u] = rng.Intn(n)
+				until[u] = stay()
+			}
+			counts[pos[u]]++
+			until[u]--
+		}
+		demands[t] = cost.DemandFromCounts(counts)
+	}
+	name := fmt.Sprintf("on-off(users=%d,stay=[%d,%d])", users, minStay, maxStay)
+	return NewSequence(name, demands), nil
+}
