@@ -170,6 +170,75 @@ func BenchmarkScorerSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkScorerSweepReuse is BenchmarkScorerSweep with the scorer
+// released back to the pool each iteration, the steady-state pattern of
+// the epoch algorithms (allocation-free construction).
+func BenchmarkScorerSweepReuse(b *testing.B) {
+	env := benchGraph(b, 300)
+	rng := rand.New(rand.NewSource(3))
+	list := make([]int, 128)
+	for i := range list {
+		list[i] = rng.Intn(300)
+	}
+	d := cost.DemandFromList(list)
+	servers := []int{10, 50, 100, 150, 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, ok := cost.NewScorer(env.Eval, servers, d)
+		if !ok {
+			b.Fatal("no scorer")
+		}
+		for si := range servers {
+			for v := 0; v < 300; v += 7 {
+				sc.Move(si, v)
+			}
+		}
+		sc.Release()
+	}
+}
+
+// BenchmarkScorerApplyMove measures the incremental commit operation the
+// greedy loops use instead of rebuilding the scorer.
+func BenchmarkScorerApplyMove(b *testing.B) {
+	env := benchGraph(b, 300)
+	rng := rand.New(rand.NewSource(5))
+	list := make([]int, 128)
+	for i := range list {
+		list[i] = rng.Intn(300)
+	}
+	d := cost.DemandFromList(list)
+	sc, ok := cost.NewScorer(env.Eval, []int{10, 50, 100, 150, 200}, d)
+	if !ok {
+		b.Fatal("no scorer")
+	}
+	defer sc.Release()
+	spots := []int{20, 60, 110, 160, 210, 10, 50, 100, 150, 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.ApplyMove(i%5, spots[i%len(spots)])
+	}
+}
+
+// BenchmarkBestResponse measures one full epoch sweep (moves,
+// deactivations, additions over all nodes) through the parallel
+// shape-priced candidate scan.
+func BenchmarkBestResponse(b *testing.B) {
+	env := benchGraph(b, 300)
+	rng := rand.New(rand.NewSource(6))
+	list := make([]int, 256)
+	for i := range list {
+		list[i] = rng.Intn(300)
+	}
+	agg := cost.DemandFromList(list)
+	pool := env.NewPool()
+	pool.Bootstrap(core.NewPlacement(10, 50, 100, 150, 200))
+	moves := online.SearchMoves{Move: true, Deactivate: true, Add: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		online.BestResponse(env, pool, agg, 12, moves)
+	}
+}
+
 func BenchmarkPoolSwitch(b *testing.B) {
 	pool := core.NewPool(core.Params{Costs: cost.DefaultParams(), QueueCap: 3, Expiry: 20})
 	pool.Bootstrap(core.NewPlacement(1, 2, 3))

@@ -1,0 +1,72 @@
+// Command snapshot prints every figure and table of the evaluation with
+// full float precision, for byte-level parity checks across optimisation
+// work: run it before and after a change and diff the output.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	seed := int64(1)
+	if len(os.Args) > 1 {
+		s, err := strconv.ParseInt(os.Args[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		seed = s
+	}
+	o := experiments.Options{Quick: true, Seed: seed}
+	figs := []struct {
+		name string
+		fn   func(experiments.Options) (*trace.Table, error)
+	}{
+		{"Figure1", experiments.Figure1}, {"Figure2", experiments.Figure2},
+		{"Figure3", experiments.Figure3}, {"Figure4", experiments.Figure4},
+		{"Figure5", experiments.Figure5}, {"Figure6", experiments.Figure6},
+		{"Figure7", experiments.Figure7}, {"Figure8", experiments.Figure8},
+		{"Figure9", experiments.Figure9}, {"Figure10", experiments.Figure10},
+		{"Figure11", experiments.Figure11}, {"Figure12", experiments.Figure12},
+		{"Figure13", experiments.Figure13}, {"Figure14", experiments.Figure14},
+		{"Figure15", experiments.Figure15}, {"Figure16", experiments.Figure16},
+		{"Figure17", experiments.Figure17}, {"Figure18", experiments.Figure18},
+		{"Figure19", experiments.Figure19},
+		{"AblationQueue", experiments.AblationQueue},
+		{"AblationExpiry", experiments.AblationExpiry},
+		{"AblationY", experiments.AblationY},
+		{"AblationTheta", experiments.AblationTheta},
+		{"AblationLoad", experiments.AblationLoad},
+		{"AblationAssign", experiments.AblationAssign},
+		{"CompareOnlineVariants", experiments.CompareOnlineVariants},
+	}
+	for _, f := range figs {
+		tab, err := f.fn(o)
+		if err != nil {
+			fmt.Printf("%s: ERROR %v\n", f.name, err)
+			continue
+		}
+		fmt.Printf("== %s: %s\n", f.name, tab.Title)
+		for _, x := range tab.X {
+			fmt.Printf("x %.17g\n", x)
+		}
+		for _, s := range tab.Series {
+			fmt.Printf("series %s:", s.Label)
+			for _, v := range s.Values {
+				fmt.Printf(" %.17g", v)
+			}
+			fmt.Println()
+		}
+	}
+	rf, err := experiments.TableRocketfuel(o)
+	if err != nil {
+		fmt.Printf("TableRocketfuel: ERROR %v\n", err)
+		return
+	}
+	fmt.Printf("== TableRocketfuel\n%+v\n", rf)
+}

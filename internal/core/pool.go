@@ -140,9 +140,34 @@ func (p *Pool) hasInactiveAt(v int) (int, bool) {
 	return -1, false
 }
 
-// PredictSwitch returns the cost SwitchTo(target) would charge, without
-// changing any state.
-func (p *Pool) PredictSwitch(target Placement) Delta {
+// PredictShape returns the cost SwitchTo would charge and the number of
+// cached inactive servers the pool would hold afterwards, for any target
+// described only by its *shape*: it enters `entering` new nodes (of which
+// `free` already cache an inactive server and activate for free) and
+// vacates `leaving` active nodes. Candidate sweeps use this to price whole
+// classes of single-change candidates (move/deactivate/add, cached or not)
+// with four shape evaluations instead of one placement diff per candidate.
+func (p *Pool) PredictShape(entering, leaving, free int) (Delta, int) {
+	created := entering - free
+	cached := len(p.inactive) - free
+	d := p.delta(created, leaving+cached)
+	fromLeaving := d.Migrations
+	if fromLeaving > leaving {
+		fromLeaving = leaving
+	}
+	cached -= d.Migrations - fromLeaving // cache entries migrated away
+	cached += leaving - fromLeaving      // vacated servers entering the cache
+	if p.params.QueueCap == 0 {
+		cached = 0
+	} else if cached > p.params.QueueCap {
+		cached = p.params.QueueCap
+	}
+	return d, cached
+}
+
+// shapeOf reduces a concrete target to the (entering, leaving, free)
+// arguments of PredictShape.
+func (p *Pool) shapeOf(target Placement) (int, int, int) {
 	entering, leaving := p.active.Diff(target)
 	// Entering nodes that already cache an inactive server activate free.
 	free := 0
@@ -151,39 +176,21 @@ func (p *Pool) PredictSwitch(target Placement) Delta {
 			free++
 		}
 	}
-	created := len(entering) - free
-	// Vacated active servers plus cached servers not consumed by free
-	// activation are available for migration.
-	vacated := len(leaving) + (len(p.inactive) - free)
-	return p.delta(created, vacated)
+	return len(entering), len(leaving), free
+}
+
+// PredictSwitch returns the cost SwitchTo(target) would charge, without
+// changing any state.
+func (p *Pool) PredictSwitch(target Placement) Delta {
+	d, _ := p.PredictShape(p.shapeOf(target))
+	return d
 }
 
 // PredictInactiveAfter returns the number of cached inactive servers the
 // pool would hold after SwitchTo(target), used by the best-response
 // algorithms to predict a candidate's running cost.
 func (p *Pool) PredictInactiveAfter(target Placement) int {
-	entering, leaving := p.active.Diff(target)
-	free := 0
-	for _, v := range entering {
-		if _, ok := p.hasInactiveAt(v); ok {
-			free++
-		}
-	}
-	cached := len(p.inactive) - free
-	needFill := len(entering) - free
-	d := p.delta(needFill, len(leaving)+cached)
-	fromLeaving := d.Migrations
-	if fromLeaving > len(leaving) {
-		fromLeaving = len(leaving)
-	}
-	cached -= d.Migrations - fromLeaving // cache entries migrated away
-	cached += len(leaving) - fromLeaving // vacated servers entering the cache
-	if p.params.QueueCap == 0 {
-		return 0
-	}
-	if cached > p.params.QueueCap {
-		cached = p.params.QueueCap
-	}
+	_, cached := p.PredictShape(p.shapeOf(target))
 	return cached
 }
 

@@ -1,0 +1,37 @@
+package cost
+
+// growF returns a slice of exactly n float64s, reusing buf's backing array
+// when it is large enough. Contents are unspecified.
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growI is growF for int slices.
+func growI(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growB is growF for bool slices; the returned slice is zeroed.
+func growB(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// zeroF clears a float64 slice.
+func zeroF(buf []float64) {
+	for i := range buf {
+		buf[i] = 0
+	}
+}

@@ -68,6 +68,56 @@ func Aggregate(ds ...Demand) Demand {
 	return DemandFromCounts(counts)
 }
 
+// Accumulator aggregates per-round demands incrementally. The epoch-based
+// algorithms (ONBR, ONTH) fold every round's demand into their running
+// epoch summary as it arrives, in O(distinct access points) per round,
+// instead of buffering the window and re-merging it through a map at every
+// epoch end. Snapshot demands are identical to Aggregate over the window.
+type Accumulator struct {
+	counts  []int // dense per-node request counts
+	touched []int // nodes with counts > 0, unsorted
+	total   int
+}
+
+// NewAccumulator returns an accumulator for access points in [0, n).
+func NewAccumulator(n int) *Accumulator {
+	return &Accumulator{counts: make([]int, n)}
+}
+
+// Add folds one round's demand into the accumulator.
+func (a *Accumulator) Add(d Demand) {
+	for _, p := range d.pairs {
+		if a.counts[p.Node] == 0 {
+			a.touched = append(a.touched, p.Node)
+		}
+		a.counts[p.Node] += p.Count
+	}
+	a.total += d.total
+}
+
+// Total returns the number of accumulated requests.
+func (a *Accumulator) Total() int { return a.total }
+
+// Demand returns the aggregated multi-set. The snapshot is independent of
+// the accumulator's further life.
+func (a *Accumulator) Demand() Demand {
+	sort.Ints(a.touched)
+	d := Demand{pairs: make([]NodeCount, len(a.touched)), total: a.total}
+	for i, v := range a.touched {
+		d.pairs[i] = NodeCount{Node: v, Count: a.counts[v]}
+	}
+	return d
+}
+
+// Reset clears the accumulator for the next epoch.
+func (a *Accumulator) Reset() {
+	for _, v := range a.touched {
+		a.counts[v] = 0
+	}
+	a.touched = a.touched[:0]
+	a.total = 0
+}
+
 // Total returns the number of requests in the round.
 func (d Demand) Total() int { return d.total }
 

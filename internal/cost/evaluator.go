@@ -3,6 +3,7 @@ package cost
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -52,12 +53,15 @@ func (p Policy) String() string {
 }
 
 // Evaluator computes access costs on a fixed substrate. It is safe for
-// concurrent use: all state is read-only after construction.
+// concurrent use: all model state is read-only after construction, and the
+// scratch workspaces handed out by the internal pool are never shared.
 type Evaluator struct {
 	g      *graph.Graph
 	m      *graph.Matrix
 	load   LoadFunc
 	policy Policy
+
+	sessions sync.Pool // of *Session, so steady-state Access is allocation-free
 }
 
 // NewEvaluator builds an evaluator for the given substrate and load model.
@@ -65,7 +69,40 @@ func NewEvaluator(g *graph.Graph, m *graph.Matrix, load LoadFunc, policy Policy)
 	if g.N() != m.N() {
 		panic(fmt.Sprintf("cost: matrix size %d does not match graph size %d", m.N(), g.N()))
 	}
-	return &Evaluator{g: g, m: m, load: load, policy: policy}
+	e := &Evaluator{g: g, m: m, load: load, policy: policy}
+	e.sessions.New = func() any { return &Session{e: e} }
+	return e
+}
+
+// Session is a reusable scratch workspace for access-cost evaluation. A
+// session is not safe for concurrent use; callers that evaluate from many
+// goroutines hold one session per goroutine (Evaluator.Access does this
+// transparently through an internal pool).
+type Session struct {
+	e   *Evaluator
+	off []float64 // per-server routing offset
+	eta []float64 // per-server request volume
+	occ []bool    // per-node occupancy flags (BestAddition)
+}
+
+// NewSession returns a workspace bound to the evaluator. Reusing one
+// session across evaluations makes Access allocation-free.
+func (e *Evaluator) NewSession() *Session {
+	return &Session{e: e}
+}
+
+// Access is Evaluator.Access evaluated in this session's scratch space.
+func (s *Session) Access(servers []int, d Demand) AccessCost {
+	if d.Empty() {
+		return AccessCost{}
+	}
+	if len(servers) == 0 {
+		return InfiniteAccess()
+	}
+	if s.e.Separable() {
+		return s.accessSeparable(servers, d)
+	}
+	return s.accessGreedy(servers, d)
 }
 
 // Graph returns the substrate the evaluator was built for.
@@ -91,16 +128,10 @@ func (e *Evaluator) Separable() bool {
 // given nodes. Server nodes must be distinct; a node hosts at most one
 // server of the service. An empty server set can serve only empty demand.
 func (e *Evaluator) Access(servers []int, d Demand) AccessCost {
-	if d.Empty() {
-		return AccessCost{}
-	}
-	if len(servers) == 0 {
-		return InfiniteAccess()
-	}
-	if e.Separable() {
-		return e.accessSeparable(servers, d)
-	}
-	return e.accessGreedy(servers, d)
+	ws := e.sessions.Get().(*Session)
+	ac := ws.Access(servers, d)
+	e.sessions.Put(ws)
+	return ac
 }
 
 // effMarginal returns the routing offset of a server: the (constant)
@@ -113,26 +144,31 @@ func (e *Evaluator) effMarginal(server int) float64 {
 }
 
 // accessSeparable exploits that the request-to-server choice decomposes:
-// every request independently minimises latency + routing offset.
-func (e *Evaluator) accessSeparable(servers []int, d Demand) AccessCost {
-	off := make([]float64, len(servers))
-	for i, s := range servers {
-		off[i] = e.effMarginal(s)
+// every request independently minimises latency + routing offset. Each
+// demand node's distances come from one contiguous matrix row.
+func (s *Session) accessSeparable(servers []int, d Demand) AccessCost {
+	e := s.e
+	s.off = growF(s.off, len(servers))
+	s.eta = growF(s.eta, len(servers))
+	off, eta := s.off, s.eta
+	for i, sv := range servers {
+		off[i] = e.effMarginal(sv)
 	}
-	eta := make([]float64, len(servers))
+	zeroF(eta)
 	var ac AccessCost
 	for _, p := range d.Pairs() {
+		row := e.m.Row(p.Node)
 		best, bestCost := 0, math.MaxFloat64
-		for i, s := range servers {
-			if c := e.m.Dist(p.Node, s) + off[i]; c < bestCost {
+		for i, sv := range servers {
+			if c := row[sv] + off[i]; c < bestCost {
 				best, bestCost = i, c
 			}
 		}
-		ac.Latency += float64(p.Count) * e.m.Dist(p.Node, servers[best])
+		ac.Latency += float64(p.Count) * row[servers[best]]
 		eta[best] += float64(p.Count)
 	}
-	for i, s := range servers {
-		ac.Load += e.load.Value(e.g.Strength(s), eta[i])
+	for i, sv := range servers {
+		ac.Load += e.load.Value(e.g.Strength(sv), eta[i])
 	}
 	return ac
 }
@@ -140,25 +176,33 @@ func (e *Evaluator) accessSeparable(servers []int, d Demand) AccessCost {
 // accessGreedy routes one request at a time to the server with minimal
 // latency + current marginal load. Requests are processed in ascending
 // access-point order, one unit at a time, so the result is deterministic.
-func (e *Evaluator) accessGreedy(servers []int, d Demand) AccessCost {
-	eta := make([]float64, len(servers))
+func (s *Session) accessGreedy(servers []int, d Demand) AccessCost {
+	e := s.e
+	s.eta = growF(s.eta, len(servers))
+	s.off = growF(s.off, len(servers))
+	eta, str := s.eta, s.off // reuse the offset buffer for strengths
+	zeroF(eta)
+	for i, sv := range servers {
+		str[i] = e.g.Strength(sv)
+	}
 	var latency float64
 	for _, p := range d.Pairs() {
+		row := e.m.Row(p.Node)
 		for u := 0; u < p.Count; u++ {
 			best, bestCost := 0, math.MaxFloat64
-			for i, s := range servers {
-				c := e.m.Dist(p.Node, s) + e.load.Marginal(e.g.Strength(s), eta[i])
+			for i, sv := range servers {
+				c := row[sv] + e.load.Marginal(str[i], eta[i])
 				if c < bestCost {
 					best, bestCost = i, c
 				}
 			}
-			latency += e.m.Dist(p.Node, servers[best])
+			latency += row[servers[best]]
 			eta[best]++
 		}
 	}
 	var load float64
-	for i, s := range servers {
-		load += e.load.Value(e.g.Strength(s), eta[i])
+	for i := range servers {
+		load += e.load.Value(str[i], eta[i])
 	}
 	return AccessCost{Latency: latency, Load: load}
 }
@@ -170,35 +214,38 @@ func (e *Evaluator) accessGreedy(servers []int, d Demand) AccessCost {
 // latest large epoch") and by the greedy placement of OFFSTAT. The second
 // return is false when no free node exists.
 func (e *Evaluator) BestAddition(servers []int, d Demand) (int, AccessCost, bool) {
-	occupied := make(map[int]bool, len(servers))
+	ws := e.sessions.Get().(*Session)
+	ws.occ = growB(ws.occ, e.g.N())
 	for _, s := range servers {
-		occupied[s] = true
+		ws.occ[s] = true
 	}
 	bestNode, found := -1, false
 	if sc, ok := NewScorer(e, servers, d); ok {
 		bestScore := math.MaxFloat64
 		for v := 0; v < e.g.N(); v++ {
-			if occupied[v] {
+			if ws.occ[v] {
 				continue
 			}
 			if score := sc.Add(v); !found || score < bestScore {
 				bestNode, bestScore, found = v, score, true
 			}
 		}
+		sc.Release()
 	} else {
 		bestScore := math.MaxFloat64
 		cand := make([]int, len(servers)+1)
 		copy(cand, servers)
 		for v := 0; v < e.g.N(); v++ {
-			if occupied[v] {
+			if ws.occ[v] {
 				continue
 			}
 			cand[len(servers)] = v
-			if score := e.Access(cand, d).Total(); !found || score < bestScore {
+			if score := ws.Access(cand, d).Total(); !found || score < bestScore {
 				bestNode, bestScore, found = v, score, true
 			}
 		}
 	}
+	e.sessions.Put(ws)
 	if !found {
 		return -1, AccessCost{}, false
 	}

@@ -1,0 +1,390 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// This file pins the optimised access-cost and scorer kernels to naive
+// reference implementations (the straightforward per-element code the flat
+// kernels replaced). Equality is exact — bit-identical floats — because
+// the optimisations only restructure data access, never the arithmetic,
+// and the experiment parity guarantee depends on that.
+
+// naiveAccess is the reference Costacc evaluation: per-element Dist calls,
+// fresh allocations, no row slices.
+func naiveAccess(e *Evaluator, servers []int, d Demand) AccessCost {
+	if d.Empty() {
+		return AccessCost{}
+	}
+	if len(servers) == 0 {
+		return InfiniteAccess()
+	}
+	if e.Separable() {
+		off := make([]float64, len(servers))
+		for i, s := range servers {
+			off[i] = e.effMarginal(s)
+		}
+		eta := make([]float64, len(servers))
+		var ac AccessCost
+		for _, p := range d.Pairs() {
+			best, bestCost := 0, math.MaxFloat64
+			for i, s := range servers {
+				if c := e.m.Dist(p.Node, s) + off[i]; c < bestCost {
+					best, bestCost = i, c
+				}
+			}
+			ac.Latency += float64(p.Count) * e.m.Dist(p.Node, servers[best])
+			eta[best] += float64(p.Count)
+		}
+		for i, s := range servers {
+			ac.Load += e.load.Value(e.g.Strength(s), eta[i])
+		}
+		return ac
+	}
+	eta := make([]float64, len(servers))
+	var latency float64
+	for _, p := range d.Pairs() {
+		for u := 0; u < p.Count; u++ {
+			best, bestCost := 0, math.MaxFloat64
+			for i, s := range servers {
+				c := e.m.Dist(p.Node, s) + e.load.Marginal(e.g.Strength(s), eta[i])
+				if c < bestCost {
+					best, bestCost = i, c
+				}
+			}
+			latency += e.m.Dist(p.Node, servers[best])
+			eta[best]++
+		}
+	}
+	var load float64
+	for i, s := range servers {
+		load += e.load.Value(e.g.Strength(s), eta[i])
+	}
+	return AccessCost{Latency: latency, Load: load}
+}
+
+// naiveScorer is the reference candidate scorer: built per use, offsets
+// through a closure, no arg2 bookkeeping.
+type naiveScorer struct {
+	e            *Evaluator
+	servers      []int
+	pairs        []NodeCount
+	offsetAt     func(server int) float64
+	best1, best2 []float64
+	arg1         []int
+	baseTotal    float64
+}
+
+func newNaiveScorer(e *Evaluator, servers []int, d Demand, offsetAt func(int) float64) *naiveScorer {
+	s := &naiveScorer{
+		e:        e,
+		servers:  append([]int(nil), servers...),
+		pairs:    d.Pairs(),
+		offsetAt: offsetAt,
+		best1:    make([]float64, d.Distinct()),
+		best2:    make([]float64, d.Distinct()),
+		arg1:     make([]int, d.Distinct()),
+	}
+	off := make([]float64, len(servers))
+	for i, sv := range servers {
+		off[i] = offsetAt(sv)
+	}
+	for pi, p := range s.pairs {
+		b1, b2, a1 := math.MaxFloat64, math.MaxFloat64, -1
+		for i, sv := range servers {
+			c := e.m.Dist(p.Node, sv) + off[i]
+			switch {
+			case c < b1:
+				b1, b2, a1 = c, b1, i
+			case c < b2:
+				b2 = c
+			}
+		}
+		s.best1[pi], s.best2[pi], s.arg1[pi] = b1, b2, a1
+		s.baseTotal += float64(p.Count) * b1
+	}
+	return s
+}
+
+func (s *naiveScorer) eff(node, server int) float64 {
+	return s.e.m.Dist(node, server) + s.offsetAt(server)
+}
+
+func (s *naiveScorer) add(v int) float64 {
+	total := 0.0
+	for pi, p := range s.pairs {
+		c := s.eff(p.Node, v)
+		if b := s.best1[pi]; b < c {
+			c = b
+		}
+		total += float64(p.Count) * c
+	}
+	return total
+}
+
+func (s *naiveScorer) remove(i int) float64 {
+	if len(s.servers) == 1 {
+		if len(s.pairs) == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	total := 0.0
+	for pi, p := range s.pairs {
+		c := s.best1[pi]
+		if s.arg1[pi] == i {
+			c = s.best2[pi]
+		}
+		total += float64(p.Count) * c
+	}
+	return total
+}
+
+func (s *naiveScorer) move(i, v int) float64 {
+	total := 0.0
+	for pi, p := range s.pairs {
+		c := s.best1[pi]
+		if s.arg1[pi] == i {
+			c = s.best2[pi]
+		}
+		if cv := s.eff(p.Node, v); cv < c {
+			c = cv
+		}
+		total += float64(p.Count) * c
+	}
+	return total
+}
+
+// randomInstance builds a random connected substrate with random strengths,
+// a random placement, and a random demand.
+func randomParityInstance(rng *rand.Rand) (*graph.Graph, *graph.Matrix, []int, Demand) {
+	n := 5 + rng.Intn(25)
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.MustAddEdge(rng.Intn(v), v, 0.25+4*rng.Float64(), 1)
+	}
+	for extra := rng.Intn(2 * n); extra > 0; extra-- {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !g.HasEdge(u, v) {
+			g.MustAddEdge(u, v, 0.25+4*rng.Float64(), 1)
+		}
+	}
+	for v := 0; v < n; v++ {
+		g.SetStrength(v, 0.25+3*rng.Float64())
+	}
+	k := 1 + rng.Intn(n/2+1)
+	perm := rng.Perm(n)
+	servers := append([]int(nil), perm[:k]...)
+	list := make([]int, 1+rng.Intn(40))
+	for i := range list {
+		list[i] = rng.Intn(n)
+	}
+	return g, g.AllPairs(), servers, DemandFromList(list)
+}
+
+func TestAccessMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	loads := []LoadFunc{Linear{}, Quadratic{}, Power{P: 1}, Power{P: 2.5}}
+	policies := []Policy{AssignMinCost, AssignNearest}
+	for trial := 0; trial < 60; trial++ {
+		g, m, servers, d := randomParityInstance(rng)
+		load := loads[trial%len(loads)]
+		policy := policies[trial%len(policies)]
+		e := NewEvaluator(g, m, load, policy)
+		got := e.Access(servers, d)
+		want := naiveAccess(e, servers, d)
+		if got != want {
+			t.Fatalf("trial %d (%s/%s): Access = %+v, naive = %+v",
+				trial, load.Name(), policy, got, want)
+		}
+	}
+}
+
+func TestScorerMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 40; trial++ {
+		g, m, servers, d := randomParityInstance(rng)
+		e := NewEvaluator(g, m, Linear{}, AssignMinCost)
+		sc, ok := NewScorer(e, servers, d)
+		if !ok {
+			t.Fatal("exact scorer unavailable for linear load")
+		}
+		ref := newNaiveScorer(e, servers, d, func(v int) float64 {
+			return e.load.Marginal(e.g.Strength(v), 0)
+		})
+		comparePairScorers(t, trial, sc, ref, g.N())
+		sc.Release()
+
+		// The linearised variant must agree with its reference too.
+		eq := NewEvaluator(g, m, Quadratic{}, AssignMinCost)
+		hint := 1 + 5*rng.Float64()
+		sa := NewScorerApprox(eq, servers, d, hint)
+		refA := newNaiveScorer(eq, servers, d, func(v int) float64 {
+			return eq.load.Marginal(eq.g.Strength(v), hint)
+		})
+		comparePairScorers(t, trial, sa, refA, g.N())
+		sa.Release()
+	}
+}
+
+func comparePairScorers(t *testing.T, trial int, sc *Scorer, ref *naiveScorer, n int) {
+	t.Helper()
+	if sc.Base() != ref.baseTotal {
+		t.Fatalf("trial %d: Base = %v, naive = %v", trial, sc.Base(), ref.baseTotal)
+	}
+	for v := 0; v < n; v++ {
+		if got, want := sc.Add(v), ref.add(v); got != want {
+			t.Fatalf("trial %d: Add(%d) = %v, naive = %v", trial, v, got, want)
+		}
+	}
+	for i := range ref.servers {
+		if got, want := sc.Remove(i), ref.remove(i); got != want {
+			t.Fatalf("trial %d: Remove(%d) = %v, naive = %v", trial, i, got, want)
+		}
+		for v := 0; v < n; v += 3 {
+			if got, want := sc.Move(i, v), ref.move(i, v); got != want {
+				t.Fatalf("trial %d: Move(%d,%d) = %v, naive = %v", trial, i, v, got, want)
+			}
+		}
+	}
+}
+
+// TestScorerIncrementalCommits drives a random sequence of ApplyAdd /
+// ApplyMove / ApplyRemove commits and checks after each one that the
+// incrementally maintained scorer is indistinguishable from a scorer
+// built from scratch on the same server list.
+func TestScorerIncrementalCommits(t *testing.T) {
+	rng := rand.New(rand.NewSource(331))
+	for trial := 0; trial < 25; trial++ {
+		g, m, servers, d := randomParityInstance(rng)
+		e := NewEvaluator(g, m, Linear{}, AssignMinCost)
+		n := g.N()
+		sc, ok := NewScorer(e, servers, d)
+		if !ok {
+			t.Fatal("exact scorer unavailable")
+		}
+		occupied := func(v int) bool {
+			for _, s := range sc.Servers() {
+				if s == v {
+					return true
+				}
+			}
+			return false
+		}
+		for step := 0; step < 30; step++ {
+			switch op := rng.Intn(3); {
+			case op == 0 && len(sc.Servers()) < n:
+				v := rng.Intn(n)
+				for occupied(v) {
+					v = rng.Intn(n)
+				}
+				sc.ApplyAdd(v)
+			case op == 1 && len(sc.Servers()) > 1:
+				sc.ApplyRemove(rng.Intn(len(sc.Servers())))
+			default:
+				if len(sc.Servers()) == n {
+					continue
+				}
+				v := rng.Intn(n)
+				for occupied(v) {
+					v = rng.Intn(n)
+				}
+				sc.ApplyMove(rng.Intn(len(sc.Servers())), v)
+			}
+			fresh, ok := NewScorer(e, sc.Servers(), d)
+			if !ok {
+				t.Fatal("fresh scorer unavailable")
+			}
+			if sc.Base() != fresh.Base() {
+				t.Fatalf("trial %d step %d: Base = %v, fresh = %v",
+					trial, step, sc.Base(), fresh.Base())
+			}
+			for v := 0; v < n; v += 2 {
+				if sc.Add(v) != fresh.Add(v) {
+					t.Fatalf("trial %d step %d: Add(%d) = %v, fresh = %v",
+						trial, step, v, sc.Add(v), fresh.Add(v))
+				}
+			}
+			for i := range sc.Servers() {
+				if sc.Remove(i) != fresh.Remove(i) {
+					t.Fatalf("trial %d step %d: Remove(%d) = %v, fresh = %v",
+						trial, step, i, sc.Remove(i), fresh.Remove(i))
+				}
+				v := rng.Intn(n)
+				if sc.Move(i, v) != fresh.Move(i, v) {
+					t.Fatalf("trial %d step %d: Move(%d,%d) = %v, fresh = %v",
+						trial, step, i, v, sc.Move(i, v), fresh.Move(i, v))
+				}
+			}
+			fresh.Release()
+		}
+		sc.Release()
+	}
+}
+
+// Allocation regressions: the hot kernels must be allocation-free in
+// steady state (after the internal pools are warm). Race instrumentation
+// makes sync.Pool drop entries at random, so the pin only holds without
+// -race.
+func TestHotPathAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops entries under the race detector")
+	}
+	rng := rand.New(rand.NewSource(17))
+	g, m, servers, d := randomParityInstance(rng)
+	e := NewEvaluator(g, m, Linear{}, AssignMinCost)
+	eg := NewEvaluator(g, m, Quadratic{}, AssignMinCost)
+
+	e.Access(servers, d) // warm the session pool
+	if avg := testing.AllocsPerRun(200, func() { e.Access(servers, d) }); avg != 0 {
+		t.Errorf("Access (separable): %v allocs/op, want 0", avg)
+	}
+	eg.Access(servers, d)
+	if avg := testing.AllocsPerRun(200, func() { eg.Access(servers, d) }); avg != 0 {
+		t.Errorf("Access (greedy): %v allocs/op, want 0", avg)
+	}
+
+	sc, ok := NewScorer(e, servers, d)
+	if !ok {
+		t.Fatal("no scorer")
+	}
+	if avg := testing.AllocsPerRun(200, func() { sc.Move(0, 1) }); avg != 0 {
+		t.Errorf("Scorer.Move: %v allocs/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() { sc.Add(2) }); avg != 0 {
+		t.Errorf("Scorer.Add: %v allocs/op, want 0", avg)
+	}
+	free := 0
+	for v := 0; v < g.N(); v++ {
+		taken := false
+		for _, s := range sc.Servers() {
+			if s == v {
+				taken = true
+			}
+		}
+		if !taken {
+			free = v
+			break
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() { sc.ApplyMove(0, free) }); avg != 0 {
+		t.Errorf("Scorer.ApplyMove: %v allocs/op, want 0", avg)
+	}
+	sc.Release()
+
+	// Steady-state construction through the pool.
+	for i := 0; i < 3; i++ {
+		s2, _ := NewScorer(e, servers, d)
+		s2.Release()
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		s2, _ := NewScorer(e, servers, d)
+		s2.Release()
+	}); avg != 0 {
+		t.Errorf("NewScorer+Release: %v allocs/op, want 0", avg)
+	}
+}

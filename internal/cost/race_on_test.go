@@ -1,0 +1,5 @@
+//go:build race
+
+package cost
+
+const raceEnabled = true

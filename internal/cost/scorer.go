@@ -1,6 +1,9 @@
 package cost
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Scorer accelerates the single-change candidate searches performed by the
 // best-response algorithms (ONBR, ONTH, and their offline variants): given
@@ -13,17 +16,32 @@ import "math"
 // evaluator's closed form applies; NewScorerApprox builds a linearised
 // approximation for arbitrary load functions, suitable for *searching*
 // candidates whose final cost the caller re-evaluates exactly.
+//
+// Scorers are pooled: Release returns one to the pool, making steady-state
+// construction allocation-free. The Apply* operations commit an accepted
+// change in place, so greedy loops (OFFSTAT's placement curve, epoch
+// sweeps that accept one change at a time) maintain the per-access-point
+// best1/best2 structure incrementally instead of rebuilding it.
+//
+// A scorer is safe for concurrent *reads* (Add/Remove/Move/Base); the
+// Apply* commits and Release are not.
 type Scorer struct {
-	e        *Evaluator
-	servers  []int
-	pairs    []NodeCount
-	offsetAt func(server int) float64
+	e       *Evaluator
+	servers []int
+	pairs   []NodeCount
+	// offNode[v] is the routing offset a server at node v would have,
+	// precomputed for every substrate node (replaces the per-candidate
+	// offset closure of earlier versions).
+	offNode []float64
 	// Per demand node: the two smallest effective distances over the
-	// current servers and the index (into servers) achieving the smallest.
+	// current servers and the indexes (into servers) achieving them.
 	best1, best2 []float64
-	arg1         []int
+	arg1, arg2   []int
 	baseTotal    float64
 }
+
+// scorerPool recycles scorers (and their slices) across epochs.
+var scorerPool = sync.Pool{New: func() any { return new(Scorer) }}
 
 // NewScorer builds an exact scorer for the placement, or reports false when
 // the closed form does not apply (the caller may then fall back to
@@ -35,10 +53,7 @@ func NewScorer(e *Evaluator, servers []int, d Demand) (*Scorer, bool) {
 	if e.policy != AssignMinCost || !e.load.Separable() || len(servers) == 0 {
 		return nil, false
 	}
-	s := newScorer(e, servers, d, func(server int) float64 {
-		return e.load.Marginal(e.g.Strength(server), 0)
-	})
-	return s, true
+	return newScorer(e, servers, d, 0), true
 }
 
 // NewScorerApprox builds a scorer that linearises the load function around
@@ -50,56 +65,82 @@ func NewScorerApprox(e *Evaluator, servers []int, d Demand, etaHint float64) *Sc
 	if len(servers) == 0 {
 		panic("cost: scorer needs at least one server")
 	}
-	return newScorer(e, servers, d, func(server int) float64 {
-		return e.load.Marginal(e.g.Strength(server), etaHint)
-	})
+	return newScorer(e, servers, d, etaHint)
 }
 
-func newScorer(e *Evaluator, servers []int, d Demand, offsetAt func(int) float64) *Scorer {
-	s := &Scorer{
-		e:        e,
-		servers:  append([]int(nil), servers...),
-		pairs:    d.Pairs(),
-		offsetAt: offsetAt,
-		best1:    make([]float64, d.Distinct()),
-		best2:    make([]float64, d.Distinct()),
-		arg1:     make([]int, d.Distinct()),
+func newScorer(e *Evaluator, servers []int, d Demand, etaHint float64) *Scorer {
+	s := scorerPool.Get().(*Scorer)
+	s.e = e
+	s.servers = append(growI(s.servers, 0), servers...)
+	s.pairs = d.Pairs()
+	n := e.g.N()
+	s.offNode = growF(s.offNode, n)
+	for v := 0; v < n; v++ {
+		s.offNode[v] = e.load.Marginal(e.g.Strength(v), etaHint)
 	}
-	off := make([]float64, len(servers))
-	for i, sv := range servers {
-		off[i] = offsetAt(sv)
+	np := d.Distinct()
+	s.best1 = growF(s.best1, np)
+	s.best2 = growF(s.best2, np)
+	s.arg1 = growI(s.arg1, np)
+	s.arg2 = growI(s.arg2, np)
+	for pi := range s.pairs {
+		s.rescanPair(pi)
 	}
-	for pi, p := range s.pairs {
-		b1, b2, a1 := math.MaxFloat64, math.MaxFloat64, -1
-		for i, sv := range servers {
-			c := e.m.Dist(p.Node, sv) + off[i]
-			switch {
-			case c < b1:
-				b1, b2, a1 = c, b1, i
-			case c < b2:
-				b2 = c
-			}
-		}
-		s.best1[pi], s.best2[pi], s.arg1[pi] = b1, b2, a1
-		s.baseTotal += float64(p.Count) * b1
-	}
+	s.resum()
 	return s
+}
+
+// Release returns the scorer to the pool. The scorer must not be used
+// afterwards.
+func (s *Scorer) Release() {
+	s.e = nil
+	s.pairs = nil
+	scorerPool.Put(s)
+}
+
+// rescanPair recomputes the two smallest effective distances of one demand
+// node by a full scan over the current servers.
+func (s *Scorer) rescanPair(pi int) {
+	row := s.e.m.Row(s.pairs[pi].Node)
+	b1, b2 := math.MaxFloat64, math.MaxFloat64
+	a1, a2 := -1, -1
+	for i, sv := range s.servers {
+		c := row[sv] + s.offNode[sv]
+		switch {
+		case c < b1:
+			b1, b2, a1, a2 = c, b1, i, a1
+		case c < b2:
+			b2, a2 = c, i
+		}
+	}
+	s.best1[pi], s.best2[pi] = b1, b2
+	s.arg1[pi], s.arg2[pi] = a1, a2
+}
+
+// resum recomputes the base total from best1, in access-point order, so
+// incremental commits yield bit-identical totals to a fresh build.
+func (s *Scorer) resum() {
+	total := 0.0
+	for pi, p := range s.pairs {
+		total += float64(p.Count) * s.best1[pi]
+	}
+	s.baseTotal = total
 }
 
 // Base returns the access score of the unchanged placement.
 func (s *Scorer) Base() float64 { return s.baseTotal }
 
-// eff returns the effective distance from a demand node to a candidate
-// server node.
-func (s *Scorer) eff(demandNode, server int) float64 {
-	return s.e.m.Dist(demandNode, server) + s.offsetAt(server)
-}
+// Servers returns the scorer's current server nodes. The slice is owned by
+// the scorer; index i in Move/Remove/Apply* refers to Servers()[i].
+func (s *Scorer) Servers() []int { return s.servers }
 
 // Add returns the access score with one extra server at node v.
 func (s *Scorer) Add(v int) float64 {
+	offV := s.offNode[v]
+	m := s.e.m
 	total := 0.0
 	for pi, p := range s.pairs {
-		c := s.eff(p.Node, v)
+		c := m.Row(p.Node)[v] + offV
 		if b := s.best1[pi]; b < c {
 			c = b
 		}
@@ -131,16 +172,86 @@ func (s *Scorer) Remove(i int) float64 {
 
 // Move returns the access score with servers[i] relocated to node v.
 func (s *Scorer) Move(i, v int) float64 {
+	offV := s.offNode[v]
+	m := s.e.m
 	total := 0.0
 	for pi, p := range s.pairs {
 		c := s.best1[pi]
 		if s.arg1[pi] == i {
 			c = s.best2[pi]
 		}
-		if cv := s.eff(p.Node, v); cv < c {
+		if cv := m.Row(p.Node)[v] + offV; cv < c {
 			c = cv
 		}
 		total += float64(p.Count) * c
 	}
 	return total
+}
+
+// ApplyAdd commits the addition of a server at node v: best1/best2/arg1
+// are updated in O(distinct access points), not rebuilt. The new server
+// takes index len(Servers())-1.
+func (s *Scorer) ApplyAdd(v int) {
+	i := len(s.servers)
+	s.servers = append(s.servers, v)
+	offV := s.offNode[v]
+	m := s.e.m
+	for pi, p := range s.pairs {
+		c := m.Row(p.Node)[v] + offV
+		switch {
+		case c < s.best1[pi]:
+			s.best2[pi], s.arg2[pi] = s.best1[pi], s.arg1[pi]
+			s.best1[pi], s.arg1[pi] = c, i
+		case c < s.best2[pi]:
+			s.best2[pi], s.arg2[pi] = c, i
+		}
+	}
+	s.resum()
+}
+
+// ApplyRemove commits the removal of servers[i]. The last server is swapped
+// into slot i, so callers tracking indexes must re-read Servers(). Only
+// access points whose top-2 involved the removed server are rescanned.
+func (s *Scorer) ApplyRemove(i int) {
+	last := len(s.servers) - 1
+	s.servers[i] = s.servers[last]
+	s.servers = s.servers[:last]
+	for pi := range s.pairs {
+		a1, a2 := s.arg1[pi], s.arg2[pi]
+		if a1 == i || a2 == i {
+			s.rescanPair(pi)
+			continue
+		}
+		if a1 == last {
+			s.arg1[pi] = i
+		}
+		if a2 == last {
+			s.arg2[pi] = i
+		}
+	}
+	s.resum()
+}
+
+// ApplyMove commits the relocation of servers[i] to node v. Access points
+// whose top-2 involved the moved server are rescanned; all others only
+// compare the new position's effective distance against their top-2.
+func (s *Scorer) ApplyMove(i, v int) {
+	s.servers[i] = v
+	offV := s.offNode[v]
+	m := s.e.m
+	for pi, p := range s.pairs {
+		if s.arg1[pi] == i || s.arg2[pi] == i {
+			s.rescanPair(pi)
+			continue
+		}
+		c := m.Row(p.Node)[v] + offV
+		switch {
+		case c < s.best1[pi]:
+			s.best2[pi], s.arg2[pi] = s.best1[pi], s.arg1[pi]
+			s.best1[pi], s.arg1[pi] = c, i
+		case c < s.best2[pi]:
+			s.best2[pi], s.arg2[pi] = c, i
+		}
+	}
+	s.resum()
 }

@@ -70,11 +70,17 @@ func poolDefaults() core.Params {
 	return core.Params{QueueCap: 3, Expiry: 20}
 }
 
+// erGraph generates the paper's artificial substrate topology: an
+// Erdős–Rényi graph with 1% connection probability and T1/T2 bandwidths.
+func erGraph(n int, seed int64) (*graph.Graph, error) {
+	rng := rand.New(rand.NewSource(seed))
+	return gen.ErdosRenyi(n, ErdosRenyiP, gen.DefaultOptions(), rng)
+}
+
 // erEnv builds the paper's artificial substrate: an Erdős–Rényi graph with
 // 1% connection probability, T1/T2 bandwidths, and the default cost model.
 func erEnv(n int, load cost.LoadFunc, params cost.Params, seed int64) (*sim.Env, error) {
-	rng := rand.New(rand.NewSource(seed))
-	g, err := gen.ErdosRenyi(n, ErdosRenyiP, gen.DefaultOptions(), rng)
+	g, err := erGraph(n, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -33,8 +33,15 @@ func figureExec(o Options, title string, kind scenarioKind, n, T, lambda, rounds
 		XLabel: "round",
 		YLabel: "active servers (ONTH)",
 	}
+	// Both load models run on the same substrate instance: the graph is
+	// generated once and its all-pairs matrix (cached on the graph) is
+	// shared by the two environments instead of being recomputed.
+	g, err := erGraph(n, seed)
+	if err != nil {
+		return nil, err
+	}
 	for _, load := range []cost.LoadFunc{cost.Linear{}, cost.Quadratic{}} {
-		env, err := erEnv(n, load, cost.DefaultParams(), seed)
+		env, err := sim.NewEnv(g, load, cost.AssignMinCost, cost.DefaultParams(), poolDefaults())
 		if err != nil {
 			return nil, err
 		}

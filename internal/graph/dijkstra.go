@@ -126,7 +126,13 @@ func (g *Graph) Eccentricity(v int) float64 {
 // Center returns a node with minimum eccentricity. Both ONBR and ONTH start
 // "hosting one server at the network center" (Section III-A). Ties break
 // toward the smaller node id; the empty graph has no center and yields -1.
+// When the all-pairs matrix has already been computed (see Metric), the
+// center is read from it; the one-Dijkstra-per-node scan is only the
+// fallback for graphs whose matrix was never needed.
 func (g *Graph) Center() int {
+	if m := g.metric.Load(); m != nil {
+		return m.Center()
+	}
 	best, bestEcc := -1, Infinity
 	for v := 0; v < g.N(); v++ {
 		if ecc := g.Eccentricity(v); ecc < bestEcc || best == -1 {

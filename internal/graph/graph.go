@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Common bandwidth constants used throughout the paper's simulations
@@ -41,6 +42,10 @@ type Graph struct {
 	adj      [][]Edge  // adjacency lists, adj[u] holds edges leaving u
 	strength []float64 // ω(v) per node
 	edges    int       // number of undirected edges
+
+	// metric caches the all-pairs shortest-path matrix. AddEdge
+	// invalidates it; strength changes do not affect distances.
+	metric atomic.Pointer[Matrix]
 }
 
 // New returns a graph with n isolated nodes, each with DefaultStrength.
@@ -106,6 +111,7 @@ func (g *Graph) AddEdge(u, v int, lat, bw float64) error {
 	g.adj[u] = append(g.adj[u], Edge{To: v, Latency: lat, Bandwidth: bw})
 	g.adj[v] = append(g.adj[v], Edge{To: u, Latency: lat, Bandwidth: bw})
 	g.edges++
+	g.metric.Store(nil)
 	return nil
 }
 

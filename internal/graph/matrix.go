@@ -14,11 +14,13 @@ type Matrix struct {
 }
 
 // AllPairs computes the all-pairs shortest-path latency matrix by running
-// one Dijkstra per source, fanned out over all CPUs.
+// one Dijkstra per source, fanned out over all CPUs. The result is also
+// cached on the graph (see Metric).
 func (g *Graph) AllPairs() *Matrix {
 	n := g.N()
 	m := &Matrix{n: n, dist: make([]float64, n*n)}
 	if n == 0 {
+		g.metric.Store(m)
 		return m
 	}
 	workers := runtime.GOMAXPROCS(0)
@@ -41,7 +43,18 @@ func (g *Graph) AllPairs() *Matrix {
 	}
 	close(next)
 	wg.Wait()
+	g.metric.Store(m)
 	return m
+}
+
+// Metric returns the all-pairs matrix, computing it at most once per
+// topology: repeated calls (and calls after AllPairs) return the cached
+// matrix until an edge mutation invalidates it.
+func (g *Graph) Metric() *Matrix {
+	if m := g.metric.Load(); m != nil {
+		return m
+	}
+	return g.AllPairs()
 }
 
 // N returns the node count the matrix was built for.

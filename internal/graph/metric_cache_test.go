@@ -1,0 +1,42 @@
+package graph
+
+import "testing"
+
+func TestMetricCachesAllPairs(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1, 1)
+	g.MustAddEdge(1, 2, 1, 1)
+	g.MustAddEdge(2, 3, 1, 1)
+	m1 := g.Metric()
+	if m2 := g.Metric(); m2 != m1 {
+		t.Fatal("Metric recomputed the matrix despite a warm cache")
+	}
+	if m := g.AllPairs(); g.Metric() != m {
+		t.Fatal("Metric did not adopt the matrix AllPairs just computed")
+	}
+	// An edge mutation must invalidate the cache.
+	old := g.Metric()
+	g.MustAddEdge(0, 3, 0.5, 1)
+	m3 := g.Metric()
+	if m3 == old {
+		t.Fatal("Metric returned a stale matrix after AddEdge")
+	}
+	if d := m3.Dist(0, 3); d != 0.5 {
+		t.Fatalf("Dist(0,3) = %v after new edge, want 0.5", d)
+	}
+}
+
+func TestCenterDelegatesToCachedMatrix(t *testing.T) {
+	g := New(5)
+	for v := 0; v+1 < 5; v++ {
+		g.MustAddEdge(v, v+1, 1, 1)
+	}
+	fallback := g.Center() // no matrix yet: Dijkstra-per-node path
+	g.Metric()
+	if delegated := g.Center(); delegated != fallback {
+		t.Fatalf("Center with cached matrix = %d, fallback = %d", delegated, fallback)
+	}
+	if fallback != 2 {
+		t.Fatalf("center of a 5-line = %d, want 2", fallback)
+	}
+}

@@ -83,17 +83,38 @@ func (o *OFFSTAT) Reset(env *sim.Env) error {
 	var cur core.Placement
 	best := core.Placement(nil)
 	bestCost := math.Inf(1)
+	// The greedy curve adds one server at a time against the same
+	// aggregated demand, so a single scorer is maintained incrementally
+	// (ApplyAdd) across iterations; only non-separable loads fall back to
+	// one BestAddition evaluation per server count.
+	var sc *cost.Scorer
+	occ := make([]bool, env.Graph.N())
 	for i := 1; i <= k; i++ {
-		v, _, ok := env.Eval.BestAddition(cur, agg)
+		var v int
+		var ok bool
+		if sc != nil {
+			v, ok = bestAddViaScorer(sc, occ)
+		} else {
+			v, _, ok = env.Eval.BestAddition(cur, agg)
+		}
 		if !ok {
 			break
 		}
 		cur = cur.With(v)
+		occ[v] = true
+		if sc == nil {
+			sc, _ = cost.NewScorer(env.Eval, cur, agg) // nil for non-separable loads
+		} else {
+			sc.ApplyAdd(v)
+		}
 		total := o.totalFor(cur)
 		o.curve = append(o.curve, total)
 		if total < bestCost {
 			best, bestCost = cur.Clone(), total
 		}
+	}
+	if sc != nil {
+		sc.Release()
 	}
 	if best.Len() == 0 {
 		return fmt.Errorf("offstat: could not place any server")
@@ -101,6 +122,24 @@ func (o *OFFSTAT) Reset(env *sim.Env) error {
 	o.placement = best
 	o.kopt = best.Len()
 	return nil
+}
+
+// bestAddViaScorer returns the free node whose addition minimises the
+// scorer's access score, mirroring Evaluator.BestAddition's selection
+// (ascending node order, strict improvement) on the incrementally
+// maintained scorer.
+func bestAddViaScorer(sc *cost.Scorer, occ []bool) (int, bool) {
+	bestNode, found := -1, false
+	bestScore := math.Inf(1)
+	for v := range occ {
+		if occ[v] {
+			continue
+		}
+		if score := sc.Add(v); !found || score < bestScore {
+			bestNode, bestScore, found = v, score, true
+		}
+	}
+	return bestNode, found
 }
 
 // Prepare implements sim.Algorithm: the static configuration is installed

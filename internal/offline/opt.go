@@ -8,6 +8,8 @@ package offline
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -24,6 +26,10 @@ const (
 	MaxOPTStates = 60000
 	// MaxOPTNodes bounds the node count so occupied sets fit a bitmask.
 	MaxOPTNodes = 63
+	// maxDenseTransition bounds the entries of the precomputed
+	// occupied-mask transition-cost matrix (64 MiB of float64s); larger
+	// instances fall back to computing transition costs on the fly.
+	maxDenseTransition = 1 << 23
 )
 
 // OPT is the optimal offline algorithm of Section IV-A. It fills the
@@ -76,7 +82,6 @@ func (o *OPT) Reset(env *sim.Env) error {
 		return fmt.Errorf("opt: configuration space exceeds the tractable bound %d (n=%d, k=%d)",
 			MaxOPTStates, n, k)
 	}
-	states := core.EnumerateVectors(n, k, 0)
 	o.env = env
 	o.cursor = 0
 
@@ -87,107 +92,292 @@ func (o *OPT) Reset(env *sim.Env) error {
 		return nil
 	}
 
-	// Precompute per-state masks and group states by occupied mask: the
-	// transition cost Cost(γ'→γ) depends only on the occupied sets, so the
-	// minimisation over γ' can run over occupied masks instead of states.
-	occOf := make([]uint64, len(states))
-	actOf := make([]uint64, len(states))
-	runOf := make([]float64, len(states))
-	for i, st := range states {
-		occOf[i] = st.OccupiedMask()
-		actOf[i] = st.ActiveMask()
-		runOf[i] = st.RunCost(env.Costs)
+	s := newOptSolver(env, o.seq, core.EnumerateVectors(n, k, 0), runtime.GOMAXPROCS(0))
+	if err := s.solve(); err != nil {
+		return err
 	}
-	maskIndex := make(map[uint64]int) // occupied mask → dense index
-	var masks []uint64
-	maskOf := make([]int, len(states))
-	for i, m := range occOf {
-		idx, ok := maskIndex[m]
+	o.planned = s.planned
+	o.schedule = s.scheduleOut
+	return nil
+}
+
+// optSolver holds the dense, precomputed tables of one dynamic-program
+// solve. All round-invariant quantities — per-state occupied/active
+// indexes and running costs, the occupied-mask universe, the mask-to-mask
+// transition-cost matrix, and the per-active-set placements — are hoisted
+// out of the per-round recurrence, which then runs over flat slices (no
+// map lookups) and fans out over the workers.
+type optSolver struct {
+	env     *sim.Env
+	seq     *workload.Sequence
+	states  []core.Vector
+	workers int
+
+	// Per state: dense occupied-mask index, dense active-set index, and
+	// the round-invariant running cost.
+	maskOf []int32
+	actIdx []int32
+	runOf  []float64
+
+	masks      []uint64         // dense occupied-mask universe
+	placements []core.Placement // per active index
+	trans      []float64        // dense transition costs [to*len(masks)+from]; nil → on the fly
+
+	// Per-round scratch, preallocated once.
+	prev, next            []float64
+	access                []float64 // per active index, for the current round
+	bestByMask, arrival   []float64
+	argByMask, argArrival []int32
+	parent                [][]int32
+	parentSlab            []int32
+	curDemand             cost.Demand // demand of the round being filled
+	curParent             []int32     // parent row of the round being stepped
+
+	planned     float64
+	scheduleOut []core.Vector
+}
+
+func newOptSolver(env *sim.Env, seq *workload.Sequence, states []core.Vector, workers int) *optSolver {
+	s := &optSolver{env: env, seq: seq, states: states, workers: workers}
+	ns := len(states)
+	s.maskOf = make([]int32, ns)
+	s.actIdx = make([]int32, ns)
+	s.runOf = make([]float64, ns)
+
+	maskIndex := make(map[uint64]int32) // occupied mask → dense index
+	activeIndex := make(map[uint64]int32)
+	for i, st := range states {
+		occ := st.OccupiedMask()
+		mi, ok := maskIndex[occ]
 		if !ok {
-			idx = len(masks)
-			maskIndex[m] = idx
-			masks = append(masks, m)
+			mi = int32(len(s.masks))
+			maskIndex[occ] = mi
+			s.masks = append(s.masks, occ)
 		}
-		maskOf[i] = idx
+		s.maskOf[i] = mi
+
+		act := st.ActiveMask()
+		ai, ok := activeIndex[act]
+		if !ok {
+			ai = int32(len(s.placements))
+			activeIndex[act] = ai
+			s.placements = append(s.placements, st.ActivePlacement())
+		}
+		s.actIdx[i] = ai
+		s.runOf[i] = st.RunCost(env.Costs)
 	}
 
-	// Access cost per round is shared by all states with the same active
-	// set; memoised lazily per round.
-	placementOf := make(map[uint64]core.Placement)
-	for i, st := range states {
-		if _, ok := placementOf[actOf[i]]; !ok {
-			placementOf[actOf[i]] = st.ActivePlacement()
+	// The transition cost Cost(γ'→γ) depends only on the occupied sets, so
+	// it is a masks × masks matrix — precomputed densely when it fits.
+	nm := len(s.masks)
+	if nm*nm <= maxDenseTransition {
+		s.trans = make([]float64, nm*nm)
+		fill := func(lo, hi int) {
+			for to := lo; to < hi; to++ {
+				row := s.trans[to*nm : (to+1)*nm]
+				toMask := s.masks[to]
+				for from, frm := range s.masks {
+					row[from] = core.TransitionCostMasks(s.env.Costs, frm, toMask)
+				}
+			}
+		}
+		if w := s.fanWorkers(nm); w > 1 {
+			s.parallel(w, nm, fill)
+		} else {
+			fill(0, nm)
 		}
 	}
-	accessFor := func(t int, cache map[uint64]float64, active uint64) float64 {
-		if v, ok := cache[active]; ok {
-			return v
+
+	rounds := seq.Len()
+	s.prev = make([]float64, ns)
+	s.next = make([]float64, ns)
+	s.access = make([]float64, len(s.placements))
+	s.bestByMask = make([]float64, nm)
+	s.arrival = make([]float64, nm)
+	s.argByMask = make([]int32, nm)
+	s.argArrival = make([]int32, nm)
+	s.parentSlab = make([]int32, rounds*ns)
+	s.parent = make([][]int32, rounds)
+	for t := range s.parent {
+		s.parent[t] = s.parentSlab[t*ns : (t+1)*ns]
+	}
+	return s
+}
+
+// fanWorkers returns how many goroutines are worth spawning for n items,
+// requiring at least optParallelGrain items per chunk.
+func (s *optSolver) fanWorkers(n int) int {
+	workers := s.workers
+	if workers > n/optParallelGrain {
+		workers = n / optParallelGrain
+	}
+	return workers
+}
+
+// parallel fans fn out over chunks of [0, n); the caller has already
+// decided the fan-out is worthwhile (fanWorkers > 1). Results are
+// deterministic since chunks write disjoint indexes. The serial paths call
+// the range kernels directly, keeping the per-round loop allocation-free.
+func (s *optSolver) parallel(workers, n int, fn func(lo, hi int)) {
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
 		}
-		ac := env.Eval.Access(placementOf[active], o.seq.Demand(t))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// optParallelGrain is the minimum chunk size worth a goroutine.
+const optParallelGrain = 256
+
+// fillAccess computes the access cost of round t for every distinct active
+// set: Costacc is shared by all states with the same active placement.
+func (s *optSolver) fillAccess(t int) {
+	s.curDemand = s.seq.Demand(t)
+	n := len(s.placements)
+	if w := s.fanWorkers(n); w > 1 {
+		s.parallel(w, n, func(lo, hi int) { s.accessRange(lo, hi) })
+		return
+	}
+	s.accessRange(0, n)
+}
+
+func (s *optSolver) accessRange(lo, hi int) {
+	for ai := lo; ai < hi; ai++ {
+		ac := s.env.Eval.Access(s.placements[ai], s.curDemand)
 		v := math.Inf(1)
 		if !ac.Infinite() {
 			v = ac.Total()
 		}
-		cache[active] = v
-		return v
+		s.access[ai] = v
 	}
+}
+
+// transCost returns Cost(γ'→γ) between two dense mask indexes.
+func (s *optSolver) transCost(from, to int) float64 {
+	if s.trans != nil {
+		return s.trans[to*len(s.masks)+from]
+	}
+	return core.TransitionCostMasks(s.env.Costs, s.masks[from], s.masks[to])
+}
+
+// step advances the recurrence from round t-1 (in prev) to round t (into
+// next): the minimisation over predecessor states collapses to occupied
+// masks, runs once per destination mask (not once per state), and fans out
+// over the workers.
+func (s *optSolver) step(t int) {
+	nm := len(s.masks)
+	for mi := 0; mi < nm; mi++ {
+		s.bestByMask[mi] = math.Inf(1)
+		s.argByMask[mi] = -1
+	}
+	for i := range s.states {
+		mi := s.maskOf[i]
+		if s.prev[i] < s.bestByMask[mi] {
+			s.bestByMask[mi] = s.prev[i]
+			s.argByMask[mi] = int32(i)
+		}
+	}
+	s.fillAccess(t)
+	// Cheapest arrival per destination mask: min over source masks of
+	// bestByMask + transition cost, in ascending source order (ties keep
+	// the earlier source, exactly like the per-state scan it replaces).
+	if w := s.fanWorkers(nm); w > 1 {
+		s.parallel(w, nm, func(lo, hi int) { s.arrivalRange(lo, hi) })
+	} else {
+		s.arrivalRange(0, nm)
+	}
+	s.curParent = s.parent[t]
+	ns := len(s.states)
+	if w := s.fanWorkers(ns); w > 1 {
+		s.parallel(w, ns, func(lo, hi int) { s.finishRange(lo, hi) })
+	} else {
+		s.finishRange(0, ns)
+	}
+	s.prev, s.next = s.next, s.prev
+}
+
+func (s *optSolver) arrivalRange(lo, hi int) {
+	nm := len(s.masks)
+	for to := lo; to < hi; to++ {
+		best, arg := math.Inf(1), int32(-1)
+		if s.trans != nil {
+			row := s.trans[to*nm : (to+1)*nm]
+			for from := 0; from < nm; from++ {
+				if math.IsInf(s.bestByMask[from], 1) {
+					continue
+				}
+				if c := s.bestByMask[from] + row[from]; c < best {
+					best, arg = c, s.argByMask[from]
+				}
+			}
+		} else {
+			for from := 0; from < nm; from++ {
+				if math.IsInf(s.bestByMask[from], 1) {
+					continue
+				}
+				if c := s.bestByMask[from] + s.transCost(from, to); c < best {
+					best, arg = c, s.argByMask[from]
+				}
+			}
+		}
+		s.arrival[to] = best
+		s.argArrival[to] = arg
+	}
+}
+
+// finishRange combines arrival, running and access cost into next and
+// records the parent pointers of the current round.
+func (s *optSolver) finishRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		mi := s.maskOf[i]
+		s.next[i] = s.arrival[mi] + s.runOf[i] + s.access[s.actIdx[i]]
+		s.curParent[i] = s.argArrival[mi]
+	}
+}
+
+// solve runs the full dynamic program and backtracks the schedule.
+func (s *optSolver) solve() error {
+	rounds := s.seq.Len()
 
 	// γ0 is the shared initial configuration: Start nodes active.
-	start := core.NewVector(n)
-	for _, v := range env.Start {
+	start := core.NewVector(s.env.Graph.N())
+	for _, v := range s.env.Start {
 		start[v] = core.StateActive
 	}
 	startOcc := start.OccupiedMask()
 
-	prev := make([]float64, len(states))
-	next := make([]float64, len(states))
-	parent := make([][]int32, rounds)
 	// Round 0: opt[0][γ] = Cost(γ0→γ) + Costrun(γ) + Costacc(σ0, γ).
-	cache := make(map[uint64]float64)
-	parent[0] = make([]int32, len(states))
-	for i := range states {
-		prev[i] = core.TransitionCostMasks(env.Costs, startOcc, occOf[i]) +
-			runOf[i] + accessFor(0, cache, actOf[i])
-		parent[0][i] = -1
+	s.fillAccess(0)
+	parent0 := s.parent[0]
+	round0 := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.prev[i] = core.TransitionCostMasks(s.env.Costs, startOcc, s.masks[s.maskOf[i]]) +
+				s.runOf[i] + s.access[s.actIdx[i]]
+			parent0[i] = -1
+		}
+	}
+	if w := s.fanWorkers(len(s.states)); w > 1 {
+		s.parallel(w, len(s.states), round0)
+	} else {
+		round0(0, len(s.states))
 	}
 
-	// Rounds 1..T−1.
-	bestByMask := make([]float64, len(masks))
-	argByMask := make([]int32, len(masks))
 	for t := 1; t < rounds; t++ {
-		for mi := range bestByMask {
-			bestByMask[mi] = math.Inf(1)
-			argByMask[mi] = -1
-		}
-		for i := range states {
-			mi := maskOf[i]
-			if prev[i] < bestByMask[mi] {
-				bestByMask[mi] = prev[i]
-				argByMask[mi] = int32(i)
-			}
-		}
-		cache = make(map[uint64]float64)
-		parent[t] = make([]int32, len(states))
-		for i := range states {
-			best, arg := math.Inf(1), int32(-1)
-			for mi, frm := range masks {
-				if math.IsInf(bestByMask[mi], 1) {
-					continue
-				}
-				c := bestByMask[mi] + core.TransitionCostMasks(env.Costs, frm, occOf[i])
-				if c < best {
-					best, arg = c, argByMask[mi]
-				}
-			}
-			next[i] = best + runOf[i] + accessFor(t, cache, actOf[i])
-			parent[t][i] = arg
-		}
-		prev, next = next, prev
+		s.step(t)
 	}
 
 	// Backtrack from the cheapest final configuration.
 	bestFinal, argFinal := math.Inf(1), -1
-	for i, c := range prev {
+	for i, c := range s.prev {
 		if c < bestFinal {
 			bestFinal, argFinal = c, i
 		}
@@ -195,12 +385,12 @@ func (o *OPT) Reset(env *sim.Env) error {
 	if argFinal < 0 {
 		return fmt.Errorf("opt: no feasible schedule (every configuration has infinite cost)")
 	}
-	o.planned = bestFinal
-	o.schedule = make([]core.Vector, rounds)
+	s.planned = bestFinal
+	s.scheduleOut = make([]core.Vector, rounds)
 	cur := int32(argFinal)
 	for t := rounds - 1; t >= 0; t-- {
-		o.schedule[t] = states[cur]
-		cur = parent[t][cur]
+		s.scheduleOut[t] = s.states[cur]
+		cur = s.parent[t][cur]
 	}
 	return nil
 }

@@ -1,0 +1,241 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// naiveOPT is the reference dynamic program the dense parallel solver
+// replaced: per-round map-based access memoisation and an O(states×masks)
+// minimisation per round. It returns the DP objective and the chosen
+// schedule.
+func naiveOPT(env *sim.Env, seq *workload.Sequence, k int) (float64, []core.Vector, bool) {
+	n := env.Graph.N()
+	states := core.EnumerateVectors(n, k, 0)
+	rounds := seq.Len()
+	if rounds == 0 {
+		return 0, nil, true
+	}
+	occOf := make([]uint64, len(states))
+	actOf := make([]uint64, len(states))
+	runOf := make([]float64, len(states))
+	for i, st := range states {
+		occOf[i] = st.OccupiedMask()
+		actOf[i] = st.ActiveMask()
+		runOf[i] = st.RunCost(env.Costs)
+	}
+	maskIndex := make(map[uint64]int)
+	var masks []uint64
+	maskOf := make([]int, len(states))
+	for i, m := range occOf {
+		idx, ok := maskIndex[m]
+		if !ok {
+			idx = len(masks)
+			maskIndex[m] = idx
+			masks = append(masks, m)
+		}
+		maskOf[i] = idx
+	}
+	placementOf := make(map[uint64]core.Placement)
+	for i, st := range states {
+		if _, ok := placementOf[actOf[i]]; !ok {
+			placementOf[actOf[i]] = st.ActivePlacement()
+		}
+	}
+	accessFor := func(t int, cache map[uint64]float64, active uint64) float64 {
+		if v, ok := cache[active]; ok {
+			return v
+		}
+		ac := env.Eval.Access(placementOf[active], seq.Demand(t))
+		v := math.Inf(1)
+		if !ac.Infinite() {
+			v = ac.Total()
+		}
+		cache[active] = v
+		return v
+	}
+	start := core.NewVector(n)
+	for _, v := range env.Start {
+		start[v] = core.StateActive
+	}
+	startOcc := start.OccupiedMask()
+
+	prev := make([]float64, len(states))
+	next := make([]float64, len(states))
+	parent := make([][]int32, rounds)
+	cache := make(map[uint64]float64)
+	parent[0] = make([]int32, len(states))
+	for i := range states {
+		prev[i] = core.TransitionCostMasks(env.Costs, startOcc, occOf[i]) +
+			runOf[i] + accessFor(0, cache, actOf[i])
+		parent[0][i] = -1
+	}
+	bestByMask := make([]float64, len(masks))
+	argByMask := make([]int32, len(masks))
+	for t := 1; t < rounds; t++ {
+		for mi := range bestByMask {
+			bestByMask[mi] = math.Inf(1)
+			argByMask[mi] = -1
+		}
+		for i := range states {
+			mi := maskOf[i]
+			if prev[i] < bestByMask[mi] {
+				bestByMask[mi] = prev[i]
+				argByMask[mi] = int32(i)
+			}
+		}
+		cache = make(map[uint64]float64)
+		parent[t] = make([]int32, len(states))
+		for i := range states {
+			best, arg := math.Inf(1), int32(-1)
+			for mi, frm := range masks {
+				if math.IsInf(bestByMask[mi], 1) {
+					continue
+				}
+				c := bestByMask[mi] + core.TransitionCostMasks(env.Costs, frm, occOf[i])
+				if c < best {
+					best, arg = c, argByMask[mi]
+				}
+			}
+			next[i] = best + runOf[i] + accessFor(t, cache, actOf[i])
+			parent[t][i] = arg
+		}
+		prev, next = next, prev
+	}
+	bestFinal, argFinal := math.Inf(1), -1
+	for i, c := range prev {
+		if c < bestFinal {
+			bestFinal, argFinal = c, i
+		}
+	}
+	if argFinal < 0 {
+		return 0, nil, false
+	}
+	schedule := make([]core.Vector, rounds)
+	cur := int32(argFinal)
+	for t := rounds - 1; t >= 0; t-- {
+		schedule[t] = states[cur]
+		cur = parent[t][cur]
+	}
+	return bestFinal, schedule, true
+}
+
+func randomOPTInstance(t *testing.T, rng *rand.Rand) (*sim.Env, *workload.Sequence, int) {
+	t.Helper()
+	n := 3 + rng.Intn(4)
+	k := 1 + rng.Intn(n)
+	g := graph.New(n)
+	for v := 0; v+1 < n; v++ {
+		g.MustAddEdge(v, v+1, 0.5+2*rng.Float64(), 1)
+	}
+	if n > 2 && rng.Intn(2) == 0 {
+		g.MustAddEdge(0, n-1, 0.5+2*rng.Float64(), 1) // close the ring
+	}
+	params := cost.DefaultParams()
+	if rng.Intn(2) == 0 {
+		params = cost.InvertedParams()
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost, params,
+		core.Params{QueueCap: 3, Expiry: 20, MaxServers: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := 4 + rng.Intn(20)
+	demands := make([]cost.Demand, rounds)
+	for t2 := range demands {
+		list := make([]int, rng.Intn(6))
+		for i := range list {
+			list[i] = rng.Intn(n)
+		}
+		demands[t2] = cost.DemandFromList(list)
+	}
+	return env, workload.NewSequence("random", demands), k
+}
+
+// TestOPTMatchesNaiveDP pins the dense parallel solver to the reference
+// dynamic program: the objective must be bit-identical and the chosen
+// schedule the same configuration path.
+func TestOPTMatchesNaiveDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(443))
+	for trial := 0; trial < 25; trial++ {
+		env, seq, k := randomOPTInstance(t, rng)
+		opt := NewOPT(seq)
+		if err := opt.Reset(env); err != nil {
+			t.Fatal(err)
+		}
+		want, wantSched, ok := naiveOPT(env, seq, k)
+		if !ok {
+			t.Fatal("naive DP found no schedule")
+		}
+		if opt.PlannedCost() != want {
+			t.Fatalf("trial %d: planned = %v, naive = %v", trial, opt.PlannedCost(), want)
+		}
+		got := opt.Schedule()
+		if len(got) != len(wantSched) {
+			t.Fatalf("trial %d: schedule length %d, naive %d", trial, len(got), len(wantSched))
+		}
+		for t2 := range got {
+			if got[t2].String() != wantSched[t2].String() {
+				t.Fatalf("trial %d round %d: schedule %v, naive %v",
+					trial, t2, got[t2], wantSched[t2])
+			}
+		}
+	}
+}
+
+// TestOPTStepAllocationFree pins the per-round DP kernel to zero
+// steady-state allocations (single-worker path; the parallel path only
+// adds goroutine bookkeeping). Race instrumentation allocates inside the
+// kernel, so the pin only holds without -race.
+func TestOPTStepAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates in the step kernel")
+	}
+	env := lineEnv(t, 5, 3, cost.DefaultParams())
+	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 10}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := core.EnumerateVectors(env.Graph.N(), 3, 0)
+	s := newOptSolver(env, seq, states, 1)
+	if err := s.solve(); err != nil { // warm the access-session pool
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() { s.step(1) }); avg != 0 {
+		t.Errorf("optSolver.step: %v allocs/op, want 0", avg)
+	}
+}
+
+// TestOPTDeterministicAcrossWorkerCounts checks the solver returns the
+// same objective and schedule regardless of parallel fan-out.
+func TestOPTDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(887))
+	for trial := 0; trial < 10; trial++ {
+		env, seq, k := randomOPTInstance(t, rng)
+		states := core.EnumerateVectors(env.Graph.N(), k, 0)
+		s1 := newOptSolver(env, seq, states, 1)
+		if err := s1.solve(); err != nil {
+			t.Fatal(err)
+		}
+		sN := newOptSolver(env, seq, states, runtime.GOMAXPROCS(0))
+		if err := sN.solve(); err != nil {
+			t.Fatal(err)
+		}
+		if s1.planned != sN.planned {
+			t.Fatalf("trial %d: serial planned %v, parallel %v", trial, s1.planned, sN.planned)
+		}
+		for t2 := range s1.scheduleOut {
+			if s1.scheduleOut[t2].String() != sN.scheduleOut[t2].String() {
+				t.Fatalf("trial %d round %d: schedules differ", trial, t2)
+			}
+		}
+	}
+}

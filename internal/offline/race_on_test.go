@@ -1,0 +1,5 @@
+//go:build race
+
+package offline
+
+const raceEnabled = true

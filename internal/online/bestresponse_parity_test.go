@@ -1,0 +1,147 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// naiveBestResponse is the reference sequential sweep the shape-priced
+// parallel scan replaced: one placement materialisation and one pool
+// prediction per candidate, visited moves → deactivations → additions.
+func naiveBestResponse(env *sim.Env, pool *core.Pool, agg cost.Demand, rounds int, moves SearchMoves) core.Placement {
+	cur := pool.Active()
+	if len(cur) == 0 {
+		return cur
+	}
+	sc := EpochScorer(env, cur, agg, rounds)
+	defer sc.Release()
+	occupied := make(map[int]bool, len(cur))
+	for _, s := range cur {
+		occupied[s] = true
+	}
+	run := func(target core.Placement) float64 {
+		return float64(rounds) * env.Costs.Run(target.Len(), pool.PredictInactiveAfter(target))
+	}
+	best := cur
+	bestScore := sc.Base() + run(cur)
+	consider := func(target core.Placement, access float64) {
+		score := access + pool.PredictSwitch(target).Total() + run(target)
+		if score < bestScore {
+			best, bestScore = target, score
+		}
+	}
+	targets := moves.Targets
+	if targets == nil {
+		targets = make([]int, env.Graph.N())
+		for v := range targets {
+			targets[v] = v
+		}
+	}
+	if moves.Move {
+		for i, s := range cur {
+			for _, v := range targets {
+				if occupied[v] {
+					continue
+				}
+				consider(cur.Moved(s, v), sc.Move(i, v))
+			}
+		}
+	}
+	if moves.Deactivate && len(cur) > 1 {
+		for i, s := range cur {
+			if access := sc.Remove(i); !math.IsInf(access, 1) {
+				consider(cur.Without(s), access)
+			}
+		}
+	}
+	if moves.Add && (env.Pool.MaxServers <= 0 || len(cur) < env.Pool.MaxServers) {
+		for _, v := range targets {
+			if occupied[v] {
+				continue
+			}
+			consider(cur.With(v), sc.Add(v))
+		}
+	}
+	return best
+}
+
+// TestBestResponseMatchesNaiveReference drives randomized pools (with
+// cached inactive servers accumulated through real switches), demands,
+// cost models, and search-move subsets, and requires the optimised
+// BestResponse to pick exactly the reference's target.
+func TestBestResponseMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(557))
+	for trial := 0; trial < 60; trial++ {
+		n := 6 + rng.Intn(30)
+		g := graph.New(n)
+		for v := 1; v < n; v++ {
+			g.MustAddEdge(rng.Intn(v), v, 0.25+4*rng.Float64(), 1)
+		}
+		for extra := rng.Intn(n); extra > 0; extra-- {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v, 0.25+4*rng.Float64(), 1)
+			}
+		}
+		params := cost.DefaultParams()
+		if trial%3 == 1 {
+			params = cost.InvertedParams()
+		}
+		var load cost.LoadFunc = cost.Linear{}
+		if trial%4 == 3 {
+			load = cost.Quadratic{}
+		}
+		maxServers := 0
+		if trial%5 == 0 {
+			maxServers = 2 + rng.Intn(3)
+		}
+		env, err := sim.NewEnv(g, load, cost.AssignMinCost, params,
+			core.Params{QueueCap: rng.Intn(4), Expiry: 20, MaxServers: maxServers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := env.NewPool()
+		pool.Bootstrap(env.Start)
+		// Random walk of switches so the cache holds real inactive servers.
+		for step := 0; step < 4; step++ {
+			curLen := pool.NumActive()
+			target := core.NewPlacement(rng.Intn(n))
+			for target.Len() < curLen+rng.Intn(2) && target.Len() < n {
+				target = target.With(rng.Intn(n))
+			}
+			if maxServers > 0 && target.Len() > maxServers {
+				continue
+			}
+			if _, err := pool.SwitchTo(target); err != nil {
+				t.Fatal(err)
+			}
+		}
+		list := make([]int, 1+rng.Intn(50))
+		for i := range list {
+			list[i] = rng.Intn(n)
+		}
+		agg := cost.DemandFromList(list)
+		rounds := 1 + rng.Intn(10)
+		moves := SearchMoves{
+			Move:       rng.Intn(4) != 0,
+			Deactivate: rng.Intn(4) != 0,
+			Add:        rng.Intn(4) != 0,
+		}
+		if rng.Intn(3) == 0 {
+			k := 1 + rng.Intn(n)
+			moves.Targets = rng.Perm(n)[:k]
+		}
+		got := BestResponse(env, pool, agg, rounds, moves)
+		want := naiveBestResponse(env, pool, agg, rounds, moves)
+		if !got.Equal(want) {
+			t.Fatalf("trial %d: BestResponse = %v, naive = %v (moves %+v)",
+				trial, got, want, moves)
+		}
+	}
+}

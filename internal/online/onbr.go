@@ -36,7 +36,7 @@ type ONBR struct {
 	theta      float64
 	accum      float64
 	epochStart int
-	epochAgg   []cost.Demand
+	epochAgg   *cost.Accumulator
 	targets    []int
 }
 
@@ -77,7 +77,7 @@ func (a *ONBR) Reset(env *sim.Env) error {
 	a.theta = a.factor() * env.Costs.Create
 	a.accum = 0
 	a.epochStart = 0
-	a.epochAgg = a.epochAgg[:0]
+	a.epochAgg = cost.NewAccumulator(env.Graph.N())
 	a.targets = nil
 	if a.Clusters > 0 {
 		cl, err := cluster.KCenters(env.Matrix, a.Clusters)
@@ -92,13 +92,13 @@ func (a *ONBR) Reset(env *sim.Env) error {
 // Observe implements sim.Algorithm.
 func (a *ONBR) Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta {
 	a.accum += access.Total() + a.pool.RunCost()
-	a.epochAgg = append(a.epochAgg, d)
+	a.epochAgg.Add(d)
 	if a.accum < a.theta {
 		return core.Delta{}
 	}
 	// Epoch over: best response against the epoch just passed.
 	length := t - a.epochStart + 1
-	agg := cost.Aggregate(a.epochAgg...)
+	agg := a.epochAgg.Demand()
 	target := a.bestResponse(agg, length, SearchMoves{Move: true, Deactivate: true, Add: true, Targets: a.targets})
 	delta := a.apply(target)
 	a.pool.AdvanceEpoch()
@@ -107,6 +107,6 @@ func (a *ONBR) Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta 
 	}
 	a.accum = 0
 	a.epochStart = t + 1
-	a.epochAgg = a.epochAgg[:0]
+	a.epochAgg.Reset()
 	return delta
 }

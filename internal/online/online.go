@@ -11,6 +11,8 @@ package online
 
 import (
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -32,6 +34,7 @@ type SearchMoves struct {
 // EpochScorer builds the candidate scorer for an epoch's aggregated demand:
 // the exact closed form when available, otherwise the linearised
 // approximation around the epoch's average per-server, per-round volume.
+// The scorer is pooled; callers release it after the sweep.
 func EpochScorer(env *sim.Env, servers core.Placement, agg cost.Demand, rounds int) *cost.Scorer {
 	if s, ok := cost.NewScorer(env.Eval, servers, agg); ok {
 		return s
@@ -43,6 +46,179 @@ func EpochScorer(env *sim.Env, servers core.Placement, agg cost.Demand, rounds i
 	return cost.NewScorerApprox(env.Eval, servers, agg, hint)
 }
 
+// parallelScanThreshold is the candidate-count × access-point work below
+// which the sweep stays on one goroutine (fan-out overhead would dominate).
+const parallelScanThreshold = 1 << 15
+
+// candidateScan scores the single-change candidates of one best-response
+// sweep. Candidates are addressed by a dense ordinal so the sweep can be
+// chunked across workers while preserving the sequential semantics
+// exactly: the winner is the candidate of minimal score, ties broken
+// toward the smallest ordinal (= the order the sequential loop visited).
+type candidateScan struct {
+	sc      *cost.Scorer
+	cur     core.Placement
+	targets []int // nil means the identity over all n nodes
+	n       int
+	work    int // per-candidate work estimate (distinct access points)
+	occ     []bool
+	cached  []bool
+
+	moves, deacts, adds bool
+
+	// Score constants per candidate kind: score = (access + sw) + run,
+	// evaluated in exactly that association order. Indexed by whether the
+	// entered node holds a cached inactive server.
+	moveSw, moveRun   [2]float64
+	deactSw, deactRun float64
+	addSw, addRun     [2]float64
+}
+
+// numTargets returns the size of the move/add target space.
+func (c *candidateScan) numTargets() int {
+	if c.targets != nil {
+		return len(c.targets)
+	}
+	return c.n
+}
+
+// target maps a target ordinal to a substrate node.
+func (c *candidateScan) target(j int) int {
+	if c.targets != nil {
+		return c.targets[j]
+	}
+	return j
+}
+
+// total returns the number of candidate ordinals.
+func (c *candidateScan) total() int {
+	nt := c.numTargets()
+	total := 0
+	if c.moves {
+		total += len(c.cur) * nt
+	}
+	if c.deacts {
+		total += len(c.cur)
+	}
+	if c.adds {
+		total += nt
+	}
+	return total
+}
+
+// score evaluates one candidate ordinal; +Inf marks inadmissible ones.
+func (c *candidateScan) score(ord int) float64 {
+	nt := c.numTargets()
+	if c.moves {
+		if ord < len(c.cur)*nt {
+			i, v := ord/nt, c.target(ord%nt)
+			if c.occ[v] {
+				return math.Inf(1)
+			}
+			b := b2i(c.cached[v])
+			return (c.sc.Move(i, v) + c.moveSw[b]) + c.moveRun[b]
+		}
+		ord -= len(c.cur) * nt
+	}
+	if c.deacts {
+		if ord < len(c.cur) {
+			access := c.sc.Remove(ord)
+			if math.IsInf(access, 1) {
+				return math.Inf(1)
+			}
+			return (access + c.deactSw) + c.deactRun
+		}
+		ord -= len(c.cur)
+	}
+	v := c.target(ord)
+	if c.occ[v] {
+		return math.Inf(1)
+	}
+	b := b2i(c.cached[v])
+	return (c.sc.Add(v) + c.addSw[b]) + c.addRun[b]
+}
+
+// materialize builds the placement of a winning ordinal.
+func (c *candidateScan) materialize(ord int) core.Placement {
+	nt := c.numTargets()
+	if c.moves {
+		if ord < len(c.cur)*nt {
+			i, v := ord/nt, c.target(ord%nt)
+			return c.cur.Moved(c.cur[i], v)
+		}
+		ord -= len(c.cur) * nt
+	}
+	if c.deacts {
+		if ord < len(c.cur) {
+			return c.cur.Without(c.cur[ord])
+		}
+		ord -= len(c.cur)
+	}
+	return c.cur.With(c.target(ord))
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// run scans all candidates — in parallel for large sweeps — and returns
+// the minimal score and its ordinal (-1 when no admissible candidate
+// exists). The result is independent of the worker count.
+func (c *candidateScan) run() (float64, int) {
+	total := c.total()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 || total*c.work < parallelScanThreshold {
+		return c.scanRange(0, total)
+	}
+	type result struct {
+		score float64
+		ord   int
+	}
+	results := make([]result, workers)
+	chunk := (total + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > total {
+			hi = total
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s, o := c.scanRange(lo, hi)
+			results[w] = result{s, o}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	best, bestOrd := math.Inf(1), -1
+	for _, r := range results {
+		// Strict less keeps the earliest chunk — and therefore the
+		// earliest ordinal — on ties, matching the sequential scan.
+		if r.ord >= 0 && r.score < best {
+			best, bestOrd = r.score, r.ord
+		}
+	}
+	return best, bestOrd
+}
+
+// scanRange is the sequential kernel of run over [lo, hi).
+func (c *candidateScan) scanRange(lo, hi int) (float64, int) {
+	best, bestOrd := math.Inf(1), -1
+	for ord := lo; ord < hi; ord++ {
+		if s := c.score(ord); s < best {
+			best, bestOrd = s, ord
+		}
+	}
+	return best, bestOrd
+}
+
 // BestResponse scores the pool's current placement and all allowed
 // single-change candidates against an epoch summary (demand aggregated
 // over `rounds` rounds) and returns the cheapest target. The score of a
@@ -51,63 +227,60 @@ func EpochScorer(env *sim.Env, servers core.Placement, agg cost.Demand, rounds i
 //	reconfiguration cost + access score + rounds · predicted running cost,
 //
 // matching ONBR's "cheapest configuration w.r.t. the passed epoch including
-// access, migration, running, and creation cost".
+// access, migration, running, and creation cost". Candidates are priced by
+// shape (PredictShape) and scanned in parallel; the chosen target is
+// identical to the sequential sweep's.
 func BestResponse(env *sim.Env, pool *core.Pool, agg cost.Demand, rounds int, moves SearchMoves) core.Placement {
 	cur := pool.Active()
 	if len(cur) == 0 {
 		return cur
 	}
 	sc := EpochScorer(env, cur, agg, rounds)
-	occupied := make(map[int]bool, len(cur))
-	for _, s := range cur {
-		occupied[s] = true
-	}
-	run := func(target core.Placement) float64 {
-		return float64(rounds) * env.Costs.Run(target.Len(), pool.PredictInactiveAfter(target))
-	}
-	// Baseline: keep the configuration.
-	best := cur
-	bestScore := sc.Base() + run(cur)
+	defer sc.Release()
 
-	consider := func(target core.Placement, access float64) {
-		score := access + pool.PredictSwitch(target).Total() + run(target)
-		if score < bestScore {
-			best, bestScore = target, score
-		}
+	n := env.Graph.N()
+	scan := candidateScan{
+		sc:      sc,
+		cur:     cur,
+		targets: moves.Targets,
+		n:       n,
+		work:    agg.Distinct() + 1,
+		occ:     make([]bool, n),
+		cached:  make([]bool, n),
+		moves:   moves.Move,
+		deacts:  moves.Deactivate && len(cur) > 1,
+		adds:    moves.Add && (env.Pool.MaxServers <= 0 || len(cur) < env.Pool.MaxServers),
 	}
-	targets := moves.Targets
-	if targets == nil {
-		targets = make([]int, env.Graph.N())
-		for v := range targets {
-			targets[v] = v
-		}
+	for _, s := range cur {
+		scan.occ[s] = true
 	}
-	if moves.Move {
-		for i, s := range cur {
-			for _, v := range targets {
-				if occupied[v] {
-					continue
-				}
-				consider(cur.Moved(s, v), sc.Move(i, v))
-			}
-		}
+	for _, v := range pool.InactiveNodes() {
+		scan.cached[v] = true
 	}
-	if moves.Deactivate && len(cur) > 1 {
-		for i, s := range cur {
-			if access := sc.Remove(i); !math.IsInf(access, 1) {
-				consider(cur.Without(s), access)
-			}
-		}
+	rf := float64(rounds)
+	for b := 0; b < 2; b++ {
+		d, inact := pool.PredictShape(1, 1, b)
+		scan.moveSw[b] = d.Total()
+		scan.moveRun[b] = rf * env.Costs.Run(len(cur), inact)
+		d, inact = pool.PredictShape(1, 0, b)
+		scan.addSw[b] = d.Total()
+		scan.addRun[b] = rf * env.Costs.Run(len(cur)+1, inact)
 	}
-	if moves.Add && (env.Pool.MaxServers <= 0 || len(cur) < env.Pool.MaxServers) {
-		for _, v := range targets {
-			if occupied[v] {
-				continue
-			}
-			consider(cur.With(v), sc.Add(v))
-		}
+	{
+		d, inact := pool.PredictShape(0, 1, 0)
+		scan.deactSw = d.Total()
+		scan.deactRun = rf * env.Costs.Run(len(cur)-1, inact)
 	}
-	return best
+
+	// Baseline: keep the configuration. A candidate must beat it strictly.
+	_, keepInact := pool.PredictShape(0, 0, 0)
+	keepScore := sc.Base() + rf*env.Costs.Run(len(cur), keepInact)
+
+	best, bestOrd := scan.run()
+	if bestOrd < 0 || best >= keepScore {
+		return cur
+	}
+	return scan.materialize(bestOrd)
 }
 
 // base carries the pool plumbing shared by the online strategies.

@@ -33,7 +33,7 @@ type ONSAMP struct {
 	theta      float64
 	accum      float64
 	epochStart int
-	epochAgg   []cost.Demand
+	epochAgg   *cost.Accumulator
 }
 
 // NewONSAMP returns the sampling strategy with default parameters.
@@ -75,25 +75,25 @@ func (a *ONSAMP) Reset(env *sim.Env) error {
 	a.theta = a.factor() * env.Costs.Create
 	a.accum = 0
 	a.epochStart = 0
-	a.epochAgg = a.epochAgg[:0]
+	a.epochAgg = cost.NewAccumulator(env.Graph.N())
 	return nil
 }
 
 // Observe implements sim.Algorithm.
 func (a *ONSAMP) Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta {
 	a.accum += access.Total() + a.pool.RunCost()
-	a.epochAgg = append(a.epochAgg, d)
+	a.epochAgg.Add(d)
 	if a.accum < a.theta {
 		return core.Delta{}
 	}
 	length := t - a.epochStart + 1
-	agg := cost.Aggregate(a.epochAgg...)
+	agg := a.epochAgg.Demand()
 	target := a.bestSample(agg, length)
 	delta := a.apply(target)
 	a.pool.AdvanceEpoch()
 	a.accum = 0
 	a.epochStart = t + 1
-	a.epochAgg = a.epochAgg[:0]
+	a.epochAgg.Reset()
 	return delta
 }
 
@@ -105,6 +105,7 @@ func (a *ONSAMP) bestSample(agg cost.Demand, rounds int) core.Placement {
 	sc := EpochScorer(a.env, cur, agg, rounds)
 	best := cur
 	bestScore := sc.Base() + float64(rounds)*a.env.Costs.Run(cur.Len(), a.pool.NumInactive())
+	sc.Release()
 
 	var sample core.Placement
 	for i := 1; i <= a.maxSample(); i++ {

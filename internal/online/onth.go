@@ -32,12 +32,12 @@ type ONTH struct {
 	Y float64
 
 	smallAccum float64
-	smallAgg   []cost.Demand
+	smallAgg   *cost.Accumulator
 	smallStart int
 
 	largeAccess float64
 	largeRun    float64
-	largeAgg    []cost.Demand
+	largeAgg    *cost.Accumulator
 	largeStart  int
 }
 
@@ -61,9 +61,9 @@ func (a *ONTH) Reset(env *sim.Env) error {
 	}
 	a.reset(env)
 	a.smallAccum, a.smallStart = 0, 0
-	a.smallAgg = a.smallAgg[:0]
+	a.smallAgg = cost.NewAccumulator(env.Graph.N())
 	a.largeAccess, a.largeRun, a.largeStart = 0, 0, 0
-	a.largeAgg = a.largeAgg[:0]
+	a.largeAgg = cost.NewAccumulator(env.Graph.N())
 	return nil
 }
 
@@ -71,10 +71,10 @@ func (a *ONTH) Reset(env *sim.Env) error {
 func (a *ONTH) Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta {
 	run := a.pool.RunCost()
 	a.smallAccum += access.Total() + run
-	a.smallAgg = append(a.smallAgg, d)
+	a.smallAgg.Add(d)
 	a.largeAccess += access.Total()
 	a.largeRun += run
-	a.largeAgg = append(a.largeAgg, d)
+	a.largeAgg.Add(d)
 
 	var delta core.Delta
 	if a.largeEpochOver() {
@@ -99,17 +99,17 @@ func (a *ONTH) endLargeEpoch(t int) core.Delta {
 	var delta core.Delta
 	cur := a.pool.Active()
 	if a.env.Pool.MaxServers <= 0 || cur.Len() < a.env.Pool.MaxServers {
-		agg := cost.Aggregate(a.largeAgg...)
+		agg := a.largeAgg.Demand()
 		if v, _, ok := a.env.Eval.BestAddition(cur, agg); ok {
 			delta = a.apply(cur.With(v))
 		}
 	}
 	a.largeAccess, a.largeRun, a.largeStart = 0, 0, t+1
-	a.largeAgg = a.largeAgg[:0]
+	a.largeAgg.Reset()
 	// The configuration changed; restart the small epoch so its best
 	// response judges the new configuration on fresh observations.
 	a.smallAccum, a.smallStart = 0, t+1
-	a.smallAgg = a.smallAgg[:0]
+	a.smallAgg.Reset()
 	return delta
 }
 
@@ -117,11 +117,11 @@ func (a *ONTH) endLargeEpoch(t int) core.Delta {
 // the configuration is the large epoch's job).
 func (a *ONTH) endSmallEpoch(t int) core.Delta {
 	length := t - a.smallStart + 1
-	agg := cost.Aggregate(a.smallAgg...)
+	agg := a.smallAgg.Demand()
 	target := a.bestResponse(agg, length, SearchMoves{Move: true, Deactivate: true})
 	delta := a.apply(target)
 	a.pool.AdvanceEpoch()
 	a.smallAccum, a.smallStart = 0, t+1
-	a.smallAgg = a.smallAgg[:0]
+	a.smallAgg.Reset()
 	return delta
 }

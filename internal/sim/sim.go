@@ -40,7 +40,7 @@ func NewEnv(g *graph.Graph, load cost.LoadFunc, policy cost.Policy, costs cost.P
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	m := g.AllPairs()
+	m := g.Metric()
 	pool.Costs = costs
 	return &Env{
 		Graph:  g,

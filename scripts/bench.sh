@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Runs the hot-path micro-benchmarks and emits a JSON perf snapshot
+# (default BENCH_1.json) so later PRs have a trajectory to compare
+# against. Usage:
+#
+#   scripts/bench.sh [output.json]
+#   COUNT=10 scripts/bench.sh        # more samples per benchmark
+#
+# For statistically rigorous before/after comparisons prefer benchstat
+# over raw snapshots (see PERFORMANCE.md).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-6}"
+OUT="${1:-BENCH_1.json}"
+BENCH='BenchmarkAccessLinear$|BenchmarkAccessQuadratic$|BenchmarkScorerSweep$|BenchmarkScorerSweepReuse$|BenchmarkScorerApplyMove$|BenchmarkBestResponse$|BenchmarkOPTLine5$|BenchmarkONBRCommuter$|BenchmarkONTHCommuter$|BenchmarkAllPairs500$'
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . | tee "$RAW"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+    if (!(name in ns)) { order[++m] = name }
+    ns[name]     += $3;
+    bytes[name]  += $5;
+    allocs[name] += $7;
+    count[name]++
+}
+END {
+    printf "{\n  \"generated\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": {\n", date, goversion
+    for (i = 1; i <= m; i++) {
+        b = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %.1f, \"bytes_per_op\": %.1f, \"allocs_per_op\": %.2f, \"samples\": %d}%s\n", \
+            b, ns[b]/count[b], bytes[b]/count[b], allocs[b]/count[b], count[b], (i < m ? "," : "")
+    }
+    printf "  }\n}\n"
+}' "$RAW" > "$OUT"
+
+echo "wrote $OUT"
