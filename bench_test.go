@@ -239,6 +239,75 @@ func BenchmarkBestResponse(b *testing.B) {
 	}
 }
 
+// BenchmarkONCONF runs the generic configuration-counter algorithm on an
+// enumerable configuration space (n=12, k≤5 → 1585 placements): every
+// round charges every configuration, the workload the batched ConfSweep
+// kernel exists for.
+func BenchmarkONCONF(b *testing.B) {
+	g, err := gen.ErdosRenyi(12, 0.3, gen.DefaultOptions(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.DefaultParams(), core.Params{QueueCap: 3, Expiry: 20, MaxServers: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 8}, 120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(env, online.NewONCONF(rand.New(rand.NewSource(2))), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWFA runs the work-function baseline on n=12, k≤3 (298 states):
+// per round one task-cost evaluation per state plus the O(states²) work
+// function update.
+func BenchmarkWFA(b *testing.B) {
+	g, err := gen.ErdosRenyi(12, 0.3, gen.DefaultOptions(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.DefaultParams(), core.Params{QueueCap: 3, Expiry: 20, MaxServers: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 8}, 120)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(env, online.NewWFA(), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookaheadOFFBR runs the offline best-response strategy whose
+// epoch boundaries trigger lookahead window scans over the upcoming
+// rounds (the path the per-epoch round-cost memo accelerates).
+func BenchmarkLookaheadOFFBR(b *testing.B) {
+	env := benchGraph(b, 200)
+	seq, err := workload.CommuterDynamic(env.Matrix,
+		workload.CommuterConfig{T: workload.TForSize(200), Lambda: 10}, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(env, offline.NewOFFBR(seq), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkPoolSwitch(b *testing.B) {
 	pool := core.NewPool(core.Params{Costs: cost.DefaultParams(), QueueCap: 3, Expiry: 20})
 	pool.Bootstrap(core.NewPlacement(1, 2, 3))

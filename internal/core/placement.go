@@ -109,6 +109,31 @@ func (p Placement) Diff(q Placement) (entering, leaving []int) {
 	return entering, leaving
 }
 
+// DiffSize returns the sizes of the two sets Diff would return — how many
+// nodes enter and how many leave when reconfiguring from p to q — without
+// materialising them. Reconfiguration costs depend only on these counts,
+// so hot loops (the work-function algorithm's C² transition matrix) use
+// this allocation-free form.
+func (p Placement) DiffSize(q Placement) (entering, leaving int) {
+	i, j := 0, 0
+	for i < len(p) && j < len(q) {
+		switch {
+		case p[i] == q[j]:
+			i++
+			j++
+		case p[i] < q[j]:
+			leaving++
+			i++
+		default:
+			entering++
+			j++
+		}
+	}
+	leaving += len(p) - i
+	entering += len(q) - j
+	return entering, leaving
+}
+
 // Key returns a canonical string form usable as a map key, e.g. "1,4,7".
 func (p Placement) Key() string {
 	var b strings.Builder

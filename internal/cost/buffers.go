@@ -17,6 +17,14 @@ func growI(buf []int, n int) []int {
 	return buf[:n]
 }
 
+// growI32 is growF for int32 slices.
+func growI32(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
 // growB is growF for bool slices; the returned slice is zeroed.
 func growB(buf []bool, n int) []bool {
 	if cap(buf) < n {

@@ -79,10 +79,13 @@ func NewEvaluator(g *graph.Graph, m *graph.Matrix, load LoadFunc, policy Policy)
 // goroutines hold one session per goroutine (Evaluator.Access does this
 // transparently through an internal pool).
 type Session struct {
-	e   *Evaluator
-	off []float64 // per-server routing offset
-	eta []float64 // per-server request volume
-	occ []bool    // per-node occupancy flags (BestAddition)
+	e    *Evaluator
+	off  []float64 // per-server routing offset (strengths on the greedy path)
+	eta  []float64 // per-server request volume
+	occ  []bool    // per-node occupancy flags (BestAddition)
+	marg []float64 // per-server cached marginal load (greedy router)
+	key  []float64 // per-server latency + marginal (greedy router)
+	heap []int32   // heap of server indexes ordered by key (greedy router)
 }
 
 // NewSession returns a workspace bound to the evaluator. Reusing one
@@ -176,30 +179,23 @@ func (s *Session) accessSeparable(servers []int, d Demand) AccessCost {
 // accessGreedy routes one request at a time to the server with minimal
 // latency + current marginal load. Requests are processed in ascending
 // access-point order, one unit at a time, so the result is deterministic.
+// Routing runs through the incremental-key router of router.go (heap-based
+// for bulky access points), which picks exactly the servers the plain
+// per-unit scan picks.
 func (s *Session) accessGreedy(servers []int, d Demand) AccessCost {
 	e := s.e
-	s.eta = growF(s.eta, len(servers))
-	s.off = growF(s.off, len(servers))
+	ns := len(servers)
+	s.eta = growF(s.eta, ns)
+	s.off = growF(s.off, ns)
+	s.marg = growF(s.marg, ns)
+	s.key = growF(s.key, ns)
 	eta, str := s.eta, s.off // reuse the offset buffer for strengths
 	zeroF(eta)
 	for i, sv := range servers {
 		str[i] = e.g.Strength(sv)
+		s.marg[i] = e.load.Marginal(str[i], 0)
 	}
-	var latency float64
-	for _, p := range d.Pairs() {
-		row := e.m.Row(p.Node)
-		for u := 0; u < p.Count; u++ {
-			best, bestCost := 0, math.MaxFloat64
-			for i, sv := range servers {
-				c := row[sv] + e.load.Marginal(str[i], eta[i])
-				if c < bestCost {
-					best, bestCost = i, c
-				}
-			}
-			latency += row[servers[best]]
-			eta[best]++
-		}
-	}
+	latency := s.routeGreedy(servers, d)
 	var load float64
 	for i := range servers {
 		load += e.load.Value(str[i], eta[i])

@@ -1,0 +1,78 @@
+package offline
+
+import (
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// roundMemo caches the per-round access totals the lookahead window scans
+// compute: totals[t-start] = Access(placement, σt).Total(). The cache is
+// valid for one placement; scanning under a different placement resets it.
+// OFFBR and OFFTH keep one memo per run, so a round's access cost under
+// the current placement is computed once per epoch even when several
+// window scans cover it — OFFTH's back-to-back add/best-response scans at
+// one boundary, and windows that re-cover rounds because the realised
+// epoch ended earlier than the predicted one (running costs drift as
+// inactive servers expire).
+type roundMemo struct {
+	placement core.Placement // owned copy of the placement the cache is valid for
+	start     int            // round index of totals[0]
+	totals    []float64      // access totals of rounds start, start+1, ...
+	agg       *cost.Accumulator
+}
+
+// access returns Access(placement, d).Total() for round t, from the cache
+// when round t was already scanned under this placement.
+func (m *roundMemo) access(env *sim.Env, placement core.Placement, t int, d cost.Demand) float64 {
+	if !placement.Equal(m.placement) {
+		m.placement = append(m.placement[:0], placement...)
+		m.start = t
+		m.totals = m.totals[:0]
+	}
+	idx := t - m.start
+	if idx < 0 || idx > len(m.totals) {
+		// A window that jumped backwards or past the cached range; restart
+		// the cache at t (window scans are sequential, so within one scan
+		// this happens at most for the first round).
+		m.start = t
+		m.totals = m.totals[:0]
+		idx = 0
+	}
+	if idx < len(m.totals) {
+		return m.totals[idx]
+	}
+	tot := env.Eval.Access(placement, d).Total()
+	m.totals = append(m.totals, tot)
+	return tot
+}
+
+// lookahead collects the upcoming epoch: the rounds starting at `from`
+// whose cost in the current configuration would accumulate to the given
+// threshold (mirroring how the online epoch of the same algorithm would
+// end), capped by the end of the horizon. Per-round access totals come
+// from the memo, and the window demand is folded through a
+// cost.Accumulator (O(distinct access points) per round) instead of a
+// fresh map merge.
+func lookahead(env *sim.Env, seq *workload.Sequence, placement core.Placement, inactive int, from int, threshold float64, memo *roundMemo) (agg cost.Demand, length int) {
+	accum := 0.0
+	run := env.Costs.Run(placement.Len(), inactive)
+	if memo.agg == nil {
+		memo.agg = cost.NewAccumulator(env.Graph.N())
+	}
+	memo.agg.Reset()
+	for t := from; t < seq.Len(); t++ {
+		d := seq.Demand(t)
+		memo.agg.Add(d)
+		length++
+		accum += memo.access(env, placement, t, d) + run
+		if accum >= threshold {
+			break
+		}
+	}
+	if length == 0 {
+		return cost.Demand{}, 0
+	}
+	return memo.agg.Demand(), length
+}

@@ -155,12 +155,90 @@ func TestOFFSTATQuadraticLoadPath(t *testing.T) {
 	}
 }
 
+// TestLookaheadMemoMatchesFresh pins memoized window scans to fresh
+// (memo-less) scans with exact equality, across overlapping windows,
+// alternating placements, and backwards restarts.
+func TestLookaheadMemoMatchesFresh(t *testing.T) {
+	env := lineEnv(t, 8, 3, cost.Params{Beta: 5, Create: 20, RunActive: 1, RunInactive: 0.2})
+	demands := make([]cost.Demand, 60)
+	for i := range demands {
+		demands[i] = cost.DemandFromList([]int{i % 8, 7, 7})
+	}
+	seq := workload.NewSequence("mixed", demands)
+	placements := []core.Placement{
+		core.NewPlacement(3),
+		core.NewPlacement(3, 7),
+		core.NewPlacement(3), // back to the first: cache must not go stale
+	}
+	memo := &roundMemo{}
+	scans := []struct {
+		pl        int
+		from      int
+		threshold float64
+	}{
+		{0, 0, 50},  // initial window
+		{0, 0, 90},  // same start, longer window: prefix must come from cache
+		{0, 4, 50},  // overlapping restart inside the cached range
+		{1, 4, 50},  // placement change invalidates
+		{1, 10, 60}, // gap past the cached range restarts cleanly
+		{2, 10, 60}, // back to placement 0's shape: values must be recomputed
+		{2, 3, 40},  // backwards jump under an unchanged placement
+	}
+	for i, sc := range scans {
+		pl := placements[sc.pl]
+		gotAgg, gotLen := lookahead(env, seq, pl, 1, sc.from, sc.threshold, memo)
+		wantAgg, wantLen := lookahead(env, seq, pl, 1, sc.from, sc.threshold, &roundMemo{})
+		if gotLen != wantLen {
+			t.Fatalf("scan %d: length %d, fresh %d", i, gotLen, wantLen)
+		}
+		if gp, wp := gotAgg.Pairs(), wantAgg.Pairs(); len(gp) != len(wp) {
+			t.Fatalf("scan %d: %d aggregated pairs, fresh %d", i, len(gp), len(wp))
+		} else {
+			for k := range gp {
+				if gp[k] != wp[k] {
+					t.Fatalf("scan %d pair %d: %+v, fresh %+v", i, k, gp[k], wp[k])
+				}
+			}
+		}
+	}
+}
+
+// TestLookaheadMemoReusesCachedRounds verifies the memo actually avoids
+// re-evaluating rounds a previous same-placement scan covered.
+func TestLookaheadMemoReusesCachedRounds(t *testing.T) {
+	env := lineEnv(t, 6, 2, cost.Params{Beta: 5, Create: 20, RunActive: 1, RunInactive: 0.2})
+	seq := heavyCornerSeq(5, 4, 50)
+	memo := &roundMemo{}
+	pl := env.Start
+	lookahead(env, seq, pl, 0, 10, 1e12, memo) // fills rounds 10..49
+	if got := len(memo.totals); got != 40 {
+		t.Fatalf("memo holds %d rounds, want 40", got)
+	}
+	before := append([]float64(nil), memo.totals...)
+	// An overlapping scan must return cached values, not extend anything.
+	lookahead(env, seq, pl, 0, 20, 1e12, memo)
+	if len(memo.totals) != 40 {
+		t.Fatalf("overlapping scan resized the cache to %d", len(memo.totals))
+	}
+	for i := range before {
+		if memo.totals[i] != before[i] {
+			t.Fatalf("cached total %d changed", i)
+		}
+	}
+	// A different placement drops the cache.
+	lookahead(env, seq, core.NewPlacement(0, 5), 0, 20, 1e12, memo)
+	if memo.start != 20 {
+		t.Fatalf("placement change kept start %d, want 20", memo.start)
+	}
+}
+
 func TestLookaheadWindow(t *testing.T) {
 	env := lineEnv(t, 6, 2, cost.Params{Beta: 5, Create: 20, RunActive: 1, RunInactive: 0.2})
 	seq := heavyCornerSeq(5, 4, 50)
 	placement := env.Start
 	// Threshold so large the window runs to the horizon.
-	agg, length := lookahead(env, seq, placement, 0, 40, 1e12)
+	memo := &roundMemo{}
+	agg, length := lookahead(env, seq, placement, 0, 40, 1e12, memo)
 	if length != 10 {
 		t.Fatalf("window length = %d, want 10 (rounds 40..49)", length)
 	}
@@ -168,12 +246,12 @@ func TestLookaheadWindow(t *testing.T) {
 		t.Fatalf("window demand = %d, want 40", agg.Total())
 	}
 	// Tiny threshold: the window is a single round.
-	_, length = lookahead(env, seq, placement, 0, 0, 0.001)
+	_, length = lookahead(env, seq, placement, 0, 0, 0.001, memo)
 	if length != 1 {
 		t.Fatalf("window length = %d, want 1", length)
 	}
 	// Past the horizon: empty window.
-	if _, length = lookahead(env, seq, placement, 0, 99, 10); length != 0 {
+	if _, length = lookahead(env, seq, placement, 0, 99, 10, memo); length != 0 {
 		t.Fatalf("window length = %d, want 0", length)
 	}
 }

@@ -10,25 +10,6 @@ import (
 	"repro/internal/workload"
 )
 
-// lookahead collects the upcoming epoch: the rounds starting at `from`
-// whose cost in the current configuration would accumulate to the given
-// threshold (mirroring how the online epoch of the same algorithm would
-// end), capped by the end of the horizon.
-func lookahead(env *sim.Env, seq *workload.Sequence, placement core.Placement, inactive int, from int, threshold float64) (agg cost.Demand, length int) {
-	accum := 0.0
-	run := env.Costs.Run(placement.Len(), inactive)
-	var window []cost.Demand
-	for t := from; t < seq.Len(); t++ {
-		d := seq.Demand(t)
-		window = append(window, d)
-		accum += env.Eval.Access(placement, d).Total() + run
-		if accum >= threshold {
-			break
-		}
-	}
-	return cost.Aggregate(window...), len(window)
-}
-
 // OFFBR is the offline adaption of ONBR from Section IV-B: it keeps ONBR's
 // epoch structure (an epoch ends when the accumulated cost reaches θ) but,
 // "rather than switching to the configuration of lowest cost w.r.t. the
@@ -48,6 +29,7 @@ type OFFBR struct {
 	theta      float64
 	accum      float64
 	epochStart int
+	memo       roundMemo
 }
 
 // NewOFFBR returns the fixed-threshold offline best-response strategy.
@@ -79,6 +61,7 @@ func (a *OFFBR) Reset(env *sim.Env) error {
 	a.theta = a.factor() * env.Costs.Create
 	a.accum = 0
 	a.epochStart = 0
+	a.memo = roundMemo{}
 	return nil
 }
 
@@ -94,7 +77,7 @@ func (a *OFFBR) Prepare(t int) core.Delta {
 	if t != a.epochStart {
 		return core.Delta{}
 	}
-	agg, length := lookahead(a.env, a.seq, a.pool.Active(), a.pool.NumInactive(), t, a.theta)
+	agg, length := lookahead(a.env, a.seq, a.pool.Active(), a.pool.NumInactive(), t, a.theta, &a.memo)
 	if length == 0 {
 		return core.Delta{}
 	}

@@ -29,6 +29,8 @@ type OFFTH struct {
 	smallStart int
 	pendingBR  bool
 
+	memo roundMemo
+
 	largeAccess float64
 	largeRun    float64
 	largeLen    int
@@ -57,6 +59,7 @@ func (a *OFFTH) Reset(env *sim.Env) error {
 	a.pool = env.NewPool()
 	a.pool.Bootstrap(env.Start)
 	a.smallAccum, a.smallStart = 0, 0
+	a.memo = roundMemo{}
 	a.largeAccess, a.largeRun, a.largeLen = 0, 0, 0
 	a.pendingBR, a.pendingAdd = true, false // best-respond to the first window
 	return nil
@@ -76,7 +79,7 @@ func (a *OFFTH) Prepare(t int) core.Delta {
 		a.pendingAdd = false
 		cur := a.pool.Active()
 		if a.env.Pool.MaxServers <= 0 || cur.Len() < a.env.Pool.MaxServers {
-			agg, length := lookahead(a.env, a.seq, cur, a.pool.NumInactive(), t, a.y()*a.env.Costs.Beta)
+			agg, length := lookahead(a.env, a.seq, cur, a.pool.NumInactive(), t, a.y()*a.env.Costs.Beta, &a.memo)
 			if length > 0 {
 				if v, _, ok := a.env.Eval.BestAddition(cur, agg); ok {
 					d, err := a.pool.SwitchTo(cur.With(v))
@@ -90,7 +93,7 @@ func (a *OFFTH) Prepare(t int) core.Delta {
 	}
 	if a.pendingBR {
 		a.pendingBR = false
-		agg, length := lookahead(a.env, a.seq, a.pool.Active(), a.pool.NumInactive(), t, a.y()*a.env.Costs.Beta)
+		agg, length := lookahead(a.env, a.seq, a.pool.Active(), a.pool.NumInactive(), t, a.y()*a.env.Costs.Beta, &a.memo)
 		if length > 0 {
 			target := online.BestResponse(a.env, a.pool, agg, length, online.SearchMoves{Move: true, Deactivate: true})
 			if !target.Equal(a.pool.Active()) {

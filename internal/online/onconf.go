@@ -24,6 +24,11 @@ const MaxONCONFConfigs = 1 << 16
 // until its counter reaches k·c; then ONCONF switches to a configuration
 // chosen uniformly at random among those with C(γ) < k·c. If no such
 // configuration remains, the epoch ends and all counters reset.
+//
+// Charging every configuration every round is the hot loop; it runs
+// through cost.ConfSweep, which batches the whole configuration space into
+// one pass per round (bit-identical to the per-configuration Access loop,
+// see TestONCONFMatchesNaiveReference).
 type ONCONF struct {
 	base
 	// Rand drives the uniform random switch. It must be set (use
@@ -34,6 +39,11 @@ type ONCONF struct {
 	counters []float64
 	cur      int
 	budget   float64 // k·c
+
+	sweep     *cost.ConfSweep
+	roundCost []float64 // scratch: this round's access total per config
+	runCost   []float64 // per config: Costrun(γ) for one round
+	alive     []int     // scratch: configs still under budget
 }
 
 // NewONCONF returns an ONCONF driven by the given source of randomness.
@@ -73,26 +83,38 @@ func (a *ONCONF) Reset(env *sim.Env) error {
 		return fmt.Errorf("onconf: initial placement %v not in configuration space", env.Start)
 	}
 	a.budget = float64(k) * env.Costs.Create
+
+	views := make([][]int, len(a.configs))
+	a.runCost = make([]float64, len(a.configs))
+	for i, c := range a.configs {
+		views[i] = c
+		a.runCost[i] = env.Costs.Run(c.Len(), 0)
+	}
+	a.sweep = cost.NewConfSweep(env.Eval, views)
+	a.roundCost = make([]float64, len(a.configs))
+	a.alive = a.alive[:0]
 	return nil
 }
 
 // Observe implements sim.Algorithm.
 func (a *ONCONF) Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta {
-	// Every configuration is charged what it would have paid this round.
-	for i, c := range a.configs {
-		ac := a.env.Eval.Access(c, d)
-		a.counters[i] += ac.Total() + a.env.Costs.Run(c.Len(), 0)
+	// Every configuration is charged what it would have paid this round,
+	// in one batched sweep over the configuration space.
+	a.sweep.Sweep(d, a.roundCost)
+	for i, ac := range a.roundCost {
+		a.counters[i] += ac + a.runCost[i]
 	}
 	if a.counters[a.cur] < a.budget {
 		return core.Delta{}
 	}
 	// Switch uniformly at random among configurations still under budget.
-	alive := make([]int, 0, len(a.configs))
+	alive := a.alive[:0]
 	for i, cnt := range a.counters {
 		if cnt < a.budget {
 			alive = append(alive, i)
 		}
 	}
+	a.alive = alive
 	if len(alive) == 0 {
 		// Epoch over: reset counters, keep the configuration.
 		for i := range a.counters {

@@ -3,6 +3,7 @@ package online
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -25,14 +26,31 @@ import (
 // γ) and, after each round, moves to the state minimising
 // w_t(γ) + d(γ_cur, γ). Like ONCONF it is only tractable for small
 // configuration spaces; Reset fails beyond MaxONCONFConfigs states.
+//
+// Per round the task costs of all states come from one batched
+// cost.ConfSweep pass, and the O(states²) work-function update iterates
+// candidate predecessors in ascending task-cost order with an early
+// break: a predecessor γ' with w_{t-1}(γ') + task_t(γ') already at or
+// above the destination's best value cannot improve it (d ≥ 0), so the
+// scan stops there. The computed minima are exactly the full scan's
+// (TestWFAMatchesNaiveReference).
 type WFA struct {
 	base
 
 	configs []core.Placement
 	work    []float64
 	scratch []float64
-	dist    [][]float64 // d[i][j]: reconfiguration cost i → j
-	cur     int
+	// dist is the flat reconfiguration-cost matrix, transposed so the
+	// work-function update reads contiguously: dist[j*C+i] is the cost of
+	// moving from configuration i to configuration j.
+	dist []float64
+	cur  int
+
+	sweep   *cost.ConfSweep
+	taskBuf []float64 // scratch: per-config access totals of the round
+	latBuf  []float64 // scratch: per-config access latencies (feasibility test)
+	runCost []float64 // per config: Costrun(γ) for one round
+	order   []int32   // scratch: config indexes sorted by ascending scratch
 }
 
 // NewWFA returns the work-function baseline.
@@ -56,9 +74,10 @@ func (a *WFA) Reset(env *sim.Env) error {
 	}
 	a.reset(env)
 	a.configs = core.EnumeratePlacements(env.Graph.N(), k)
-	a.work = make([]float64, len(a.configs))
-	a.scratch = make([]float64, len(a.configs))
-	a.dist = make([][]float64, len(a.configs))
+	C := len(a.configs)
+	a.work = make([]float64, C)
+	a.scratch = make([]float64, C)
+	a.dist = make([]float64, C*C)
 	a.cur = -1
 	for i, c := range a.configs {
 		if c.Equal(env.Start) {
@@ -68,16 +87,30 @@ func (a *WFA) Reset(env *sim.Env) error {
 	if a.cur < 0 {
 		return fmt.Errorf("wfa: initial placement %v not in configuration space", env.Start)
 	}
-	for i, ci := range a.configs {
-		a.dist[i] = make([]float64, len(a.configs))
-		for j, cj := range a.configs {
-			entering, leaving := ci.Diff(cj)
-			a.dist[i][j] = env.Costs.Transition(len(entering), len(leaving))
+	// The C² transition costs are shape-only (how many nodes enter and
+	// leave), computed allocation-free via DiffSize and fanned out by
+	// destination row.
+	parallelRows(C, func(j int) {
+		cj := a.configs[j]
+		row := a.dist[j*C : (j+1)*C]
+		for i, ci := range a.configs {
+			entering, leaving := ci.DiffSize(cj)
+			row[i] = env.Costs.Transition(entering, leaving)
 		}
+	})
+	views := make([][]int, C)
+	a.runCost = make([]float64, C)
+	for i, c := range a.configs {
+		views[i] = c
+		a.runCost[i] = env.Costs.Run(c.Len(), 0)
 		// Initial work function: cost of moving from the start state.
-		entering, leaving := env.Start.Diff(ci)
-		a.work[i] = env.Costs.Transition(len(entering), len(leaving))
+		entering, leaving := env.Start.DiffSize(c)
+		a.work[i] = env.Costs.Transition(entering, leaving)
 	}
+	a.sweep = cost.NewConfSweep(env.Eval, views)
+	a.taskBuf = make([]float64, C)
+	a.latBuf = make([]float64, C)
+	a.order = make([]int32, C)
 	return nil
 }
 
@@ -91,35 +124,78 @@ func (a *WFA) Reset(env *sim.Env) error {
 // plain "argmin w_t(γ) + d" rule never moves: by the work function's
 // Lipschitz property the current state is always among its minimisers).
 func (a *WFA) Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta {
-	// scratch(γ) = w_{t-1}(γ) + task_t(γ).
-	for i, c := range a.configs {
-		ac := a.env.Eval.Access(c, d)
+	C := len(a.configs)
+	// scratch(γ) = w_{t-1}(γ) + task_t(γ), with the round's access totals
+	// batched through the sweep. Feasibility uses AccessCost.Infinite's
+	// exact test on the latency term (graph.Infinity is a finite sentinel,
+	// so testing the total for +Inf would miss it on disconnected
+	// substrates).
+	a.sweep.SweepAccess(d, a.taskBuf, a.latBuf)
+	for i := range a.configs {
 		task := math.Inf(1)
-		if !ac.Infinite() {
-			task = ac.Total() + a.env.Costs.Run(c.Len(), 0)
+		if !(cost.AccessCost{Latency: a.latBuf[i]}).Infinite() {
+			task = a.taskBuf[i] + a.runCost[i]
 		}
 		a.scratch[i] = a.work[i] + task
 	}
 	// Move rule; ties keep the current state.
 	next, bestVal := a.cur, a.scratch[a.cur]
 	for j := range a.configs {
-		if v := a.scratch[j] + a.dist[a.cur][j]; v < bestVal {
+		if v := a.scratch[j] + a.dist[j*C+a.cur]; v < bestVal {
 			next, bestVal = j, v
 		}
 	}
-	// w_t(γ) = min_γ' scratch(γ') + d(γ', γ).
-	for j := range a.configs {
-		best := math.Inf(1)
-		for i := range a.configs {
-			if c := a.scratch[i] + a.dist[i][j]; c < best {
+	// w_t(γ) = min_γ' scratch(γ') + d(γ', γ). Predecessors are visited in
+	// ascending scratch order: once scratch(γ') reaches the best value
+	// found, no later predecessor can strictly improve it (d ≥ 0), and
+	// skipping it leaves the minimum — computed from exactly the same
+	// float sums as the full scan — unchanged.
+	for i := range a.order {
+		a.order[i] = int32(i)
+	}
+	slices.SortFunc(a.order, func(x, y int32) int {
+		sx, sy := a.scratch[x], a.scratch[y]
+		switch {
+		case sx < sy:
+			return -1
+		case sx > sy:
+			return 1
+		default:
+			return int(x) - int(y)
+		}
+	})
+	parallelRows(C, func(j int) {
+		row := a.dist[j*C : (j+1)*C]
+		best := a.scratch[j] + row[j] // d(γ, γ) = 0: the stay-put schedule
+		for _, i := range a.order {
+			si := a.scratch[i]
+			if si >= best {
+				break
+			}
+			if c := si + row[i]; c < best {
 				best = c
 			}
 		}
 		a.work[j] = best
-	}
+	})
 	if next == a.cur {
 		return core.Delta{}
 	}
 	a.cur = next
 	return a.apply(a.configs[next])
+}
+
+// wfaParallelThreshold is the state count below which the row loops stay
+// serial (goroutine fan-out would dominate the O(C²) work).
+const wfaParallelThreshold = 256
+
+// parallelRows runs fn(j) for j in [0, C), fanned out over GOMAXPROCS in
+// contiguous chunks through cost.ParallelChunks. Each row is independent,
+// so the result does not depend on the worker count.
+func parallelRows(C int, fn func(j int)) {
+	cost.ParallelChunks(C, C >= wfaParallelThreshold, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			fn(j)
+		}
+	})
 }

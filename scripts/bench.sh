@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Runs the hot-path micro-benchmarks and emits a JSON perf snapshot
-# (default BENCH_1.json) so later PRs have a trajectory to compare
-# against. Usage:
+# (default BENCH_2.json) so later PRs have a trajectory to compare
+# against. When a previous snapshot exists (default BENCH_1.json), a
+# delta table old/new is printed per benchmark. Usage:
 #
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh [output.json [baseline.json]]
 #   COUNT=10 scripts/bench.sh        # more samples per benchmark
 #
 # For statistically rigorous before/after comparisons prefer benchstat
@@ -12,8 +13,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-6}"
-OUT="${1:-BENCH_1.json}"
-BENCH='BenchmarkAccessLinear$|BenchmarkAccessQuadratic$|BenchmarkScorerSweep$|BenchmarkScorerSweepReuse$|BenchmarkScorerApplyMove$|BenchmarkBestResponse$|BenchmarkOPTLine5$|BenchmarkONBRCommuter$|BenchmarkONTHCommuter$|BenchmarkAllPairs500$'
+OUT="${1:-BENCH_2.json}"
+BASE="${2:-BENCH_1.json}"
+BENCH='BenchmarkAccessLinear$|BenchmarkAccessQuadratic$|BenchmarkScorerSweep$|BenchmarkScorerSweepReuse$|BenchmarkScorerApplyMove$|BenchmarkBestResponse$|BenchmarkOPTLine5$|BenchmarkONBRCommuter$|BenchmarkONTHCommuter$|BenchmarkAllPairs500$|BenchmarkONCONF$|BenchmarkWFA$|BenchmarkLookaheadOFFBR$'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -40,3 +42,29 @@ END {
 }' "$RAW" > "$OUT"
 
 echo "wrote $OUT"
+
+if [[ -f "$BASE" && "$BASE" != "$OUT" ]]; then
+    echo
+    echo "delta vs $BASE (ns/op):"
+    awk '
+    match($0, /"Benchmark[A-Za-z0-9]+"/) {
+        name = substr($0, RSTART + 1, RLENGTH - 2)
+        if (!match($0, /"ns_per_op": *[0-9.]+/)) { next }
+        v = substr($0, RSTART + 13, RLENGTH - 13) + 0
+        if (FILENAME == ARGV[1]) { old[name] = v }
+        else {
+            new[name] = v
+            if (!(name in seen)) { order[++m] = name; seen[name] = 1 }
+        }
+    }
+    END {
+        printf "  %-28s %14s %14s %9s\n", "benchmark", "old", "new", "speedup"
+        for (i = 1; i <= m; i++) {
+            b = order[i]
+            if (b in old && old[b] > 0)
+                printf "  %-28s %14.1f %14.1f %8.2fx\n", b, old[b], new[b], old[b] / new[b]
+            else
+                printf "  %-28s %14s %14.1f %9s\n", b, "-", new[b], "new"
+        }
+    }' "$BASE" "$OUT"
+fi
