@@ -308,6 +308,55 @@ func BenchmarkLookaheadOFFBR(b *testing.B) {
 	}
 }
 
+// BenchmarkFlashCrowdGen builds the flash-crowd scenario end to end
+// (background noise draws plus spike composition through the scenario
+// engine's operator chain).
+func BenchmarkFlashCrowdGen(b *testing.B) {
+	env := benchGraph(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := workload.FlashCrowd(env.Matrix, workload.FlashCrowdConfig{
+			BaseRequests: 8, Spikes: 4, Peak: 32, Tau: 20,
+		}, 300, rand.New(rand.NewSource(1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDiurnalGen builds the diurnal multi-region scenario end to end
+// (k-centers partition plus per-region phase-shifted generator stacks).
+func BenchmarkDiurnalGen(b *testing.B) {
+	env := benchGraph(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := workload.DiurnalMultiRegion(env.Matrix, workload.DiurnalConfig{
+			Regions: 4, Period: 80, HotShare: 0.5,
+		}, 300, rand.New(rand.NewSource(1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLookaheadReuseOFFBR measures the full driver+lookahead path on
+// a stable workload whose epochs mostly keep their placement — the case
+// the sim.AccessReuser hook deduplicates.
+func BenchmarkLookaheadReuseOFFBR(b *testing.B) {
+	env := benchGraph(b, 200)
+	seq, err := workload.TimeZones(env.Matrix,
+		workload.TimeZonesConfig{T: 5, P: 0.5, Lambda: 20}, 300, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(env, offline.NewOFFBR(seq), seq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkPoolSwitch(b *testing.B) {
 	pool := core.NewPool(core.Params{Costs: cost.DefaultParams(), QueueCap: 3, Expiry: 20})
 	pool.Bootstrap(core.NewPlacement(1, 2, 3))

@@ -6,6 +6,8 @@
 //	flexserve -topo er -n 200 -scenario commuter-dynamic -alg onth
 //	flexserve -topo rocketfuel -scenario timezones -alg offstat -rounds 600
 //	flexserve -topo line -n 5 -scenario commuter-static -alg opt -rounds 200
+//	flexserve -topo er -n 200 -scenario flash-crowd -alg offbr -rounds 500
+//	flexserve -topo er -n 200 -scenario diurnal -alg onbr -rounds 500
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/offline"
@@ -35,7 +38,7 @@ func main() {
 	var (
 		topoName = flag.String("topo", "er", "topology: er, line, grid, pa, rocketfuel")
 		n        = flag.Int("n", 200, "network size (er, line, grid, pa)")
-		scenario = flag.String("scenario", "commuter-dynamic", "workload: commuter-dynamic, commuter-static, timezones, uniform")
+		scenario = flag.String("scenario", "commuter-dynamic", "workload: commuter-dynamic, commuter-static, timezones, uniform, flash-crowd, diurnal, weekly")
 		algName  = flag.String("alg", "onth", "strategy: onth, onbr, onbr-dyn, onbr-cluster, onsamp, wfa, onconf, opt, offstat, offbr, offth")
 		rounds   = flag.Int("rounds", 500, "simulated rounds")
 		lambda   = flag.Int("lambda", 10, "rounds per workload phase (λ)")
@@ -133,20 +136,28 @@ func buildTopology(name string, n int, seed int64) (*graph.Graph, error) {
 	}
 }
 
+// scenarioAliases maps the CLI's short scenario names onto the canonical
+// family names of experiments.BuildNamedScenario.
+var scenarioAliases = map[string]string{
+	"timezones": "time-zones",
+	"diurnal":   "diurnal-multi-region",
+	"weekly":    "weekday-weekend",
+}
+
 func buildWorkload(name string, env *sim.Env, T, lambda, rounds int, seed int64) (*workload.Sequence, error) {
 	rng := rand.New(rand.NewSource(seed + 1))
-	switch strings.ToLower(name) {
-	case "commuter-dynamic":
-		return workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)
-	case "commuter-static":
-		return workload.CommuterStatic(env.Matrix, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)
-	case "timezones":
-		return workload.TimeZones(env.Matrix, workload.TimeZonesConfig{T: T, P: 0.5, Lambda: lambda}, rounds, rng)
-	case "uniform":
+	name = strings.ToLower(name)
+	if name == "uniform" {
 		return workload.Uniform(env.Graph.N(), 1<<uint(T/2), rounds, rng)
-	default:
-		return nil, fmt.Errorf("unknown scenario %q", name)
 	}
+	if canonical, ok := scenarioAliases[name]; ok {
+		name = canonical
+	}
+	// Delegate to the experiment harness's builder so the CLI scenarios
+	// and the figure sweeps share one default derivation. Its errors pass
+	// through: "unknown scenario" for a bad name, the workload validation
+	// message otherwise.
+	return experiments.BuildNamedScenario(name, env.Matrix, T, lambda, rounds, 0, rng)
 }
 
 func buildAlgorithm(name string, seq *workload.Sequence, seed int64) (sim.Algorithm, error) {

@@ -53,7 +53,7 @@ func testEnv(t *testing.T) *sim.Env {
 
 func TestBuildWorkload(t *testing.T) {
 	env := testEnv(t)
-	for _, name := range []string{"commuter-dynamic", "commuter-static", "timezones", "uniform"} {
+	for _, name := range []string{"commuter-dynamic", "commuter-static", "timezones", "uniform", "flash-crowd", "diurnal", "weekly"} {
 		seq, err := buildWorkload(name, env, 6, 5, 20, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

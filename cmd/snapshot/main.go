@@ -44,6 +44,12 @@ func main() {
 		{"AblationLoad", experiments.AblationLoad},
 		{"AblationAssign", experiments.AblationAssign},
 		{"CompareOnlineVariants", experiments.CompareOnlineVariants},
+		// The composable scenario sweeps are appended after the paper
+		// figures so optimisation diffs against older snapshots stay
+		// aligned on the shared prefix.
+		{"CompareScenarios", experiments.CompareScenarios},
+		{"ScenarioFlashCrowd", experiments.ScenarioFlashCrowd},
+		{"ScenarioDiurnal", experiments.ScenarioDiurnal},
 	}
 	for _, f := range figs {
 		tab, err := f.fn(o)

@@ -200,24 +200,39 @@ func (s *ConfSweep) SweepAccess(d Demand, out, latency []float64) {
 // call when parallel is false or only one worker is available. fn must
 // tolerate concurrent invocations on disjoint ranges.
 func ParallelChunks(n int, parallel bool, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
+	if !parallel {
+		fn(0, n)
+		return
+	}
+	ParallelChunksWorkers(n, 0, 1, fn)
+}
+
+// ParallelChunksWorkers is ParallelChunks with an explicit worker bound and
+// a minimum chunk grain: fn covers [0, n) on at most `workers` goroutines
+// (non-positive selects GOMAXPROCS), each spanning at least `grain`
+// indexes. The OPT solver and the candidate scans route their fan-outs
+// through this so forced serial-vs-parallel parity runs stay expressible
+// and all chunking lives in one place.
+func ParallelChunksWorkers(n, workers, grain int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if grain > 1 && workers > n/grain {
+		workers = n / grain
+	}
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 || !parallel {
+	if workers <= 1 {
 		fn(0, n)
 		return
 	}
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
-		}
-		if lo >= hi {
-			break
 		}
 		wg.Add(1)
 		go func(lo, hi int) {

@@ -145,13 +145,18 @@ func runTotal(env *sim.Env, alg sim.Algorithm, seq *workload.Sequence) (float64,
 	return l.Total(), nil
 }
 
-// scenarioKind selects one of the paper's workload families.
+// scenarioKind selects one of the workload families: the paper's own
+// scenarios (Section V-A) or the composable scenarios built on the
+// workload/scenario engine.
 type scenarioKind int
 
 const (
 	commuterDynamic scenarioKind = iota
 	commuterStatic
 	timeZones
+	flashCrowd
+	diurnalMultiRegion
+	weekdayWeekend
 )
 
 func (s scenarioKind) String() string {
@@ -162,12 +167,46 @@ func (s scenarioKind) String() string {
 		return "commuter-static"
 	case timeZones:
 		return "time-zones"
+	case flashCrowd:
+		return "flash-crowd"
+	case diurnalMultiRegion:
+		return "diurnal-multi-region"
+	case weekdayWeekend:
+		return "weekday-weekend"
 	default:
 		return fmt.Sprintf("scenario(%d)", int(s))
 	}
 }
 
+// allScenarios lists every workload family an experiment can sweep.
+func allScenarios() []scenarioKind {
+	return []scenarioKind{
+		commuterDynamic, commuterStatic, timeZones,
+		flashCrowd, diurnalMultiRegion, weekdayWeekend,
+	}
+}
+
+// BuildNamedScenario instantiates a workload family by its canonical name
+// (a scenarioKind String(): "commuter-dynamic", "commuter-static",
+// "time-zones", "flash-crowd", "diurnal-multi-region",
+// "weekday-weekend"). It is the single source of the per-family default
+// derivation, shared by the experiment sweeps and the cmd/flexserve CLI
+// so the two can never drift apart.
+func BuildNamedScenario(name string, m *graph.Matrix, T, lambda, rounds, reqPerRound int, rng *rand.Rand) (*workload.Sequence, error) {
+	for _, kind := range allScenarios() {
+		if kind.String() == name {
+			return buildScenario(kind, m, T, lambda, rounds, reqPerRound, rng)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown scenario %q", name)
+}
+
 // buildScenario instantiates a workload of the given kind on a substrate.
+// The shared knobs map onto each family: T is the number of day
+// phases/periods, lambda the rounds per phase (spike decay for flash
+// crowds), reqPerRound the volume (0 derives the commuter-comparable
+// default). All randomness comes from rng, so a (seed, x, run) triple
+// fully determines the sequence.
 func buildScenario(kind scenarioKind, m *graph.Matrix, T, lambda, rounds, reqPerRound int, rng *rand.Rand) (*workload.Sequence, error) {
 	switch kind {
 	case commuterDynamic:
@@ -177,6 +216,26 @@ func buildScenario(kind scenarioKind, m *graph.Matrix, T, lambda, rounds, reqPer
 	case timeZones:
 		return workload.TimeZones(m, workload.TimeZonesConfig{
 			T: T, P: 0.5, Lambda: lambda, RequestsPerRound: reqPerRound,
+		}, rounds, rng)
+	case flashCrowd:
+		base := reqPerRound
+		if base == 0 {
+			base = 1 << uint(T/2)
+		}
+		return workload.FlashCrowd(m, workload.FlashCrowdConfig{
+			BaseRequests: base, Spikes: 4, Peak: 2 * float64(base), Tau: float64(lambda),
+		}, rounds, rng)
+	case diurnalMultiRegion:
+		return workload.DiurnalMultiRegion(m, workload.DiurnalConfig{
+			Regions: 4, Period: T * lambda, HotShare: 0.5, RequestsPerRound: reqPerRound,
+		}, rounds, rng)
+	case weekdayWeekend:
+		day := 2 * lambda
+		if day < T {
+			day = T // a day fits at least one full fan cycle
+		}
+		return workload.WeekdayWeekend(m, workload.WeeklyConfig{
+			DayLen: day, T: T,
 		}, rounds, rng)
 	default:
 		return nil, fmt.Errorf("experiments: unknown scenario %d", kind)

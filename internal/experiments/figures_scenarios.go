@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/cost"
+	"repro/internal/offline"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// scenarioContenders returns fresh instances of the strategies the
+// scenario sweeps compare: the online trio plus the offline lookahead
+// variants, which exercise the driver's access-reuse hook end-to-end.
+func scenarioContenders(seq *workload.Sequence) []sim.Algorithm {
+	return append(onlineContenders(), offline.NewOFFBR(seq), offline.NewOFFTH(seq))
+}
+
+// CompareScenarios runs the contenders across every workload family — the
+// paper's commuter and time-zones scenarios and the composable flash-crowd,
+// diurnal multi-region, and weekday/weekend scenarios — on a shared
+// Erdős–Rényi substrate. One x-position per scenario (in allScenarios
+// order), one series per strategy, mean total cost over the runs.
+func CompareScenarios(o Options) (*trace.Table, error) {
+	n := pick(o, 200, 60)
+	rounds := pick(o, 900, 200)
+	runs := pick(o, 10, 2)
+	T := 10
+	lambda := 10
+	seed := o.seed()
+
+	kinds := allScenarios()
+	labels := []string{"ONBR-fixed", "ONBR-dyn", "ONTH", "OFFBR-fixed", "OFFTH"}
+	values := make([][]float64, len(labels))
+	tab := &trace.Table{
+		Title:  "Scenario comparison: total cost per workload family",
+		XLabel: "scenario (0=commuter-dyn, 1=commuter-static, 2=time-zones, 3=flash-crowd, 4=diurnal, 5=weekly)",
+		YLabel: "total cost",
+	}
+	for xi, kind := range kinds {
+		tab.X = append(tab.X, float64(xi))
+		for ai := range labels {
+			ai, kind := ai, kind
+			totals, err := parallelRuns(runs, func(run int) (float64, error) {
+				s := runSeed(seed, xi, run)
+				env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
+				if err != nil {
+					return 0, err
+				}
+				seq, err := buildScenario(kind, env.Matrix, T, lambda, rounds, 0, rand.New(rand.NewSource(s+1)))
+				if err != nil {
+					return 0, err
+				}
+				return runTotal(env, scenarioContenders(seq)[ai], seq)
+			})
+			if err != nil {
+				return nil, err
+			}
+			values[ai] = append(values[ai], stats.Mean(totals))
+		}
+	}
+	for ai, label := range labels {
+		tab.Series = append(tab.Series, trace.Series{Label: label, Values: values[ai]})
+	}
+	return tab, tab.Validate()
+}
+
+// ScenarioFlashCrowd sweeps the spike amplitude of the flash-crowd
+// scenario: x is the peak volume as a multiple of the background, and the
+// series are the contenders' mean total costs. Sharper crowds reward
+// strategies that reconfigure decisively (and the lookahead variants that
+// see them coming).
+func ScenarioFlashCrowd(o Options) (*trace.Table, error) {
+	n := pick(o, 200, 60)
+	rounds := pick(o, 900, 200)
+	runs := pick(o, 10, 2)
+	base := 8
+	tau := 20.0
+	peaks := pickSizes(o, []int{1, 2, 4, 8, 16}, []int{2, 8})
+	seed := o.seed()
+
+	labels := []string{"ONBR-fixed", "ONBR-dyn", "ONTH", "OFFBR-fixed", "OFFTH"}
+	values := make([][]float64, len(labels))
+	tab := &trace.Table{
+		Title:  "Flash crowd: cost vs spike amplitude",
+		XLabel: "spike peak (multiple of background volume)",
+		YLabel: "total cost",
+	}
+	for xi, peak := range peaks {
+		tab.X = append(tab.X, float64(peak))
+		for ai := range labels {
+			ai, peak := ai, peak
+			totals, err := parallelRuns(runs, func(run int) (float64, error) {
+				s := runSeed(seed, xi, run)
+				env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
+				if err != nil {
+					return 0, err
+				}
+				seq, err := workload.FlashCrowd(env.Matrix, workload.FlashCrowdConfig{
+					BaseRequests: base, Spikes: 4, Peak: float64(peak * base), Tau: tau,
+				}, rounds, rand.New(rand.NewSource(s+1)))
+				if err != nil {
+					return 0, err
+				}
+				return runTotal(env, scenarioContenders(seq)[ai], seq)
+			})
+			if err != nil {
+				return nil, err
+			}
+			values[ai] = append(values[ai], stats.Mean(totals))
+		}
+	}
+	for ai, label := range labels {
+		tab.Series = append(tab.Series, trace.Series{Label: label, Values: values[ai]})
+	}
+	return tab, tab.Validate()
+}
+
+// ScenarioDiurnal sweeps the number of regions in the diurnal multi-region
+// scenario: x is the region count k, and the series are the contenders'
+// mean total costs. More regions mean a faster-moving sun — shorter
+// daytime windows stress how quickly each strategy re-centers.
+func ScenarioDiurnal(o Options) (*trace.Table, error) {
+	n := pick(o, 200, 60)
+	rounds := pick(o, 900, 200)
+	runs := pick(o, 10, 2)
+	period := 80
+	regionCounts := pickSizes(o, []int{2, 3, 4, 6, 8}, []int{2, 4})
+	seed := o.seed()
+
+	labels := []string{"ONBR-fixed", "ONBR-dyn", "ONTH", "OFFBR-fixed", "OFFTH"}
+	values := make([][]float64, len(labels))
+	tab := &trace.Table{
+		Title:  "Diurnal multi-region: cost vs region count",
+		XLabel: "regions k",
+		YLabel: "total cost",
+	}
+	for xi, k := range regionCounts {
+		tab.X = append(tab.X, float64(k))
+		for ai := range labels {
+			ai, k := ai, k
+			totals, err := parallelRuns(runs, func(run int) (float64, error) {
+				s := runSeed(seed, xi, run)
+				env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
+				if err != nil {
+					return 0, err
+				}
+				seq, err := workload.DiurnalMultiRegion(env.Matrix, workload.DiurnalConfig{
+					Regions: k, Period: period, HotShare: 0.5,
+				}, rounds, rand.New(rand.NewSource(s+1)))
+				if err != nil {
+					return 0, err
+				}
+				return runTotal(env, scenarioContenders(seq)[ai], seq)
+			})
+			if err != nil {
+				return nil, err
+			}
+			values[ai] = append(values[ai], stats.Mean(totals))
+		}
+	}
+	for ai, label := range labels {
+		tab.Series = append(tab.Series, trace.Series{Label: label, Values: values[ai]})
+	}
+	return tab, tab.Validate()
+}

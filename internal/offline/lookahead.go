@@ -7,45 +7,79 @@ import (
 	"repro/internal/workload"
 )
 
-// roundMemo caches the per-round access totals the lookahead window scans
-// compute: totals[t-start] = Access(placement, σt).Total(). The cache is
-// valid for one placement; scanning under a different placement resets it.
-// OFFBR and OFFTH keep one memo per run, so a round's access cost under
-// the current placement is computed once per epoch even when several
-// window scans cover it — OFFTH's back-to-back add/best-response scans at
-// one boundary, and windows that re-cover rounds because the realised
-// epoch ended earlier than the predicted one (running costs drift as
-// inactive servers expire).
+// roundMemo caches the per-round access costs the lookahead window scans
+// compute: costs[t-start] = Access(placement, σt). The cache is valid for
+// one placement; scanning under a different placement resets it. OFFBR and
+// OFFTH keep one memo per run, so a round's access cost under the current
+// placement is computed once per epoch even when several window scans
+// cover it — OFFTH's back-to-back add/best-response scans at one boundary,
+// and windows that re-cover rounds because the realised epoch ended
+// earlier than the predicted one (running costs drift as inactive servers
+// expire). Via cached (the sim.AccessReuser hook) the same entries also
+// serve the driver, so a round a non-switching lookahead scored is never
+// evaluated a second time by sim.Run.
 type roundMemo struct {
-	placement core.Placement // owned copy of the placement the cache is valid for
-	start     int            // round index of totals[0]
-	totals    []float64      // access totals of rounds start, start+1, ...
+	placement core.Placement    // owned copy of the placement the cache is valid for
+	start     int               // round index of costs[0]
+	costs     []cost.AccessCost // access costs of rounds start, start+1, ...
 	agg       *cost.Accumulator
 }
 
-// access returns Access(placement, d).Total() for round t, from the cache
-// when round t was already scanned under this placement.
-func (m *roundMemo) access(env *sim.Env, placement core.Placement, t int, d cost.Demand) float64 {
+// access returns Access(placement, d) for round t, from the cache when
+// round t was already scanned under this placement.
+func (m *roundMemo) access(env *sim.Env, placement core.Placement, t int, d cost.Demand) cost.AccessCost {
 	if !placement.Equal(m.placement) {
 		m.placement = append(m.placement[:0], placement...)
 		m.start = t
-		m.totals = m.totals[:0]
+		m.costs = m.costs[:0]
 	}
 	idx := t - m.start
-	if idx < 0 || idx > len(m.totals) {
+	if idx < 0 || idx > len(m.costs) {
 		// A window that jumped backwards or past the cached range; restart
 		// the cache at t (window scans are sequential, so within one scan
 		// this happens at most for the first round).
 		m.start = t
-		m.totals = m.totals[:0]
+		m.costs = m.costs[:0]
 		idx = 0
 	}
-	if idx < len(m.totals) {
-		return m.totals[idx]
+	if idx < len(m.costs) {
+		return m.costs[idx]
 	}
-	tot := env.Eval.Access(placement, d).Total()
-	m.totals = append(m.totals, tot)
-	return tot
+	ac := env.Eval.Access(placement, d)
+	m.costs = append(m.costs, ac)
+	return ac
+}
+
+// cached returns round t's access cost under placement p when a window
+// scan already evaluated it, implementing the driver's double-evaluation
+// dedup (sim.AccessReuser). seq is the sequence the windows scanned and d
+// the demand the driver is serving: the entry is only handed back when d
+// is seq's own demand for round t, so driving an algorithm with a
+// different sequence than it planned for falls back to fresh evaluation
+// instead of mis-charging the round.
+func (m *roundMemo) cached(seq *workload.Sequence, t int, p core.Placement, d cost.Demand) (cost.AccessCost, bool) {
+	if len(m.placement) == 0 || !p.Equal(m.placement) {
+		return cost.AccessCost{}, false
+	}
+	idx := t - m.start
+	if idx < 0 || idx >= len(m.costs) {
+		return cost.AccessCost{}, false
+	}
+	if !sameDemand(d, seq.Demand(t)) {
+		return cost.AccessCost{}, false
+	}
+	return m.costs[idx], true
+}
+
+// sameDemand reports whether a and b are the same demand instance: equal
+// totals and a shared backing array. A false negative merely costs a
+// fresh evaluation, never correctness.
+func sameDemand(a, b cost.Demand) bool {
+	ap, bp := a.Pairs(), b.Pairs()
+	if a.Total() != b.Total() || len(ap) != len(bp) {
+		return false
+	}
+	return len(ap) == 0 || &ap[0] == &bp[0]
 }
 
 // lookahead collects the upcoming epoch: the rounds starting at `from`
@@ -66,7 +100,7 @@ func lookahead(env *sim.Env, seq *workload.Sequence, placement core.Placement, i
 		d := seq.Demand(t)
 		memo.agg.Add(d)
 		length++
-		accum += memo.access(env, placement, t, d) + run
+		accum += memo.access(env, placement, t, d).Total() + run
 		if accum >= threshold {
 			break
 		}

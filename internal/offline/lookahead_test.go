@@ -211,18 +211,18 @@ func TestLookaheadMemoReusesCachedRounds(t *testing.T) {
 	memo := &roundMemo{}
 	pl := env.Start
 	lookahead(env, seq, pl, 0, 10, 1e12, memo) // fills rounds 10..49
-	if got := len(memo.totals); got != 40 {
+	if got := len(memo.costs); got != 40 {
 		t.Fatalf("memo holds %d rounds, want 40", got)
 	}
-	before := append([]float64(nil), memo.totals...)
+	before := append([]cost.AccessCost(nil), memo.costs...)
 	// An overlapping scan must return cached values, not extend anything.
 	lookahead(env, seq, pl, 0, 20, 1e12, memo)
-	if len(memo.totals) != 40 {
-		t.Fatalf("overlapping scan resized the cache to %d", len(memo.totals))
+	if len(memo.costs) != 40 {
+		t.Fatalf("overlapping scan resized the cache to %d", len(memo.costs))
 	}
 	for i := range before {
-		if memo.totals[i] != before[i] {
-			t.Fatalf("cached total %d changed", i)
+		if memo.costs[i] != before[i] {
+			t.Fatalf("cached access cost %d changed", i)
 		}
 	}
 	// A different placement drops the cache.

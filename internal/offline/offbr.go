@@ -71,6 +71,13 @@ func (a *OFFBR) Placement() core.Placement { return a.pool.Active() }
 // Inactive implements sim.Algorithm.
 func (a *OFFBR) Inactive() int { return a.pool.NumInactive() }
 
+// ReuseAccess implements sim.AccessReuser: when the last lookahead window
+// scanned round t under the placement the driver is about to serve with,
+// hand its access cost back instead of letting sim.Run re-evaluate it.
+func (a *OFFBR) ReuseAccess(t int, p core.Placement, d cost.Demand) (cost.AccessCost, bool) {
+	return a.memo.cached(a.seq, t, p, d)
+}
+
 // Prepare implements sim.Algorithm: OFFBR reconfigures between epochs,
 // before serving the first round of the upcoming epoch.
 func (a *OFFBR) Prepare(t int) core.Delta {

@@ -71,6 +71,13 @@ func (a *OFFTH) Placement() core.Placement { return a.pool.Active() }
 // Inactive implements sim.Algorithm.
 func (a *OFFTH) Inactive() int { return a.pool.NumInactive() }
 
+// ReuseAccess implements sim.AccessReuser: rounds the last lookahead
+// window scored under the serving placement are handed back to the driver
+// instead of being evaluated a second time.
+func (a *OFFTH) ReuseAccess(t int, p core.Placement, d cost.Demand) (cost.AccessCost, bool) {
+	return a.memo.cached(a.seq, t, p, d)
+}
+
 // Prepare implements sim.Algorithm: apply the reconfiguration decided at
 // the last epoch boundary, scored against the upcoming window.
 func (a *OFFTH) Prepare(t int) core.Delta {

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cost"
@@ -182,7 +181,7 @@ func newOptSolver(env *sim.Env, seq *workload.Sequence, states []core.Vector, wo
 			}
 		}
 		if w := s.fanWorkers(nm); w > 1 {
-			s.parallel(w, nm, fill)
+			cost.ParallelChunksWorkers(nm, w, optParallelGrain, fill)
 		} else {
 			fill(0, nm)
 		}
@@ -205,34 +204,15 @@ func newOptSolver(env *sim.Env, seq *workload.Sequence, states []core.Vector, wo
 }
 
 // fanWorkers returns how many goroutines are worth spawning for n items,
-// requiring at least optParallelGrain items per chunk.
+// requiring at least optParallelGrain items per chunk. The fan-out itself
+// runs through cost.ParallelChunksWorkers; the serial paths call the range
+// kernels directly so the per-round loop stays allocation-free.
 func (s *optSolver) fanWorkers(n int) int {
 	workers := s.workers
 	if workers > n/optParallelGrain {
 		workers = n / optParallelGrain
 	}
 	return workers
-}
-
-// parallel fans fn out over chunks of [0, n); the caller has already
-// decided the fan-out is worthwhile (fanWorkers > 1). Results are
-// deterministic since chunks write disjoint indexes. The serial paths call
-// the range kernels directly, keeping the per-round loop allocation-free.
-func (s *optSolver) parallel(workers, n int, fn func(lo, hi int)) {
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // optParallelGrain is the minimum chunk size worth a goroutine.
@@ -244,7 +224,7 @@ func (s *optSolver) fillAccess(t int) {
 	s.curDemand = s.seq.Demand(t)
 	n := len(s.placements)
 	if w := s.fanWorkers(n); w > 1 {
-		s.parallel(w, n, func(lo, hi int) { s.accessRange(lo, hi) })
+		cost.ParallelChunksWorkers(n, w, optParallelGrain, func(lo, hi int) { s.accessRange(lo, hi) })
 		return
 	}
 	s.accessRange(0, n)
@@ -291,14 +271,14 @@ func (s *optSolver) step(t int) {
 	// bestByMask + transition cost, in ascending source order (ties keep
 	// the earlier source, exactly like the per-state scan it replaces).
 	if w := s.fanWorkers(nm); w > 1 {
-		s.parallel(w, nm, func(lo, hi int) { s.arrivalRange(lo, hi) })
+		cost.ParallelChunksWorkers(nm, w, optParallelGrain, func(lo, hi int) { s.arrivalRange(lo, hi) })
 	} else {
 		s.arrivalRange(0, nm)
 	}
 	s.curParent = s.parent[t]
 	ns := len(s.states)
 	if w := s.fanWorkers(ns); w > 1 {
-		s.parallel(w, ns, func(lo, hi int) { s.finishRange(lo, hi) })
+		cost.ParallelChunksWorkers(ns, w, optParallelGrain, func(lo, hi int) { s.finishRange(lo, hi) })
 	} else {
 		s.finishRange(0, ns)
 	}
@@ -366,7 +346,7 @@ func (s *optSolver) solve() error {
 		}
 	}
 	if w := s.fanWorkers(len(s.states)); w > 1 {
-		s.parallel(w, len(s.states), round0)
+		cost.ParallelChunksWorkers(len(s.states), w, optParallelGrain, round0)
 	} else {
 		round0(0, len(s.states))
 	}

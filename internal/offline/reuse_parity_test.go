@@ -1,0 +1,166 @@
+package offline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph/gen"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// hookless hides the ReuseAccess method of the wrapped algorithm: the
+// embedded field has sim.Algorithm's method set only, so the driver's
+// AccessReuser type assertion fails and every round is evaluated afresh —
+// the pre-hook behaviour.
+type hookless struct {
+	sim.Algorithm
+}
+
+// countingReuser delegates to the wrapped OFFBR/OFFTH hook and counts how
+// often the driver actually reused a lookahead-computed round.
+type countingReuser struct {
+	sim.Algorithm
+	inner sim.AccessReuser
+	hits  int
+}
+
+func (c *countingReuser) ReuseAccess(t int, p core.Placement, d cost.Demand) (cost.AccessCost, bool) {
+	ac, ok := c.inner.ReuseAccess(t, p, d)
+	if ok {
+		c.hits++
+	}
+	return ac, ok
+}
+
+func reuseScenarios(t *testing.T, n int, seed int64) (*sim.Env, []*workload.Sequence) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g, err := gen.ErdosRenyi(n, 0.05, gen.DefaultOptions(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost, cost.DefaultParams(),
+		core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	commuter, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 8, Lambda: 5}, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones, err := workload.TimeZones(env.Matrix, workload.TimeZonesConfig{T: 5, P: 0.5, Lambda: 8}, 160,
+		rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd, err := workload.FlashCrowd(env.Matrix, workload.FlashCrowdConfig{BaseRequests: 6, Spikes: 3, Peak: 40, Tau: 10}, 160,
+		rand.New(rand.NewSource(seed+2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, []*workload.Sequence{commuter, zones, crowd}
+}
+
+// TestDriverReuseParity pins the double-evaluation fix: for OFFBR (fixed
+// and dynamic θ) and OFFTH, the ledger of a run with the AccessReuser hook
+// active is bit-identical to a run with the hook hidden, across several
+// scenarios including the new flash-crowd workload.
+func TestDriverReuseParity(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		env, seqs := reuseScenarios(t, 40, seed)
+		for _, seq := range seqs {
+			algs := []struct {
+				label string
+				make  func() sim.Algorithm
+			}{
+				{"OFFBR-fixed", func() sim.Algorithm { return NewOFFBR(seq) }},
+				{"OFFBR-dyn", func() sim.Algorithm { a := NewOFFBR(seq); a.Dynamic = true; return a }},
+				{"OFFTH", func() sim.Algorithm { return NewOFFTH(seq) }},
+			}
+			for _, a := range algs {
+				hooked, err := sim.Run(env, a.make(), seq)
+				if err != nil {
+					t.Fatalf("seed %d %s on %s: %v", seed, a.label, seq.Name(), err)
+				}
+				fresh, err := sim.Run(env, hookless{a.make()}, seq)
+				if err != nil {
+					t.Fatalf("seed %d %s on %s (hook off): %v", seed, a.label, seq.Name(), err)
+				}
+				if !reflect.DeepEqual(hooked.Totals, fresh.Totals) {
+					t.Fatalf("seed %d %s on %s: totals diverge with hook on/off:\n on  %+v\n off %+v",
+						seed, a.label, seq.Name(), hooked.Totals, fresh.Totals)
+				}
+				if !reflect.DeepEqual(hooked.Rounds, fresh.Rounds) {
+					for r := range hooked.Rounds {
+						if hooked.Rounds[r] != fresh.Rounds[r] {
+							t.Fatalf("seed %d %s on %s round %d: %+v vs %+v",
+								seed, a.label, seq.Name(), r, hooked.Rounds[r], fresh.Rounds[r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDriverReuseActuallyFires asserts the hook is not dead code: over a
+// stable-demand run whose epochs turn over without reconfiguring, most
+// served rounds must come out of the lookahead memo instead of being
+// re-evaluated. (A window that does trigger a switch cannot be reused —
+// its costs were scored under the pre-switch placement.)
+func TestDriverReuseActuallyFires(t *testing.T) {
+	env := lineEnv(t, 8, 3, cost.Params{Beta: 5, Create: 20, RunActive: 0.5, RunInactive: 0.1})
+	seq := heavyCornerSeq(7, 3, 120)
+
+	inner := NewOFFBR(seq)
+	counter := &countingReuser{Algorithm: inner, inner: inner}
+	if _, err := sim.Run(env, counter, seq); err != nil {
+		t.Fatal(err)
+	}
+	// θ = 2c = 40 against ~3.5/round: after the first epoch moves the
+	// server onto the demand, every later epoch keeps the placement, so
+	// its whole lookahead window is served from the memo.
+	if counter.hits < seq.Len()/2 {
+		t.Fatalf("hook fired on %d of %d rounds, want at least half", counter.hits, seq.Len())
+	}
+
+	th := NewOFFTH(seq)
+	thCounter := &countingReuser{Algorithm: th, inner: th}
+	if _, err := sim.Run(env, thCounter, seq); err != nil {
+		t.Fatal(err)
+	}
+	if thCounter.hits == 0 {
+		t.Fatal("OFFTH hook never fired")
+	}
+}
+
+// TestDriverReuseRejectsForeignSequence pins the hook's safety guard:
+// running an algorithm against a different sequence than it planned for
+// must fall back to fresh evaluation (correct ledger, zero reuse), not
+// hand back costs of the planned sequence's demands.
+func TestDriverReuseRejectsForeignSequence(t *testing.T) {
+	env := lineEnv(t, 8, 3, cost.Params{Beta: 5, Create: 20, RunActive: 0.5, RunInactive: 0.1})
+	planned := heavyCornerSeq(7, 3, 120)
+	served := heavyCornerSeq(0, 5, 120) // different nodes and volume
+
+	inner := NewOFFBR(planned)
+	counter := &countingReuser{Algorithm: inner, inner: inner}
+	got, err := sim.Run(env, counter, served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter.hits != 0 {
+		t.Fatalf("hook fired %d times for a foreign sequence", counter.hits)
+	}
+	want, err := sim.Run(env, hookless{NewOFFBR(planned)}, served)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Totals, want.Totals) {
+		t.Fatalf("foreign-sequence ledger diverged: %+v vs %+v", got.Totals, want.Totals)
+	}
+}

@@ -11,7 +11,6 @@ package online
 
 import (
 	"math"
-	"runtime"
 	"sync"
 
 	"repro/internal/core"
@@ -166,45 +165,32 @@ func b2i(b bool) int {
 
 // run scans all candidates — in parallel for large sweeps — and returns
 // the minimal score and its ordinal (-1 when no admissible candidate
-// exists). The result is independent of the worker count.
+// exists). The result is independent of the worker count: each chunk
+// reduces to its own (score, ordinal) minimum, and the cross-chunk merge
+// is the lexicographic minimum over (score, ordinal), so the winner is the
+// candidate of minimal score with ties broken toward the smallest ordinal
+// — exactly the sequential scan's answer.
 func (c *candidateScan) run() (float64, int) {
 	total := c.total()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > total {
-		workers = total
-	}
-	if workers <= 1 || total*c.work < parallelScanThreshold {
+	if total*c.work < parallelScanThreshold {
+		// Small sweeps skip the fan-out entirely: no reduction closure,
+		// no mutex — the per-round hot loops of ONBR/ONTH stay
+		// allocation-free here.
 		return c.scanRange(0, total)
 	}
-	type result struct {
-		score float64
-		ord   int
-	}
-	results := make([]result, workers)
-	chunk := (total + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > total {
-			hi = total
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			s, o := c.scanRange(lo, hi)
-			results[w] = result{s, o}
-		}(w, lo, hi)
-	}
-	wg.Wait()
 	best, bestOrd := math.Inf(1), -1
-	for _, r := range results {
-		// Strict less keeps the earliest chunk — and therefore the
-		// earliest ordinal — on ties, matching the sequential scan.
-		if r.ord >= 0 && r.score < best {
-			best, bestOrd = r.score, r.ord
+	var mu sync.Mutex
+	cost.ParallelChunks(total, true, func(lo, hi int) {
+		s, o := c.scanRange(lo, hi)
+		if o < 0 {
+			return
 		}
-	}
+		mu.Lock()
+		if s < best || (s == best && o < bestOrd) {
+			best, bestOrd = s, o
+		}
+		mu.Unlock()
+	})
 	return best, bestOrd
 }
 

@@ -77,6 +77,24 @@ type Algorithm interface {
 	Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta
 }
 
+// AccessReuser is implemented by algorithms whose own bookkeeping already
+// evaluated the access cost of the round about to be served — the offline
+// lookahead strategies OFFBR and OFFTH score upcoming rounds under the
+// current placement, so when their window did not trigger a switch, the
+// driver would re-evaluate exactly what the lookahead just computed. Run
+// consults this hook before paying for a fresh evaluation; the returned
+// cost must be exactly Eval.Access(p, d) (the ledger is pinned
+// bit-identical with the hook on and off). Implementations verify d is
+// the demand they scored — not just the round index — so running an
+// algorithm against a different sequence than it planned for degrades to
+// fresh evaluation instead of corrupting the ledger.
+type AccessReuser interface {
+	// ReuseAccess returns the access cost of serving demand d in round t
+	// under placement p if the algorithm has already computed it, and
+	// whether it did.
+	ReuseAccess(t int, p core.Placement, d cost.Demand) (cost.AccessCost, bool)
+}
+
 // RoundCost is the ledger entry of one round.
 type RoundCost struct {
 	Latency   float64 // Σ delay(r) of the round's requests
@@ -152,11 +170,18 @@ func Run(env *Env, alg Algorithm, seq *workload.Sequence) (*Ledger, error) {
 		Scenario:  seq.Name(),
 		Rounds:    make([]RoundCost, 0, seq.Len()),
 	}
+	reuser, _ := alg.(AccessReuser)
 	for t := 0; t < seq.Len(); t++ {
 		pre := alg.Prepare(t)
 		placement := alg.Placement()
 		d := seq.Demand(t)
-		access := env.Eval.Access(placement, d)
+		access, reused := cost.AccessCost{}, false
+		if reuser != nil {
+			access, reused = reuser.ReuseAccess(t, placement, d)
+		}
+		if !reused {
+			access = env.Eval.Access(placement, d)
+		}
 		if access.Infinite() {
 			return nil, fmt.Errorf("sim: %s has no active server for %d requests in round %d", alg.Name(), d.Total(), t)
 		}

@@ -1,0 +1,288 @@
+// Package scenario provides composable workload generators. A Gen is a
+// first-class per-round request generator over a fixed horizon: primitives
+// (Hotspot, Noise, Fan, RotatingHotspot) are combined by operators
+// (Superpose, Shift, Cycle, Spike, Ramp, Gate) into new generators, and
+// Build materialises any combination into the per-round demand multi-sets
+// a *workload.Sequence wraps.
+//
+// Every Gen is deterministic and random-access in t: all randomness is
+// drawn from the caller's *rand.Rand at construction time, so Emit(t) may
+// be called any number of times, in any order, and always yields the same
+// contribution. That is what makes the operators composable — Shift and
+// Cycle re-index rounds freely — and what keeps built sequences replayable
+// (offline algorithms see the future) and safe for concurrent reads.
+//
+// The paper's own commuter and time-zones scenarios (Section V-A) are
+// expressed on these primitives by package workload, pinned bit-identical
+// to the original generators; the flash-crowd, diurnal multi-region, and
+// weekday/weekend scenarios extend the evaluation beyond them.
+package scenario
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/cost"
+)
+
+// AddFunc receives one generator's contribution to a round: count requests
+// at access point node. Implementations ignore non-positive counts.
+type AddFunc func(node, count int)
+
+// Gen is a deterministic request generator over rounds [0, Rounds()).
+// The zero Gen generates nothing.
+type Gen struct {
+	rounds int
+	emit   func(t int, add AddFunc)
+}
+
+// New wraps a raw emit function into a generator. emit must be pure in t:
+// repeated calls for the same round yield the same contribution.
+func New(rounds int, emit func(t int, add AddFunc)) Gen {
+	if rounds < 0 {
+		rounds = 0
+	}
+	return Gen{rounds: rounds, emit: emit}
+}
+
+// Rounds returns the generator's horizon.
+func (g Gen) Rounds() int { return g.rounds }
+
+// Emit adds round t's contribution through add. Rounds outside
+// [0, Rounds()) contribute nothing.
+func (g Gen) Emit(t int, add AddFunc) {
+	if t < 0 || t >= g.rounds || g.emit == nil {
+		return
+	}
+	g.emit(t, add)
+}
+
+// Build materialises the superposition of the given generators into one
+// demand multi-set per round. Contributions to the same node accumulate;
+// non-positive counts are dropped.
+func Build(rounds int, gens ...Gen) []cost.Demand {
+	demands := make([]cost.Demand, rounds)
+	for t := range demands {
+		counts := make(map[int]int)
+		add := func(node, count int) {
+			if count > 0 {
+				counts[node] += count
+			}
+		}
+		for _, g := range gens {
+			g.Emit(t, add)
+		}
+		demands[t] = cost.DemandFromCounts(counts)
+	}
+	return demands
+}
+
+// ---------------------------------------------------------------- primitives
+
+// Hotspot emits count requests at one node every round.
+func Hotspot(node, count, rounds int) Gen {
+	return New(rounds, func(t int, add AddFunc) {
+		add(node, count)
+	})
+}
+
+// Noise emits perRound requests per round, each at an access point drawn
+// uniformly from [0, n). All draws happen here, at construction, in
+// round-major order, so the generator is random-access in t and replaying
+// it never advances the caller's RNG.
+func Noise(n, perRound, rounds int, rng *rand.Rand) Gen {
+	return noise(nil, n, func(int) int { return perRound }, rounds, rng)
+}
+
+// NoiseOver is Noise restricted to the given access points: each request
+// lands on a node drawn uniformly from nodes.
+func NoiseOver(nodes []int, perRound, rounds int, rng *rand.Rand) Gen {
+	return noise(nodes, len(nodes), func(int) int { return perRound }, rounds, rng)
+}
+
+// NoiseProfile is Noise with a per-round volume profile: round t emits
+// perRound(t) requests. Use this — not Ramp over Noise — to vary a noise
+// floor's volume over time: Ramp scales each unit contribution and so
+// quantizes to all-or-nothing, while the profile changes how many draws a
+// round gets. perRound must be pure in t.
+func NoiseProfile(n int, perRound func(t int) int, rounds int, rng *rand.Rand) Gen {
+	return noise(nil, n, perRound, rounds, rng)
+}
+
+func noise(nodes []int, n int, perRound func(t int) int, rounds int, rng *rand.Rand) Gen {
+	if n <= 0 {
+		return New(rounds, nil)
+	}
+	// offsets[t] is the index of round t's first draw; draws are laid out
+	// round-major, in the exact order the RNG is consumed.
+	offsets := make([]int32, rounds+1)
+	for t := 0; t < rounds; t++ {
+		c := perRound(t)
+		if c < 0 {
+			c = 0
+		}
+		offsets[t+1] = offsets[t] + int32(c)
+	}
+	draws := make([]int32, offsets[rounds])
+	for i := range draws {
+		v := rng.Intn(n)
+		if nodes != nil {
+			v = nodes[v]
+		}
+		draws[i] = int32(v)
+	}
+	return New(rounds, func(t int, add AddFunc) {
+		for _, v := range draws[offsets[t]:offsets[t+1]] {
+			add(int(v), 1)
+		}
+	})
+}
+
+// RotatingHotspot emits count requests per round from a hotspot that
+// rotates through the given nodes, staying lambda rounds on each: round t
+// is hot at hotspots[(t/lambda) % len(hotspots)]. This is the time-zones
+// scenario's "one period's hotspot" primitive.
+func RotatingHotspot(hotspots []int, count, lambda, rounds int) Gen {
+	if len(hotspots) == 0 || lambda < 1 {
+		return New(rounds, nil)
+	}
+	return New(rounds, func(t int, add AddFunc) {
+		add(hotspots[(t/lambda)%len(hotspots)], count)
+	})
+}
+
+// spreadPhase returns the commuter fan index for day phase ph in [0, T):
+// it rises 0, 1, ..., T/2 during the first half of the day and falls back
+// T/2−1, ..., 1 during the second half.
+func spreadPhase(ph, T int) int {
+	if ph <= T/2 {
+		return ph
+	}
+	return T - ph
+}
+
+// Fan emits the commuter fan-out/fan-in pattern of Section V-A over the
+// prefix of order (the nodes sorted by latency from the network center):
+// in day phase ph = (t/lambda) % T the requests spread over
+// min(2^spread(ph), len(order)) access points, the remainder going to the
+// closest nodes. With dynamic load each point issues one request (the
+// total swings between 1 and 2^(T/2)); with static load the total is
+// pinned to 2^(T/2) requests split evenly.
+func Fan(order []int, T, lambda int, dynamic bool, rounds int) Gen {
+	if len(order) == 0 || T < 2 || lambda < 1 {
+		return New(rounds, nil)
+	}
+	return New(rounds, func(t int, add AddFunc) {
+		ph := (t / lambda) % T
+		i := spreadPhase(ph, T)
+		total := 1 << uint(T/2)
+		if dynamic {
+			total = 1 << uint(i)
+		}
+		points := 1 << uint(i)
+		if points > len(order) {
+			points = len(order)
+		}
+		per, rem := total/points, total%points
+		for j := 0; j < points; j++ {
+			c := per
+			if j < rem {
+				c++
+			}
+			add(order[j], c)
+		}
+	})
+}
+
+// ---------------------------------------------------------------- operators
+
+// Superpose sums the contributions of several generators; the horizon is
+// the longest of theirs.
+func Superpose(gens ...Gen) Gen {
+	rounds := 0
+	for _, g := range gens {
+		if g.rounds > rounds {
+			rounds = g.rounds
+		}
+	}
+	return New(rounds, func(t int, add AddFunc) {
+		for _, g := range gens {
+			g.Emit(t, add)
+		}
+	})
+}
+
+// Shift delays g by dt rounds: round t emits g's round t−dt. The horizon
+// grows to dt + g.Rounds(); the first dt rounds are empty.
+func Shift(g Gen, dt int) Gen {
+	if dt < 0 {
+		dt = 0
+	}
+	return New(dt+g.rounds, func(t int, add AddFunc) {
+		g.Emit(t-dt, add)
+	})
+}
+
+// Pad extends g's horizon with empty rounds (or truncates it): the
+// contribution of rounds below min(g.Rounds(), rounds) is unchanged.
+// Mostly useful to fix the period before a Cycle.
+func Pad(g Gen, rounds int) Gen {
+	return New(rounds, func(t int, add AddFunc) {
+		g.Emit(t, add)
+	})
+}
+
+// Cycle repeats g's whole horizon periodically over a new horizon: round t
+// emits g's round t mod g.Rounds(). Combined with Shift and Pad this
+// phase-shifts a daily pattern per region.
+func Cycle(g Gen, rounds int) Gen {
+	if g.rounds == 0 {
+		return New(rounds, nil)
+	}
+	return New(rounds, func(t int, add AddFunc) {
+		g.Emit(t%g.rounds, add)
+	})
+}
+
+// Spike amplifies g by a sudden burst with exponential decay: from round
+// `at` on, counts are scaled by peak·exp(−(t−at)/tau) and rounded; rounds
+// before the burst emit nothing. Applied to a Hotspot this is a flash
+// crowd — a sudden surge at one node that decays over ~tau rounds.
+func Spike(g Gen, at int, peak, tau float64) Gen {
+	return New(g.rounds, func(t int, add AddFunc) {
+		if t < at {
+			return
+		}
+		f := peak * math.Exp(-float64(t-at)/tau)
+		g.Emit(t, func(node, count int) {
+			add(node, int(math.Round(float64(count)*f)))
+		})
+	})
+}
+
+// Ramp scales g linearly from factor `from` at round 0 to factor `to` at
+// the last round of its horizon, rounding counts. A horizon of one round
+// uses `from`. Each contribution is scaled and rounded individually, so
+// Ramp suits generators emitting multi-request counts (Hotspot, Fan);
+// over unit-draw noise the rounding quantizes to all-or-nothing — vary a
+// noise floor with NoiseProfile instead.
+func Ramp(g Gen, from, to float64) Gen {
+	return New(g.rounds, func(t int, add AddFunc) {
+		f := from
+		if g.rounds > 1 {
+			f += (to - from) * float64(t) / float64(g.rounds-1)
+		}
+		g.Emit(t, func(node, count int) {
+			add(node, int(math.Round(float64(count)*f)))
+		})
+	})
+}
+
+// Gate keeps only the rounds where on(t) is true. on must be pure in t.
+func Gate(g Gen, on func(t int) bool) Gen {
+	return New(g.rounds, func(t int, add AddFunc) {
+		if on(t) {
+			g.Emit(t, add)
+		}
+	})
+}

@@ -1,0 +1,316 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// collect materialises one round of a generator into a node→count map.
+func collect(g Gen, t int) map[int]int {
+	counts := map[int]int{}
+	g.Emit(t, func(node, count int) {
+		if count > 0 {
+			counts[node] += count
+		}
+	})
+	return counts
+}
+
+func totalAt(g Gen, t int) int {
+	total := 0
+	for _, c := range collect(g, t) {
+		total += c
+	}
+	return total
+}
+
+func TestHotspot(t *testing.T) {
+	g := Hotspot(3, 5, 10)
+	if g.Rounds() != 10 {
+		t.Fatalf("rounds = %d", g.Rounds())
+	}
+	for _, r := range []int{0, 9} {
+		if got := collect(g, r); got[3] != 5 || len(got) != 1 {
+			t.Fatalf("round %d: %v", r, got)
+		}
+	}
+	for _, r := range []int{-1, 10, 99} {
+		if got := collect(g, r); len(got) != 0 {
+			t.Fatalf("out-of-horizon round %d emitted %v", r, got)
+		}
+	}
+}
+
+func TestNoiseDeterministicAndRandomAccess(t *testing.T) {
+	g := Noise(20, 7, 30, rand.New(rand.NewSource(4)))
+	h := Noise(20, 7, 30, rand.New(rand.NewSource(4)))
+	// Same seed ⇒ identical; order of evaluation must not matter.
+	for _, r := range []int{29, 0, 13, 13, 5} {
+		a, b := collect(g, r), collect(h, r)
+		if len(a) == 0 && totalAt(g, r) != 7 {
+			t.Fatalf("round %d lost requests", r)
+		}
+		if totalAt(g, r) != 7 || totalAt(h, r) != 7 {
+			t.Fatalf("round %d: totals %d/%d, want 7", r, totalAt(g, r), totalAt(h, r))
+		}
+		for node, c := range a {
+			if b[node] != c {
+				t.Fatalf("round %d node %d: %d vs %d", r, node, c, b[node])
+			}
+		}
+	}
+}
+
+func TestNoiseOverRestrictsNodes(t *testing.T) {
+	nodes := []int{2, 5, 11}
+	g := NoiseOver(nodes, 9, 25, rand.New(rand.NewSource(8)))
+	allowed := map[int]bool{2: true, 5: true, 11: true}
+	for r := 0; r < 25; r++ {
+		for node := range collect(g, r) {
+			if !allowed[node] {
+				t.Fatalf("round %d drew node %d outside %v", r, node, nodes)
+			}
+		}
+		if totalAt(g, r) != 9 {
+			t.Fatalf("round %d: %d requests, want 9", r, totalAt(g, r))
+		}
+	}
+}
+
+func TestNoiseProfileVariesVolume(t *testing.T) {
+	profile := func(t int) int { return t } // 0, 1, 2, ... requests
+	g := NoiseProfile(12, profile, 20, rand.New(rand.NewSource(5)))
+	h := NoiseProfile(12, profile, 20, rand.New(rand.NewSource(5)))
+	for r := 0; r < 20; r++ {
+		if got := totalAt(g, r); got != r {
+			t.Fatalf("round %d: %d requests, want %d", r, got, r)
+		}
+		a, b := collect(g, r), collect(h, r)
+		for node, c := range a {
+			if b[node] != c {
+				t.Fatalf("round %d node %d: %d vs %d", r, node, c, b[node])
+			}
+		}
+	}
+	// Negative profile values clamp to zero draws.
+	neg := NoiseProfile(12, func(int) int { return -3 }, 5, rand.New(rand.NewSource(5)))
+	for r := 0; r < 5; r++ {
+		if got := totalAt(neg, r); got != 0 {
+			t.Fatalf("negative profile round %d emitted %d", r, got)
+		}
+	}
+}
+
+func TestRotatingHotspot(t *testing.T) {
+	g := RotatingHotspot([]int{4, 7, 9}, 6, 2, 12)
+	want := []int{4, 4, 7, 7, 9, 9, 4, 4, 7, 7, 9, 9}
+	for r, node := range want {
+		if got := collect(g, r); got[node] != 6 || len(got) != 1 {
+			t.Fatalf("round %d: %v, want {%d:6}", r, got, node)
+		}
+	}
+}
+
+func TestFanConservesStaticVolume(t *testing.T) {
+	order := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	g := Fan(order, 6, 1, false, 12)
+	for r := 0; r < 12; r++ {
+		if got := totalAt(g, r); got != 8 { // 2^(T/2) = 8
+			t.Fatalf("static fan round %d: %d requests, want 8", r, got)
+		}
+	}
+	// Dynamic volume swings 1,2,4,8,4,2 with T=6.
+	d := Fan(order, 6, 1, true, 12)
+	want := []int{1, 2, 4, 8, 4, 2}
+	for r := 0; r < 12; r++ {
+		if got := totalAt(d, r); got != want[r%6] {
+			t.Fatalf("dynamic fan round %d: %d requests, want %d", r, got, want[r%6])
+		}
+	}
+}
+
+func TestSuperposeSumsAndExtends(t *testing.T) {
+	g := Superpose(Hotspot(1, 2, 5), Hotspot(1, 3, 8), Hotspot(2, 1, 3))
+	if g.Rounds() != 8 {
+		t.Fatalf("rounds = %d, want max 8", g.Rounds())
+	}
+	if got := collect(g, 0); got[1] != 5 || got[2] != 1 {
+		t.Fatalf("round 0: %v", got)
+	}
+	if got := collect(g, 6); got[1] != 3 || got[2] != 0 {
+		t.Fatalf("round 6: %v (short gens must have expired)", got)
+	}
+}
+
+func TestShiftDelays(t *testing.T) {
+	g := Shift(Hotspot(5, 4, 3), 2)
+	if g.Rounds() != 5 {
+		t.Fatalf("rounds = %d, want 5", g.Rounds())
+	}
+	wantAt := map[int]int{0: 0, 1: 0, 2: 4, 3: 4, 4: 4}
+	for r, want := range wantAt {
+		if got := collect(g, r)[5]; got != want {
+			t.Fatalf("round %d: %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestPadAndCycle(t *testing.T) {
+	// A one-round pulse padded to period 4 then cycled fires every 4th round.
+	g := Cycle(Pad(Hotspot(2, 9, 1), 4), 11)
+	if g.Rounds() != 11 {
+		t.Fatalf("rounds = %d", g.Rounds())
+	}
+	for r := 0; r < 11; r++ {
+		want := 0
+		if r%4 == 0 {
+			want = 9
+		}
+		if got := collect(g, r)[2]; got != want {
+			t.Fatalf("round %d: %d, want %d", r, got, want)
+		}
+	}
+	// Pad also truncates.
+	if got := collect(Pad(Hotspot(2, 9, 10), 3), 5); len(got) != 0 {
+		t.Fatalf("truncated round emitted %v", got)
+	}
+}
+
+func TestSpikeDecaysExponentially(t *testing.T) {
+	g := Spike(Hotspot(0, 1, 40), 10, 16, 5)
+	for r := 0; r < 10; r++ {
+		if got := collect(g, r); len(got) != 0 {
+			t.Fatalf("pre-burst round %d emitted %v", r, got)
+		}
+	}
+	prev := math.MaxInt
+	for r := 10; r < 40; r++ {
+		want := int(math.Round(16 * math.Exp(-float64(r-10)/5)))
+		got := collect(g, r)[0]
+		if got != want {
+			t.Fatalf("round %d: %d, want %d", r, got, want)
+		}
+		if got > prev {
+			t.Fatalf("round %d: spike grew %d → %d", r, prev, got)
+		}
+		prev = got
+	}
+	if collect(g, 10)[0] != 16 {
+		t.Fatalf("peak = %d, want 16", collect(g, 10)[0])
+	}
+}
+
+func TestRampInterpolates(t *testing.T) {
+	g := Ramp(Hotspot(1, 10, 5), 0, 1)
+	want := []int{0, 3, 5, 8, 10} // round(10 · t/4)
+	for r, w := range want {
+		if got := collect(g, r)[1]; got != w {
+			t.Fatalf("round %d: %d, want %d", r, got, w)
+		}
+	}
+	// One-round horizon uses the `from` factor.
+	if got := collect(Ramp(Hotspot(1, 10, 1), 0.5, 1), 0)[1]; got != 5 {
+		t.Fatalf("single-round ramp: %d, want 5", got)
+	}
+}
+
+func TestGateMasksRounds(t *testing.T) {
+	g := Gate(Hotspot(3, 2, 10), func(t int) bool { return t%2 == 0 })
+	for r := 0; r < 10; r++ {
+		want := 0
+		if r%2 == 0 {
+			want = 2
+		}
+		if got := collect(g, r)[3]; got != want {
+			t.Fatalf("round %d: %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestBuildAccumulatesAndDropsNonPositive(t *testing.T) {
+	bogus := New(3, func(t int, add AddFunc) {
+		add(0, -5) // must be dropped, not subtracted
+		add(1, 0)
+	})
+	demands := Build(3, Hotspot(1, 2, 3), Hotspot(1, 3, 2), bogus)
+	if len(demands) != 3 {
+		t.Fatalf("%d rounds", len(demands))
+	}
+	if got := demands[0].Count(1); got != 5 {
+		t.Fatalf("round 0 node 1: %d, want 5 (2+3)", got)
+	}
+	if got := demands[2].Count(1); got != 2 {
+		t.Fatalf("round 2 node 1: %d, want 2 (short gen expired)", got)
+	}
+	if demands[0].Count(0) != 0 {
+		t.Fatal("negative contribution leaked into the demand")
+	}
+	// Empty rounds materialise as the canonical empty demand.
+	empty := Build(2, New(2, nil))
+	for r, d := range empty {
+		if !d.Empty() || d.Distinct() != 0 {
+			t.Fatalf("round %d: %v, want empty", r, d)
+		}
+	}
+}
+
+// TestComposedPipelineDeterministic drives a deep operator chain twice from
+// the same seed and asserts byte-identical demand sequences — the
+// composability contract the scenario engine is built on.
+func TestComposedPipelineDeterministic(t *testing.T) {
+	build := func(seed int64) []cost.Demand {
+		rng := rand.New(rand.NewSource(seed))
+		base := Ramp(Noise(15, 6, 60, rng), 0.3, 1)
+		crowd := Spike(Hotspot(7, 1, 60), 20, 25, 6)
+		day := Cycle(Pad(Shift(Hotspot(2, 4, 5), 3), 12), 60)
+		weekendOnly := Gate(Noise(15, 2, 60, rng), func(t int) bool { return (t/10)%3 == 2 })
+		return Build(60, Superpose(base, crowd, day, weekendOnly))
+	}
+	a, b := build(99), build(99)
+	for r := range a {
+		if a[r].String() != b[r].String() {
+			t.Fatalf("round %d: %v vs %v", r, a[r], b[r])
+		}
+	}
+	// And a different seed actually changes something.
+	c := build(100)
+	same := true
+	for r := range a {
+		if a[r].String() != c[r].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 99 and 100 produced identical sequences")
+	}
+}
+
+// TestGenConcurrentEmit hammers one generator from many goroutines under
+// -race: Emit is read-only after construction.
+func TestGenConcurrentEmit(t *testing.T) {
+	g := Superpose(
+		Noise(10, 5, 50, rand.New(rand.NewSource(1))),
+		Spike(Hotspot(3, 1, 50), 10, 12, 4),
+		Cycle(Pad(Hotspot(1, 2, 3), 10), 50),
+	)
+	done := make(chan int, 6)
+	for w := 0; w < 6; w++ {
+		go func() {
+			sum := 0
+			for r := 0; r < g.Rounds(); r++ {
+				sum += totalAt(g, r)
+			}
+			done <- sum
+		}()
+	}
+	first := <-done
+	for w := 1; w < 6; w++ {
+		if got := <-done; got != first {
+			t.Fatalf("concurrent emits diverged: %d vs %d", got, first)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/graph/cluster"
+	"repro/internal/workload/scenario"
+)
+
+// FlashCrowdConfig parameterises the flash-crowd scenario.
+type FlashCrowdConfig struct {
+	// BaseRequests is the background volume: requests per round from
+	// uniformly random access points. Zero selects half the commuter
+	// volume 2^(T/2) derived from the network size.
+	BaseRequests int
+	// Spikes is the number of flash crowds over the horizon; zero means 1.
+	Spikes int
+	// Peak is the request volume at the top of a spike; zero selects four
+	// times the background volume.
+	Peak float64
+	// Tau is the exponential decay constant of a spike, in rounds; zero
+	// means 20.
+	Tau float64
+	// Growth linearly scales the background volume from Growth at round 0
+	// to 1 at the horizon (organic growth leading into the crowds); zero
+	// or 1 keeps the background flat.
+	Growth float64
+}
+
+func (c FlashCrowdConfig) validate() error {
+	if c.BaseRequests < 0 {
+		return fmt.Errorf("workload: negative base requests %d", c.BaseRequests)
+	}
+	if c.Spikes < 0 {
+		return fmt.Errorf("workload: negative spike count %d", c.Spikes)
+	}
+	if c.Peak < 0 {
+		return fmt.Errorf("workload: negative spike peak %g", c.Peak)
+	}
+	if c.Tau < 0 {
+		return fmt.Errorf("workload: negative spike decay τ=%g", c.Tau)
+	}
+	if c.Growth < 0 {
+		return fmt.Errorf("workload: negative background growth %g", c.Growth)
+	}
+	return nil
+}
+
+// FlashCrowd builds the flash-crowd scenario: a uniform background noise
+// floor on which sudden spikes erupt at random nodes and decay
+// exponentially — Spike(Hotspot) superposed on (optionally ramped) Noise.
+// Spike onsets are drawn uniformly over the horizon, so crowds may
+// overlap; each tests how fast the allocation reacts to demand appearing
+// where no server is.
+func FlashCrowd(m *graph.Matrix, cfg FlashCrowdConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := m.N()
+	if n == 0 {
+		return nil, fmt.Errorf("workload: empty network")
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("workload: flash crowd needs rounds >= 1, got %d", rounds)
+	}
+	base := cfg.BaseRequests
+	if base == 0 {
+		base = (1 << uint(TForSize(n)/2)) / 2
+		if base < 1 {
+			base = 1
+		}
+	}
+	spikes := cfg.Spikes
+	if spikes == 0 {
+		spikes = 1
+	}
+	peak := cfg.Peak
+	if peak == 0 {
+		peak = 4 * float64(base)
+	}
+	tau := cfg.Tau
+	if tau == 0 {
+		tau = 20
+	}
+	var background scenario.Gen
+	if cfg.Growth != 0 && cfg.Growth != 1 {
+		// A volume profile, not Ramp: ramping unit noise draws would
+		// quantize each to 0 or 1 instead of thinning the round's volume.
+		growth := cfg.Growth
+		background = scenario.NoiseProfile(n, func(t int) int {
+			f := growth
+			if rounds > 1 {
+				f += (1 - growth) * float64(t) / float64(rounds-1)
+			}
+			return int(math.Round(f * float64(base)))
+		}, rounds, rng)
+	} else {
+		background = scenario.Noise(n, base, rounds, rng)
+	}
+	gens := []scenario.Gen{background}
+	for s := 0; s < spikes; s++ {
+		node := rng.Intn(n)
+		at := rng.Intn(rounds)
+		gens = append(gens, scenario.Spike(scenario.Hotspot(node, 1, rounds), at, peak, tau))
+	}
+	name := fmt.Sprintf("flash-crowd(R=%d,spikes=%d,peak=%g,τ=%g)", base, spikes, peak, tau)
+	return NewSequence(name, scenario.Build(rounds, gens...)), nil
+}
+
+// DiurnalConfig parameterises the diurnal multi-region scenario.
+type DiurnalConfig struct {
+	// Regions is the number of latency regions (k-centers clusters) the
+	// network is partitioned into; zero means 4 (capped at the network
+	// size).
+	Regions int
+	// Period is the length of a full day in rounds; zero means 8·Regions.
+	Period int
+	// HotShare is the fraction of the volume that the region currently in
+	// daytime concentrates on its cluster center; zero means the paper's
+	// time-zones share of 50%.
+	HotShare float64
+	// RequestsPerRound is the total demand volume; zero derives the
+	// commuter-comparable 2^(T/2) from the network size.
+	RequestsPerRound int
+}
+
+func (c DiurnalConfig) validate() error {
+	if c.Regions < 0 {
+		return fmt.Errorf("workload: negative region count %d", c.Regions)
+	}
+	if c.Period < 0 {
+		return fmt.Errorf("workload: negative period %d", c.Period)
+	}
+	if c.HotShare < 0 || c.HotShare > 1 {
+		return fmt.Errorf("workload: hotspot share %g outside [0,1]", c.HotShare)
+	}
+	if c.RequestsPerRound < 0 {
+		return fmt.Errorf("workload: negative requests per round %d", c.RequestsPerRound)
+	}
+	return nil
+}
+
+// DiurnalMultiRegion builds the diurnal multi-region scenario: the network
+// is partitioned into k latency regions (cluster.KCenters), every region
+// keeps a steady noise floor among its own members, and a daytime surge
+// rotates around the globe — region i's cluster center is hot during its
+// phase-shifted window of the day, expressed as
+// Cycle(Pad(Shift(Hotspot(center_i), i·day/k), day)). Unlike the paper's
+// time-zones scenario the background is regionally correlated, so good
+// placements track the sun instead of hugging the global center.
+func DiurnalMultiRegion(m *graph.Matrix, cfg DiurnalConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := m.N()
+	if n == 0 {
+		return nil, fmt.Errorf("workload: empty network")
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("workload: diurnal needs rounds >= 1, got %d", rounds)
+	}
+	k := cfg.Regions
+	if k == 0 {
+		k = 4
+	}
+	if k > n {
+		k = n
+	}
+	cl, err := cluster.KCenters(m, k)
+	if err != nil {
+		return nil, err
+	}
+	k = cl.K() // degenerate substrates may yield fewer distinct centers
+	period := cfg.Period
+	if period == 0 {
+		period = 8 * k
+	}
+	if period < k {
+		period = k
+	}
+	share := cfg.HotShare
+	if share == 0 {
+		share = 0.5
+	}
+	reqs := cfg.RequestsPerRound
+	if reqs == 0 {
+		reqs = 1 << uint(TForSize(n)/2)
+	}
+	hot := int(math.Round(share * float64(reqs)))
+
+	gens := make([]scenario.Gen, 0, 2*k)
+	noise := reqs - hot
+	offset := 0
+	for i := 0; i < k; i++ {
+		// Daytime surge: hot requests at the region's center during its
+		// window of the day, phase-shifted per region and repeated daily.
+		// The day's period%k remainder rounds go to the first regions'
+		// windows, so the k windows tile the day exactly and the total
+		// demand volume is independent of k (the ScenarioDiurnal sweep
+		// compares region counts at equal traffic).
+		window := period / k
+		if i < period%k {
+			window++
+		}
+		day := scenario.Shift(scenario.Hotspot(cl.Centers[i], hot, window), offset)
+		offset += window
+		gens = append(gens, scenario.Cycle(scenario.Pad(day, period), rounds))
+		// Regional noise floor: this region's share of the background,
+		// drawn among its own members (remainder to the first regions).
+		per := noise / k
+		if i < noise%k {
+			per++
+		}
+		gens = append(gens, scenario.NoiseOver(cl.Members(i), per, rounds, rng))
+	}
+	name := fmt.Sprintf("diurnal(k=%d,period=%d,p=%g,R=%d)", k, period, share, reqs)
+	return NewSequence(name, scenario.Build(rounds, gens...)), nil
+}
+
+// WeeklyConfig parameterises the weekday/weekend mix scenario.
+type WeeklyConfig struct {
+	// DayLen is the length of one day in rounds; zero means 20.
+	DayLen int
+	// T is the number of commuter day phases driving the weekday fan
+	// pattern; zero derives it from the network size. Must be even and
+	// ≥ 2 when set.
+	T int
+	// WeekendRequests is the background volume on weekend days; zero
+	// selects a quarter of the weekday peak 2^(T/2).
+	WeekendRequests int
+}
+
+func (c WeeklyConfig) validate() error {
+	if c.DayLen < 0 {
+		return fmt.Errorf("workload: negative day length %d", c.DayLen)
+	}
+	if c.T < 0 || c.T%2 != 0 {
+		return fmt.Errorf("workload: weekly needs even T >= 2, got %d", c.T)
+	}
+	if c.WeekendRequests < 0 {
+		return fmt.Errorf("workload: negative weekend requests %d", c.WeekendRequests)
+	}
+	return nil
+}
+
+// WeekdayWeekend builds the weekday/weekend mix: on the five weekdays of
+// each seven-day week the commuter fan pattern commutes in and out of the
+// network center — every day plays one full fan-out/fan-in cycle from
+// phase 0, with the T·λ ≤ DayLen remainder quiet (the overnight lull) —
+// while on the two weekend days only a thin uniform noise floor remains.
+// Gate carves the week structure out of the two component generators, so
+// the weekend noise is freshly drawn every week rather than replayed.
+func WeekdayWeekend(m *graph.Matrix, cfg WeeklyConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := m.N()
+	if n == 0 {
+		return nil, fmt.Errorf("workload: empty network")
+	}
+	if rounds < 1 {
+		return nil, fmt.Errorf("workload: weekly needs rounds >= 1, got %d", rounds)
+	}
+	day := cfg.DayLen
+	if day == 0 {
+		day = 20
+	}
+	T := cfg.T
+	if T == 0 {
+		T = TForSize(n)
+		for T > day && T > 2 {
+			T -= 2 // a day must fit at least one full fan cycle
+		}
+	}
+	if T/2 >= 30 {
+		return nil, fmt.Errorf("workload: weekly T=%d overflows the 2^(T/2) request volume", T)
+	}
+	if T > day {
+		return nil, fmt.Errorf("workload: weekly needs DayLen >= T, got day=%d T=%d", day, T)
+	}
+	weekend := cfg.WeekendRequests
+	if weekend == 0 {
+		weekend = (1 << uint(T/2)) / 4
+		if weekend < 1 {
+			weekend = 1
+		}
+	}
+	lambda := day / T
+	weekday := func(t int) bool { return (t/day)%7 < 5 }
+	// One day = one full fan cycle (T·λ rounds) plus a quiet overnight
+	// remainder, repeated; days never start mid-fan, whatever T divides.
+	fanDay := scenario.Pad(scenario.Fan(centerOrdering(m), T, lambda, true, T*lambda), day)
+	fan := scenario.Cycle(fanDay, rounds)
+	noise := scenario.Noise(n, weekend, rounds, rng)
+	gens := []scenario.Gen{
+		scenario.Gate(fan, weekday),
+		scenario.Gate(noise, func(t int) bool { return !weekday(t) }),
+	}
+	name := fmt.Sprintf("weekly(day=%d,T=%d,λ=%d,weekend=%d)", day, T, lambda, weekend)
+	return NewSequence(name, scenario.Build(rounds, gens...)), nil
+}

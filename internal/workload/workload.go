@@ -1,11 +1,13 @@
 // Package workload generates the request sequences σ0, σ1, ... of the
-// paper's two evaluation scenarios (Section V-A): the time-zones scenario,
-// in which a rotating hotspot models global daytime effects, and the
-// commuter scenario, in which requests fan out from the network center in
-// the morning and fan back in in the evening, in a static-load and a
-// dynamic-load variant.
+// paper's evaluation scenarios (Section V-A) — the time-zones scenario, in
+// which a rotating hotspot models global daytime effects, and the commuter
+// scenario, in which requests fan out from the network center in the
+// morning and fan back in in the evening, in a static-load and a
+// dynamic-load variant — plus the scenarios beyond the paper built on the
+// composable generator engine of the scenario subpackage: flash crowds,
+// diurnal multi-region traffic, and a weekday/weekend mix (scenarios.go).
 //
-// All generators precompute the whole sequence at construction from a
+// All generators precompute their randomness at construction from a
 // caller-supplied *rand.Rand, so a sequence is deterministic, can be
 // replayed (offline algorithms see the future), and is safe for concurrent
 // reads.
@@ -19,6 +21,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/graph"
+	"repro/internal/workload/scenario"
 )
 
 // Sequence is a fixed request sequence over a finite horizon.
@@ -55,10 +58,15 @@ func (s *Sequence) TotalRequests() int {
 	return total
 }
 
-// Slice returns the sub-sequence of rounds [from, to).
+// Slice returns the sub-sequence of rounds [from, to). Bounds are clamped
+// to [0, Len()], and an inverted range (from > to) yields the empty
+// sequence — so Slice never panics, whatever the arguments.
 func (s *Sequence) Slice(from, to int) *Sequence {
 	if from < 0 {
 		from = 0
+	}
+	if to < 0 {
+		to = 0
 	}
 	if to > len(s.demands) {
 		to = len(s.demands)
@@ -104,17 +112,6 @@ func centerOrdering(m *graph.Matrix) []int {
 	return order
 }
 
-// spread returns the commuter fan index i for day phase ph in [0, T): it
-// rises 0, 1, ..., T/2 during the first half of the day and falls back
-// T/2−1, ..., 1 during the second half, so requests spread over 2^i access
-// points.
-func spread(ph, T int) int {
-	if ph <= T/2 {
-		return ph
-	}
-	return T - ph
-}
-
 // CommuterConfig parameterises both commuter variants.
 type CommuterConfig struct {
 	// T is the number of day phases; must be even and ≥ 2. The paper
@@ -143,35 +140,6 @@ func (c CommuterConfig) validate(n int) error {
 	return nil
 }
 
-// fanPoints caps the fan-out at the network size: the paper assumes
-// 2^(T/2) ≤ |A| access points exist; for larger T we keep the request
-// volume and spread it over all n nodes instead.
-func fanPoints(i, n int) int {
-	points := 1 << uint(i)
-	if points > n {
-		points = n
-	}
-	return points
-}
-
-// distribute spreads total requests evenly over the first `points` entries
-// of order (the nodes closest to the center), giving the remainder to the
-// closest nodes.
-func distribute(order []int, points, total int) map[int]int {
-	counts := make(map[int]int, points)
-	per, rem := total/points, total%points
-	for j := 0; j < points; j++ {
-		c := per
-		if j < rem {
-			c++
-		}
-		if c > 0 {
-			counts[order[j]] = c
-		}
-	}
-	return counts
-}
-
 // TForSize returns the largest even T whose maximum fan-out 2^(T/2) still
 // fits into a network of n nodes. The paper's network-size sweeps note that
 // "T increases with network size in our model".
@@ -187,41 +155,30 @@ func TForSize(n int) int {
 // is fixed to 2^(T/2) requests per round; in phase i they originate from
 // 2^i access points around the center (2^(T/2−i) requests each), fanning
 // out to single requests from 2^(T/2) points and back in to one point, the
-// network center.
+// network center. It is the scenario.Fan primitive with static load.
 func CommuterStatic(m *graph.Matrix, cfg CommuterConfig, rounds int) (*Sequence, error) {
-	if err := cfg.validate(m.N()); err != nil {
-		return nil, err
-	}
-	order := centerOrdering(m)
-	total := 1 << uint(cfg.T/2)
-	demands := make([]cost.Demand, rounds)
-	for t := 0; t < rounds; t++ {
-		ph := (t / cfg.Lambda) % cfg.T
-		points := fanPoints(spread(ph, cfg.T), m.N())
-		demands[t] = cost.DemandFromCounts(distribute(order, points, total))
-	}
-	name := fmt.Sprintf("commuter-static(T=%d,λ=%d)", cfg.T, cfg.Lambda)
-	return NewSequence(name, demands), nil
+	return commuter(m, cfg, rounds, false)
 }
 
 // CommuterDynamic builds the dynamic-load commuter scenario: in phase i a
 // single request originates from each of 2^i access points around the
 // center, so the total demand itself swings between 1 and 2^(T/2) requests
-// per round.
+// per round. It is the scenario.Fan primitive with dynamic load.
 func CommuterDynamic(m *graph.Matrix, cfg CommuterConfig, rounds int) (*Sequence, error) {
+	return commuter(m, cfg, rounds, true)
+}
+
+func commuter(m *graph.Matrix, cfg CommuterConfig, rounds int, dynamic bool) (*Sequence, error) {
 	if err := cfg.validate(m.N()); err != nil {
 		return nil, err
 	}
-	order := centerOrdering(m)
-	demands := make([]cost.Demand, rounds)
-	for t := 0; t < rounds; t++ {
-		ph := (t / cfg.Lambda) % cfg.T
-		total := 1 << uint(spread(ph, cfg.T))
-		points := fanPoints(spread(ph, cfg.T), m.N())
-		demands[t] = cost.DemandFromCounts(distribute(order, points, total))
+	fan := scenario.Fan(centerOrdering(m), cfg.T, cfg.Lambda, dynamic, rounds)
+	variant := "static"
+	if dynamic {
+		variant = "dynamic"
 	}
-	name := fmt.Sprintf("commuter-dynamic(T=%d,λ=%d)", cfg.T, cfg.Lambda)
-	return NewSequence(name, demands), nil
+	name := fmt.Sprintf("commuter-%s(T=%d,λ=%d)", variant, cfg.T, cfg.Lambda)
+	return NewSequence(name, scenario.Build(rounds, fan)), nil
 }
 
 // TimeZonesConfig parameterises the time-zones scenario.
@@ -277,20 +234,15 @@ func TimeZones(m *graph.Matrix, cfg TimeZonesConfig, rounds int, rng *rand.Rand)
 		hotspots[i] = rng.Intn(n)
 	}
 	hotCount := int(math.Round(cfg.P * float64(reqs)))
-	demands := make([]cost.Demand, rounds)
-	for t := 0; t < rounds; t++ {
-		period := (t / cfg.Lambda) % cfg.T
-		counts := make(map[int]int, reqs-hotCount+1)
-		if hotCount > 0 {
-			counts[hotspots[period]] += hotCount
-		}
-		for r := hotCount; r < reqs; r++ {
-			counts[rng.Intn(n)]++
-		}
-		demands[t] = cost.DemandFromCounts(counts)
-	}
+	// The period hotspots are a rotating hotspot, the background a uniform
+	// noise floor; their superposition is the paper's scenario. The noise
+	// draws consume the RNG in the same order as the original round loop
+	// (hotspots first, then reqs−hotCount draws per round), keeping the
+	// sequence bit-identical across the refactoring.
+	hot := scenario.RotatingHotspot(hotspots, hotCount, cfg.Lambda, rounds)
+	background := scenario.Noise(n, reqs-hotCount, rounds, rng)
 	name := fmt.Sprintf("time-zones(T=%d,p=%g,λ=%d,R=%d)", cfg.T, cfg.P, cfg.Lambda, reqs)
-	return NewSequence(name, demands), nil
+	return NewSequence(name, scenario.Build(rounds, hot, background)), nil
 }
 
 // Uniform builds a memoryless baseline: every round, each of the given
