@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/experiments"
+	"repro/internal/experiments/runner"
 	"repro/internal/graph/gen"
 	"repro/internal/offline"
 	"repro/internal/online"
@@ -79,6 +80,22 @@ func BenchmarkAblationAssign(b *testing.B) { benchFigure(b, experiments.Ablation
 // sampling, clustering and work-function variants) against OPT.
 func BenchmarkCompareOnlineVariants(b *testing.B) {
 	benchFigure(b, experiments.CompareOnlineVariants)
+}
+
+// BenchmarkFigureRunnerLocal builds one figure spec and executes its full
+// cell grid through the declarative runner's bounded Local pool — the
+// scheduling path every figure family now shares (spec construction, cell
+// fan-out, grid collection, reduction).
+func BenchmarkFigureRunnerLocal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec, err := experiments.NewSpec("13", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := runner.Run(spec, runner.Local{}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // Micro-benchmarks of the library's hot paths.

@@ -1,14 +1,21 @@
 // Command figures regenerates every figure and table of the paper's
-// evaluation section and prints the plotted series. With -csvdir the same
-// data is written as one CSV per figure for external plotting.
+// evaluation and prints the plotted series. Every figure is a declarative
+// cell grid (internal/experiments/runner), so the same run can execute
+// in-process, across worker subprocesses, or sharded across machines — with
+// byte-identical output. Tables go to stdout; progress and timing go to
+// stderr, so stdout can be diffed across backends.
 //
 // Examples:
 //
-//	figures                  # all figures, paper-scale (takes a while)
-//	figures -quick           # all figures, scaled down
-//	figures -only 15,16,17   # just the OFFSTAT/OPT ratio sweeps
+//	figures                        # all figures, paper-scale (takes a while)
+//	figures -quick                 # all figures, scaled down
+//	figures -only 15,16,17         # just the OFFSTAT/OPT ratio sweeps
 //	figures -only rocketfuel -csvdir out/
 //	figures -only ablations -quick
+//	figures -only 3 -procs 4       # fan the grid out over 4 worker processes
+//	figures -only 3 -shard 1/2 -partials parts/   # machine 1
+//	figures -only 3 -shard 2/2 -partials parts/   # machine 2
+//	figures -only 3 -merge -partials parts/       # fold the shards' results
 package main
 
 import (
@@ -16,58 +23,32 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/experiments/runner"
 	"repro/internal/trace"
 )
 
-type figure struct {
-	name string
-	run  func(experiments.Options) (*trace.Table, error)
-}
-
-func allFigures() []figure {
-	return []figure{
-		{"1", experiments.Figure1},
-		{"2", experiments.Figure2},
-		{"3", experiments.Figure3},
-		{"4", experiments.Figure4},
-		{"5", experiments.Figure5},
-		{"6", experiments.Figure6},
-		{"7", experiments.Figure7},
-		{"8", experiments.Figure8},
-		{"9", experiments.Figure9},
-		{"10", experiments.Figure10},
-		{"11", experiments.Figure11},
-		{"12", experiments.Figure12},
-		{"13", experiments.Figure13},
-		{"14", experiments.Figure14},
-		{"15", experiments.Figure15},
-		{"16", experiments.Figure16},
-		{"17", experiments.Figure17},
-		{"18", experiments.Figure18},
-		{"19", experiments.Figure19},
-		{"rocketfuel", func(o experiments.Options) (*trace.Table, error) {
-			res, err := experiments.TableRocketfuel(o)
-			if err != nil {
-				return nil, err
-			}
-			return res.Table(), nil
-		}},
+// allFigures lists the default selection: the paper's evaluation section.
+func allFigures() []string {
+	return []string{
+		"1", "2", "3", "4", "5", "6", "7", "8", "9", "10",
+		"11", "12", "13", "14", "15", "16", "17", "18", "19",
+		"rocketfuel",
 	}
 }
 
-func ablations() []figure {
-	return []figure{
-		{"ablation-queue", experiments.AblationQueue},
-		{"ablation-expiry", experiments.AblationExpiry},
-		{"ablation-y", experiments.AblationY},
-		{"ablation-theta", experiments.AblationTheta},
-		{"ablation-load", experiments.AblationLoad},
-		{"ablation-assign", experiments.AblationAssign},
+// ablations lists the design-choice sweeps.
+func ablations() []string {
+	return []string{
+		"ablation-queue", "ablation-expiry", "ablation-y",
+		"ablation-theta", "ablation-load", "ablation-assign",
 	}
 }
 
@@ -79,70 +60,254 @@ func main() {
 	only := flag.String("only", "", "comma-separated figure ids (e.g. 3,11,rocketfuel,ablations); empty = all figures")
 	csvDir := flag.String("csvdir", "", "also write one CSV per figure into this directory")
 	seed := flag.Int64("seed", 1, "base random seed")
+	procs := flag.Int("procs", 0, "fan each figure's cell grid out over this many worker subprocesses")
+	workers := flag.Int("workers", 0, "bound the in-process worker pool (0 = GOMAXPROCS)")
+	shard := flag.String("shard", "", "evaluate only slice i of m of each grid, as i/m, and write partial results")
+	partials := flag.String("partials", "", "directory for shard partial files (required with -shard and -merge)")
+	merge := flag.Bool("merge", false, "merge shard partials from -partials and print the tables")
+	workerFlag := flag.Bool("worker", false, "internal: serve cells for -spec on stdin/stdout")
+	spec := flag.String("spec", "", "internal: spec name served in -worker mode")
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quickFlag, Seed: *seed}
-	selected := selectFigures(*only)
-	if len(selected) == 0 {
-		log.Fatalf("no figures match -only=%q", *only)
-	}
-	if *csvDir != "" {
-		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+	if *workerFlag {
+		if err := runWorker(*spec, opts); err != nil {
 			log.Fatal(err)
 		}
+		return
 	}
-	for _, f := range selected {
+
+	shardIdx, shardTotal, err := parseShard(*shard)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if (shardTotal > 0 || *merge) && *partials == "" {
+		log.Fatal("-shard and -merge require -partials")
+	}
+	if shardTotal > 0 && *merge {
+		log.Fatal("-shard and -merge are mutually exclusive")
+	}
+	if shardTotal > 0 && *csvDir != "" {
+		log.Fatal("-shard emits partial files only; use -csvdir on the -merge run")
+	}
+	selected, err := selectFigures(*only)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, dir := range []string{*csvDir, *partials} {
+		if dir != "" {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	for _, name := range selected {
 		start := time.Now()
-		tab, err := f.run(opts)
+		sp, err := experiments.NewSpec(name, opts)
 		if err != nil {
-			log.Fatalf("figure %s: %v", f.name, err)
+			log.Fatal(err)
 		}
-		if err := trace.Render(os.Stdout, tab); err != nil {
-			log.Fatalf("figure %s: %v", f.name, err)
-		}
-		fmt.Printf("# elapsed: %v\n\n", time.Since(start).Round(time.Millisecond))
-		if *csvDir != "" {
-			path := filepath.Join(*csvDir, "figure-"+f.name+".csv")
-			fh, err := os.Create(path)
+		switch {
+		case shardTotal > 0:
+			if err := runShard(sp, opts, shardIdx, shardTotal, *workers, *partials); err != nil {
+				log.Fatalf("figure %s: %v", name, err)
+			}
+		case *merge:
+			tab, err := mergeShards(sp, opts, *partials)
 			if err != nil {
-				log.Fatal(err)
+				log.Fatalf("figure %s: %v", name, err)
 			}
-			if err := trace.WriteTable(fh, tab); err != nil {
-				log.Fatal(err)
+			emit(name, tab, *csvDir)
+		default:
+			var backend runner.Exec = runner.Local{Workers: *workers}
+			if *procs > 0 {
+				backend = runner.Procs{N: *procs, Command: workerCommand(name, opts)}
 			}
-			fh.Close()
+			tab, err := runner.Run(sp, backend)
+			if err != nil {
+				log.Fatalf("figure %s: %v", name, err)
+			}
+			emit(name, tab, *csvDir)
+		}
+		log.Printf("figure %s: %v elapsed", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// emit prints the table to stdout and optionally writes its CSV.
+func emit(name string, tab *trace.Table, csvDir string) {
+	if err := trace.Render(os.Stdout, tab); err != nil {
+		log.Fatalf("figure %s: %v", name, err)
+	}
+	if csvDir != "" {
+		if err := writeCSV(csvDir, name, tab); err != nil {
+			log.Fatalf("figure %s: %v", name, err)
 		}
 	}
 }
 
-func selectFigures(only string) []figure {
-	if only == "" {
-		return allFigures()
+// writeCSV emits one figure's table into dir as figure-<name>.csv.
+func writeCSV(dir, name string, tab *trace.Table) error {
+	fh, err := os.Create(filepath.Join(dir, "figure-"+name+".csv"))
+	if err != nil {
+		return err
 	}
-	var out []figure
+	if err := trace.WriteTable(fh, tab); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}
+
+// runWorker serves cells of one spec over stdin/stdout — the subprocess
+// half of the -procs backend. The coordinator passes the spec name and the
+// experiment options on the command line, so both sides build the identical
+// grid.
+func runWorker(name string, o experiments.Options) error {
+	if name == "" {
+		return fmt.Errorf("-worker requires -spec")
+	}
+	sp, err := experiments.NewSpec(name, o)
+	if err != nil {
+		return err
+	}
+	return runner.ServeWorker(sp, os.Stdin, os.Stdout)
+}
+
+// workerCommand re-invokes this binary in -worker mode for one spec.
+func workerCommand(name string, o experiments.Options) func() (*exec.Cmd, error) {
+	return func() (*exec.Cmd, error) {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		args := []string{"-worker", "-spec", name, "-seed", strconv.FormatInt(o.Seed, 10)}
+		if o.Quick {
+			args = append(args, "-quick")
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		return cmd, nil
+	}
+}
+
+// runShard evaluates one slice of the grid and writes the mergeable partial
+// file <partials>/<name>.shard-<i>-of-<m>.json.
+func runShard(sp *runner.Spec, o experiments.Options, idx, total, workers int, dir string) error {
+	g, err := runner.Shard{Index: idx, Total: total, Workers: workers}.Run(sp)
+	if err != nil {
+		return err
+	}
+	p := g.Partial(o.Seed, o.Quick, idx, total)
+	path := filepath.Join(dir, shardFile(sp.Name, idx, total))
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WritePartial(fh, p); err != nil {
+		fh.Close()
+		return err
+	}
+	if err := fh.Close(); err != nil {
+		return err
+	}
+	log.Printf("figure %s: wrote %s (%d of %d cells)", sp.Name, path, len(p.Results), p.Cells)
+	return nil
+}
+
+func shardFile(name string, idx, total int) string {
+	return fmt.Sprintf("%s.shard-%d-of-%d.json", name, idx, total)
+}
+
+// mergeShards folds every partial file of one figure back into the full
+// grid and reduces it — the output is byte-identical to a single-process
+// run of the same figure.
+func mergeShards(sp *runner.Spec, o experiments.Options, dir string) (*trace.Table, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, sp.Name+".shard-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no partials for %s in %s", sp.Name, dir)
+	}
+	sort.Strings(paths)
+	parts := make([]*trace.Partial, 0, len(paths))
+	for _, path := range paths {
+		fh, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		p, err := trace.ReadPartial(fh)
+		fh.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		parts = append(parts, p)
+	}
+	merged, err := trace.MergePartials(parts...)
+	if err != nil {
+		return nil, err
+	}
+	if merged.Seed != o.Seed || merged.Quick != o.Quick {
+		return nil, fmt.Errorf("partials were produced with -seed %d quick=%v, run asked for -seed %d quick=%v",
+			merged.Seed, merged.Quick, o.Seed, o.Quick)
+	}
+	g, err := runner.FromPartial(sp, merged)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Reduce(sp, g)
+}
+
+// parseShard parses "i/m" into a 1-based shard split; "" means no shard.
+func parseShard(s string) (idx, total int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return 0, 0, fmt.Errorf("invalid -shard %q, want i/m", s)
+	}
+	idx, err1 := strconv.Atoi(s[:i])
+	total, err2 := strconv.Atoi(s[i+1:])
+	if err1 != nil || err2 != nil || total < 1 || idx < 1 || idx > total {
+		return 0, 0, fmt.Errorf("invalid -shard %q, want i/m with 1 ≤ i ≤ m", s)
+	}
+	return idx, total, nil
+}
+
+// selectFigures resolves the -only flag into spec names: figure ids,
+// "ablations" for the whole ablation group, "all" for the paper figures,
+// "ablation-"-less shorthands, and any registered spec name (the variant
+// and scenario sweeps).
+func selectFigures(only string) ([]string, error) {
+	if only == "" {
+		return allFigures(), nil
+	}
+	known := map[string]bool{}
+	for _, name := range experiments.SpecNames() {
+		known[name] = true
+	}
+	var out []string
 	for _, tok := range strings.Split(only, ",") {
 		tok = strings.TrimSpace(tok)
-		switch tok {
-		case "":
+		switch {
+		case tok == "":
 			continue
-		case "ablations":
+		case tok == "ablations":
 			out = append(out, ablations()...)
-			continue
-		case "all":
+		case tok == "all":
 			out = append(out, allFigures()...)
-			continue
-		}
-		found := false
-		for _, f := range append(allFigures(), ablations()...) {
-			if f.name == tok || f.name == "ablation-"+tok {
-				out = append(out, f)
-				found = true
-				break
-			}
-		}
-		if !found {
-			log.Fatalf("unknown figure %q", tok)
+		case known[tok]:
+			out = append(out, tok)
+		case known["ablation-"+tok]:
+			out = append(out, "ablation-"+tok)
+		default:
+			return nil, fmt.Errorf("unknown figure %q", tok)
 		}
 	}
-	return out
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no figures match -only=%q", only)
+	}
+	return out, nil
 }

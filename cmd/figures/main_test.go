@@ -1,0 +1,194 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/experiments/runner"
+)
+
+func TestMain(m *testing.M) {
+	// Re-executed as a -worker subprocess by TestWorkerModeRoundTrip: serve
+	// the named spec on stdin/stdout exactly as `figures -worker` would.
+	if name := os.Getenv("FIGURES_TEST_WORKER"); name != "" {
+		seed, err := strconv.ParseInt(os.Getenv("FIGURES_TEST_SEED"), 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		o := experiments.Options{Quick: true, Seed: seed}
+		if err := runWorker(name, o); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestSelectFigures(t *testing.T) {
+	cases := []struct {
+		only string
+		want []string
+	}{
+		{"", allFigures()},
+		{"3,11,rocketfuel", []string{"3", "11", "rocketfuel"}},
+		{" 15 , 16 ", []string{"15", "16"}},
+		{"ablations", ablations()},
+		{"queue,ablation-theta", []string{"ablation-queue", "ablation-theta"}},
+		{"all", allFigures()},
+		{"variants,compare-scenarios", []string{"variants", "compare-scenarios"}},
+		{"12,,13", []string{"12", "13"}},
+	}
+	for _, c := range cases {
+		got, err := selectFigures(c.only)
+		if err != nil {
+			t.Fatalf("-only=%q: %v", c.only, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Fatalf("-only=%q selected %v, want %v", c.only, got, c.want)
+		}
+	}
+	for _, bad := range []string{"nope", "20", "3,bogus", ","} {
+		if _, err := selectFigures(bad); err == nil {
+			t.Fatalf("-only=%q accepted", bad)
+		}
+	}
+	// Every selectable name must resolve in the spec registry.
+	for _, name := range append(allFigures(), ablations()...) {
+		if _, err := experiments.NewSpec(name, experiments.Options{Quick: true}); err != nil {
+			t.Fatalf("selectable figure %q not buildable: %v", name, err)
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if i, m, err := parseShard(""); i != 0 || m != 0 || err != nil {
+		t.Fatalf("empty shard: %d/%d %v", i, m, err)
+	}
+	if i, m, err := parseShard("2/3"); i != 2 || m != 3 || err != nil {
+		t.Fatalf("2/3: %d/%d %v", i, m, err)
+	}
+	for _, bad := range []string{"0/2", "3/2", "x/2", "2/x", "2", "/", "-1/2"} {
+		if _, _, err := parseShard(bad); err == nil {
+			t.Fatalf("shard %q accepted", bad)
+		}
+	}
+}
+
+func TestWriteCSVEmission(t *testing.T) {
+	dir := t.TempDir()
+	o := experiments.Options{Quick: true, Seed: 7}
+	tab, err := experiments.Figure12(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeCSV(dir, "12", tab); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "figure-12.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != len(tab.X)+1 {
+		t.Fatalf("%d CSV lines for %d x positions", len(lines), len(tab.X))
+	}
+	if lines[0] != "servers,OFFSTAT" {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+	// Full precision: the first data row must parse back to the exact value.
+	fields := strings.Split(lines[1], ",")
+	v, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != tab.Series[0].Values[0] {
+		t.Fatalf("CSV value %v != table value %v", v, tab.Series[0].Values[0])
+	}
+}
+
+// TestWorkerModeRoundTrip spawns this test binary as real -worker
+// subprocesses on a quick figure and requires the multi-process table to be
+// identical to the in-process one — the cmd-level contract of -procs.
+func TestWorkerModeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	o := experiments.Options{Quick: true, Seed: 7}
+	sp, err := experiments.NewSpec("13", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := runner.Procs{
+		N: 2,
+		Command: func() (*exec.Cmd, error) {
+			cmd := exec.Command(exe)
+			cmd.Env = append(os.Environ(),
+				"FIGURES_TEST_WORKER=13",
+				"FIGURES_TEST_SEED=7")
+			cmd.Stderr = os.Stderr
+			return cmd, nil
+		},
+	}
+	got, err := runner.Run(sp, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.Figure13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("worker-mode table differs from in-process run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestShardMergeRoundTrip drives the shard/partial/merge path through the
+// same helpers main uses and checks the merged table is bit-identical.
+func TestShardMergeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	o := experiments.Options{Quick: true, Seed: 7}
+	sp, err := experiments.NewSpec("13", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := runShard(sp, o, i, 2, 0, dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := mergeShards(sp, o, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.Figure13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("shard+merge table differs from in-process run")
+	}
+	// Mismatched options must be refused, not silently reduced.
+	if _, err := mergeShards(sp, experiments.Options{Quick: true, Seed: 1}, dir); err == nil {
+		t.Fatal("merge accepted partials from a different seed")
+	}
+	// A missing shard must be reported as incomplete.
+	if err := os.Remove(filepath.Join(dir, shardFile("13", 1, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mergeShards(sp, o, dir); err == nil {
+		t.Fatal("merge reduced an incomplete grid")
+	}
+}

@@ -1,16 +1,16 @@
 package experiments
 
 import (
+	"math/rand"
+
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/experiments/runner"
 	"repro/internal/graph/gen"
 	"repro/internal/online"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
-
-	"math/rand"
 )
 
 // Ablations probe the design choices that the paper fixes by fiat (queue
@@ -40,165 +40,115 @@ func ablationInstance(o Options, pool core.Params, load cost.LoadFunc, policy co
 	return env, seq, nil
 }
 
-// ablate sweeps one knob and averages ONTH-or-ONBR totals over runs.
-func ablate(o Options, title, xlabel string, xs []float64,
-	makeAlg func() sim.Algorithm,
-	configure func(x float64, pool *core.Params) (cost.LoadFunc, cost.Policy)) (*trace.Table, error) {
+// ablateSpec is the grid every ablation shares: one cell per (knob value,
+// run) playing the configured algorithm on the common instance, reduced to
+// a single mean-cost series over the knob axis.
+func ablateSpec(o Options, name, title, xlabel string, xs []float64,
+	makeAlg func(xi int) sim.Algorithm,
+	configure func(xi int, pool *core.Params) (cost.LoadFunc, cost.Policy)) *runner.Spec {
 
 	runs := pick(o, 5, 2)
 	seed := o.seed()
-	tab := &trace.Table{Title: title, XLabel: xlabel, YLabel: "total cost"}
-	var vals []float64
-	for xi, x := range xs {
-		x := x
-		totals, err := parallelRuns(runs, func(run int) (float64, error) {
+	return &runner.Spec{
+		Name: name,
+		Xs:   len(xs), Variants: 1, Runs: runs,
+		Cell: func(xi, _, run int) ([]float64, error) {
 			pool := poolDefaults()
-			load, policy := configure(x, &pool)
+			load, policy := configure(xi, &pool)
 			env, seq, err := ablationInstance(o, pool, load, policy, runSeed(seed, xi, run))
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			return runTotal(env, makeAlg(), seq)
-		})
-		if err != nil {
-			return nil, err
-		}
-		vals = append(vals, stats.Mean(totals))
-		tab.X = append(tab.X, x)
+			return one(runTotal(env, makeAlg(xi), seq))
+		},
+		Reduce: meanSeriesReduce(title, xlabel, "total cost", xs, []string{"total cost"}),
 	}
-	tab.Series = []trace.Series{{Label: "total cost", Values: vals}}
-	return tab, tab.Validate()
+}
+
+// defaultConfigure keeps the paper's pool, load, and routing choices.
+func defaultConfigure(int, *core.Params) (cost.LoadFunc, cost.Policy) {
+	return cost.Linear{}, cost.AssignMinCost
+}
+
+func ablationQueueSpec(o Options) *runner.Spec {
+	xs := []float64{0, 1, 3, 8}
+	return ablateSpec(o, "ablation-queue", "Ablation: ONTH vs inactive-queue capacity", "queue capacity", xs,
+		func(int) sim.Algorithm { return online.NewONTH() },
+		func(xi int, pool *core.Params) (cost.LoadFunc, cost.Policy) {
+			pool.QueueCap = int(xs[xi])
+			return cost.Linear{}, cost.AssignMinCost
+		})
+}
+
+func ablationExpirySpec(o Options) *runner.Spec {
+	xs := []float64{1, 5, 20, 100}
+	return ablateSpec(o, "ablation-expiry", "Ablation: ONTH vs inactive-server expiry", "expiry (epochs)", xs,
+		func(int) sim.Algorithm { return online.NewONTH() },
+		func(xi int, pool *core.Params) (cost.LoadFunc, cost.Policy) {
+			pool.Expiry = int(xs[xi])
+			return cost.Linear{}, cost.AssignMinCost
+		})
+}
+
+func ablationYSpec(o Options) *runner.Spec {
+	ys := []float64{1, 2, 4, 8}
+	return ablateSpec(o, "ablation-y", "Ablation: ONTH vs small-epoch factor y", "y", ys,
+		func(xi int) sim.Algorithm {
+			alg := online.NewONTH()
+			alg.Y = ys[xi]
+			return alg
+		},
+		defaultConfigure)
+}
+
+func ablationThetaSpec(o Options) *runner.Spec {
+	factors := []float64{0.5, 1, 2, 4, 8}
+	return ablateSpec(o, "ablation-theta", "Ablation: ONBR vs threshold factor", "theta/c", factors,
+		func(xi int) sim.Algorithm {
+			alg := online.NewONBR()
+			alg.ThetaFactor = factors[xi]
+			return alg
+		},
+		defaultConfigure)
+}
+
+func ablationLoadSpec(o Options) *runner.Spec {
+	loads := []cost.LoadFunc{cost.Linear{}, cost.Power{P: 1.5}, cost.Quadratic{}}
+	return ablateSpec(o, "ablation-load", "Ablation: ONTH vs load function", "load exponent",
+		[]float64{1, 1.5, 2},
+		func(int) sim.Algorithm { return online.NewONTH() },
+		func(xi int, _ *core.Params) (cost.LoadFunc, cost.Policy) {
+			return loads[xi], cost.AssignMinCost
+		})
+}
+
+func ablationAssignSpec(o Options) *runner.Spec {
+	policies := []cost.Policy{cost.AssignMinCost, cost.AssignNearest}
+	return ablateSpec(o, "ablation-assign", "Ablation: routing policy under quadratic load (ONTH)",
+		"policy (0=min-cost,1=nearest)", []float64{0, 1},
+		func(int) sim.Algorithm { return online.NewONTH() },
+		func(xi int, _ *core.Params) (cost.LoadFunc, cost.Policy) {
+			return cost.Quadratic{}, policies[xi]
+		})
 }
 
 // AblationQueue varies the inactive-cache capacity (the paper fixes 3).
-func AblationQueue(o Options) (*trace.Table, error) {
-	return ablate(o, "Ablation: ONTH vs inactive-queue capacity", "queue capacity",
-		[]float64{0, 1, 3, 8},
-		func() sim.Algorithm { return online.NewONTH() },
-		func(x float64, pool *core.Params) (cost.LoadFunc, cost.Policy) {
-			pool.QueueCap = int(x)
-			return cost.Linear{}, cost.AssignMinCost
-		})
-}
+func AblationQueue(o Options) (*trace.Table, error) { return local(ablationQueueSpec(o)) }
 
 // AblationExpiry varies the inactive-server expiry x (the paper fixes 20).
-func AblationExpiry(o Options) (*trace.Table, error) {
-	return ablate(o, "Ablation: ONTH vs inactive-server expiry", "expiry (epochs)",
-		[]float64{1, 5, 20, 100},
-		func() sim.Algorithm { return online.NewONTH() },
-		func(x float64, pool *core.Params) (cost.LoadFunc, cost.Policy) {
-			pool.Expiry = int(x)
-			return cost.Linear{}, cost.AssignMinCost
-		})
-}
+func AblationExpiry(o Options) (*trace.Table, error) { return local(ablationExpirySpec(o)) }
 
 // AblationY varies ONTH's small-epoch factor y (threshold y·β; paper: 2).
-func AblationY(o Options) (*trace.Table, error) {
-	runs := pick(o, 5, 2)
-	seed := o.seed()
-	ys := []float64{1, 2, 4, 8}
-	tab := &trace.Table{Title: "Ablation: ONTH vs small-epoch factor y", XLabel: "y", YLabel: "total cost"}
-	var vals []float64
-	for xi, y := range ys {
-		y := y
-		totals, err := parallelRuns(runs, func(run int) (float64, error) {
-			env, seq, err := ablationInstance(o, poolDefaults(), cost.Linear{}, cost.AssignMinCost, runSeed(seed, xi, run))
-			if err != nil {
-				return 0, err
-			}
-			alg := online.NewONTH()
-			alg.Y = y
-			return runTotal(env, alg, seq)
-		})
-		if err != nil {
-			return nil, err
-		}
-		vals = append(vals, stats.Mean(totals))
-		tab.X = append(tab.X, y)
-	}
-	tab.Series = []trace.Series{{Label: "total cost", Values: vals}}
-	return tab, tab.Validate()
-}
+func AblationY(o Options) (*trace.Table, error) { return local(ablationYSpec(o)) }
 
 // AblationTheta varies ONBR's threshold factor (θ = factor·c; paper: 2).
-func AblationTheta(o Options) (*trace.Table, error) {
-	runs := pick(o, 5, 2)
-	seed := o.seed()
-	factors := []float64{0.5, 1, 2, 4, 8}
-	tab := &trace.Table{Title: "Ablation: ONBR vs threshold factor", XLabel: "theta/c", YLabel: "total cost"}
-	var vals []float64
-	for xi, f := range factors {
-		f := f
-		totals, err := parallelRuns(runs, func(run int) (float64, error) {
-			env, seq, err := ablationInstance(o, poolDefaults(), cost.Linear{}, cost.AssignMinCost, runSeed(seed, xi, run))
-			if err != nil {
-				return 0, err
-			}
-			alg := online.NewONBR()
-			alg.ThetaFactor = f
-			return runTotal(env, alg, seq)
-		})
-		if err != nil {
-			return nil, err
-		}
-		vals = append(vals, stats.Mean(totals))
-		tab.X = append(tab.X, f)
-	}
-	tab.Series = []trace.Series{{Label: "total cost", Values: vals}}
-	return tab, tab.Validate()
-}
+func AblationTheta(o Options) (*trace.Table, error) { return local(ablationThetaSpec(o)) }
 
 // AblationLoad compares load models under ONTH: linear, power(1.5),
 // quadratic.
-func AblationLoad(o Options) (*trace.Table, error) {
-	runs := pick(o, 5, 2)
-	seed := o.seed()
-	loads := []cost.LoadFunc{cost.Linear{}, cost.Power{P: 1.5}, cost.Quadratic{}}
-	tab := &trace.Table{Title: "Ablation: ONTH vs load function", XLabel: "load exponent", YLabel: "total cost"}
-	var vals []float64
-	for xi, load := range loads {
-		load := load
-		totals, err := parallelRuns(runs, func(run int) (float64, error) {
-			env, seq, err := ablationInstance(o, poolDefaults(), load, cost.AssignMinCost, runSeed(seed, xi, run))
-			if err != nil {
-				return 0, err
-			}
-			return runTotal(env, online.NewONTH(), seq)
-		})
-		if err != nil {
-			return nil, err
-		}
-		vals = append(vals, stats.Mean(totals))
-		tab.X = append(tab.X, []float64{1, 1.5, 2}[xi])
-	}
-	tab.Series = []trace.Series{{Label: "total cost", Values: vals}}
-	return tab, tab.Validate()
-}
+func AblationLoad(o Options) (*trace.Table, error) { return local(ablationLoadSpec(o)) }
 
 // AblationAssign compares the min-cost request routing of Section II-B
 // against load-oblivious nearest-server routing, under quadratic load where
 // the difference matters.
-func AblationAssign(o Options) (*trace.Table, error) {
-	runs := pick(o, 5, 2)
-	seed := o.seed()
-	policies := []cost.Policy{cost.AssignMinCost, cost.AssignNearest}
-	tab := &trace.Table{Title: "Ablation: routing policy under quadratic load (ONTH)", XLabel: "policy (0=min-cost,1=nearest)", YLabel: "total cost"}
-	var vals []float64
-	for xi, policy := range policies {
-		policy := policy
-		totals, err := parallelRuns(runs, func(run int) (float64, error) {
-			env, seq, err := ablationInstance(o, poolDefaults(), cost.Quadratic{}, policy, runSeed(seed, xi, run))
-			if err != nil {
-				return 0, err
-			}
-			return runTotal(env, online.NewONTH(), seq)
-		})
-		if err != nil {
-			return nil, err
-		}
-		vals = append(vals, stats.Mean(totals))
-		tab.X = append(tab.X, float64(xi))
-	}
-	tab.Series = []trace.Series{{Label: "total cost", Values: vals}}
-	return tab, tab.Validate()
-}
+func AblationAssign(o Options) (*trace.Table, error) { return local(ablationAssignSpec(o)) }

@@ -9,22 +9,28 @@
 // shapes are preserved; EXPERIMENTS.md records paper-vs-measured for every
 // figure.
 //
-// All experiments are deterministic in Options.Seed: run r of a data point
-// derives its RNG from the seed, the x-position, and r.
+// Every experiment is expressed as a declarative runner.Spec: a grid of
+// independent cells (x-position × variant × run) whose randomness derives
+// only from the seed and the cell coordinates, plus a reduction into the
+// plotted table. The FigureN functions execute their spec on the in-process
+// Local backend; NewSpec exposes the same grids to cmd/figures for
+// multi-process (-procs) and multi-machine (-shard/-merge) execution, with
+// bit-identical results on every backend.
 package experiments
 
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/experiments/runner"
 	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/online"
 	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -104,29 +110,28 @@ func runSeed(base int64, x, run int) int64 {
 	return base + int64(x)*1_000_003 + int64(run)*7_919
 }
 
-// parallelRuns evaluates fn(run) for run = 0..runs-1 across all CPUs and
-// returns the results in run order. The first error wins.
-func parallelRuns(runs int, fn func(run int) (float64, error)) ([]float64, error) {
-	out := make([]float64, runs)
-	errs := make([]error, runs)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for r := 0; r < runs; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[r], errs[r] = fn(r)
-		}(r)
+// floats widens an int axis to the float64 x-values a table plots.
+func floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	return out
+}
+
+// one wraps a single run result as a cell value, propagating the error.
+func one(v float64, err error) ([]float64, error) {
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return []float64{v}, nil
+}
+
+// local executes a spec on the default in-process backend — what the
+// exported FigureN functions do. The grid decomposition guarantees the same
+// table on every other backend.
+func local(s *runner.Spec) (*trace.Table, error) {
+	return runner.Run(s, nil)
 }
 
 // onlineContenders returns fresh instances of the three strategies the
@@ -239,5 +244,87 @@ func buildScenario(kind scenarioKind, m *graph.Matrix, T, lambda, rounds, reqPer
 		}, rounds, rng)
 	default:
 		return nil, fmt.Errorf("experiments: unknown scenario %d", kind)
+	}
+}
+
+// meanSeriesReduce is the reduction shared by every sweep figure: one series
+// per variant, each data point the mean of that (x, variant) pair's runs.
+// Averaging follows run order, so the result is bit-identical to the former
+// hand-rolled loops.
+func meanSeriesReduce(title, xlabel, ylabel string, xs []float64, labels []string) func(*runner.Grid) (*trace.Table, error) {
+	return func(g *runner.Grid) (*trace.Table, error) {
+		tab := &trace.Table{Title: title, XLabel: xlabel, YLabel: ylabel, X: xs}
+		for vi, label := range labels {
+			vals := make([]float64, len(xs))
+			for xi := range xs {
+				vals[xi] = stats.Mean(g.Runs(xi, vi))
+			}
+			tab.Series = append(tab.Series, trace.Series{Label: label, Values: vals})
+		}
+		return tab, tab.Validate()
+	}
+}
+
+// SpecNames lists every experiment the registry can build, in canonical
+// order: the paper figures, the Rocketfuel table, the ablations, and the
+// variant/scenario sweeps. Worker processes and shard runs address
+// experiments by these names.
+func SpecNames() []string {
+	names := make([]string, 0, len(specRegistry()))
+	for _, e := range specRegistry() {
+		names = append(names, e.name)
+	}
+	return names
+}
+
+// NewSpec builds the declarative grid of one experiment by name. The same
+// (name, Options) pair builds the identical spec in every process, which is
+// what lets coordinator and workers agree on cell coordinates.
+func NewSpec(name string, o Options) (*runner.Spec, error) {
+	for _, e := range specRegistry() {
+		if e.name == name {
+			return e.build(o), nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown spec %q", name)
+}
+
+type specEntry struct {
+	name  string
+	build func(Options) *runner.Spec
+}
+
+func specRegistry() []specEntry {
+	return []specEntry{
+		{"1", figure1Spec},
+		{"2", figure2Spec},
+		{"3", figure3Spec},
+		{"4", figure4Spec},
+		{"5", figure5Spec},
+		{"6", figure6Spec},
+		{"7", figure7Spec},
+		{"8", figure8Spec},
+		{"9", figure9Spec},
+		{"10", figure10Spec},
+		{"11", figure11Spec},
+		{"12", figure12Spec},
+		{"13", figure13Spec},
+		{"14", figure14Spec},
+		{"15", figure15Spec},
+		{"16", figure16Spec},
+		{"17", figure17Spec},
+		{"18", figure18Spec},
+		{"19", figure19Spec},
+		{"rocketfuel", rocketfuelSpec},
+		{"ablation-queue", ablationQueueSpec},
+		{"ablation-expiry", ablationExpirySpec},
+		{"ablation-y", ablationYSpec},
+		{"ablation-theta", ablationThetaSpec},
+		{"ablation-load", ablationLoadSpec},
+		{"ablation-assign", ablationAssignSpec},
+		{"variants", variantsSpec},
+		{"compare-scenarios", compareScenariosSpec},
+		{"scenario-flash-crowd", scenarioFlashCrowdSpec},
+		{"scenario-diurnal", scenarioDiurnalSpec},
 	}
 }

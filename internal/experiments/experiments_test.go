@@ -1,10 +1,11 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
+	"reflect"
 	"testing"
 
+	"repro/internal/experiments/runner"
 	"repro/internal/trace"
 )
 
@@ -314,29 +315,90 @@ func TestOptionsDeterministic(t *testing.T) {
 	}
 }
 
-func TestParallelRunsOrderAndErrors(t *testing.T) {
-	vals, err := parallelRuns(8, func(run int) (float64, error) {
-		return float64(run * run), nil
-	})
-	if err != nil {
-		t.Fatal(err)
+func TestSpecRegistry(t *testing.T) {
+	names := SpecNames()
+	if len(names) != 30 {
+		t.Fatalf("%d specs registered, want 30", len(names))
 	}
-	for r, v := range vals {
-		if v != float64(r*r) {
-			t.Fatalf("run %d out of order: %v", r, v)
+	seen := map[string]bool{}
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("spec %q registered twice", name)
+		}
+		seen[name] = true
+		spec, err := NewSpec(name, quick())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.Name != name {
+			t.Fatalf("spec %q built under name %q", name, spec.Name)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
 		}
 	}
-	if _, err := parallelRuns(4, func(run int) (float64, error) {
-		if run == 2 {
-			return 0, errBoom
-		}
-		return 1, nil
-	}); err != errBoom {
-		t.Fatalf("error not propagated: %v", err)
+	if _, err := NewSpec("no-such-figure", quick()); err == nil {
+		t.Fatal("unknown spec accepted")
 	}
 }
 
-var errBoom = fmt.Errorf("boom")
+// TestSpecMatchesFigureFunction pins the grid decomposition to the exported
+// figure functions: running the registered spec must reproduce the exact
+// same table.
+func TestSpecMatchesFigureFunction(t *testing.T) {
+	spec, err := NewSpec("13", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runner.Run(spec, runner.Local{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Figure13(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("spec table differs from Figure13:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSpecShardMergeParity runs one figure as a 2-way shard split plus
+// merge and requires the reduced table to be bit-identical to the
+// single-process run — the multi-machine execution contract.
+func TestSpecShardMergeParity(t *testing.T) {
+	spec, err := NewSpec("12", quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runner.Run(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parts []*trace.Partial
+	for i := 1; i <= 2; i++ {
+		g, err := runner.Shard{Index: i, Total: 2}.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, g.Partial(7, true, i, 2))
+	}
+	merged, err := trace.MergePartials(parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := runner.FromPartial(spec, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runner.Reduce(spec, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("shard+merge table differs from local run")
+	}
+}
 
 func TestRunSeedDistinct(t *testing.T) {
 	seen := map[int64]bool{}

@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cost"
+	"repro/internal/experiments/runner"
+	"repro/internal/graph"
 	"repro/internal/online"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -25,67 +28,95 @@ func exemplaryRun(env *sim.Env, seq *workload.Sequence) ([]float64, error) {
 	return active, nil
 }
 
-// figureExec is the shared implementation of Figures 1 and 2.
-func figureExec(o Options, title string, kind scenarioKind, n, T, lambda, rounds int) (*trace.Table, error) {
+// figureExecSpec is the shared grid of Figures 1 and 2: one cell per load
+// model, each a single exemplary run whose cell value is the whole
+// active-servers time series.
+func figureExecSpec(o Options, name, title string, kind scenarioKind, n, T, lambda, rounds int) *runner.Spec {
 	seed := o.seed()
-	tab := &trace.Table{
-		Title:  title,
-		XLabel: "round",
-		YLabel: "active servers (ONTH)",
-	}
-	// Both load models run on the same substrate instance: the graph is
-	// generated once and its all-pairs matrix (cached on the graph) is
-	// shared by the two environments instead of being recomputed.
-	g, err := erGraph(n, seed)
-	if err != nil {
-		return nil, err
-	}
-	for _, load := range []cost.LoadFunc{cost.Linear{}, cost.Quadratic{}} {
-		env, err := sim.NewEnv(g, load, cost.AssignMinCost, cost.DefaultParams(), poolDefaults())
-		if err != nil {
-			return nil, err
-		}
-		seq, err := buildScenario(kind, env.Matrix, T, lambda, rounds, 0, nil)
-		if err != nil {
-			return nil, err
-		}
-		active, err := exemplaryRun(env, seq)
-		if err != nil {
-			return nil, err
-		}
-		tab.Series = append(tab.Series, trace.Series{
-			Label:  fmt.Sprintf("%s load", load.Name()),
-			Values: active,
+	loads := []cost.LoadFunc{cost.Linear{}, cost.Quadratic{}}
+	// Both load models run on the same substrate. The graph and its
+	// all-pairs matrix — the figure's most expensive setup — are built once
+	// per process, inside the Once so concurrent cells cannot duplicate the
+	// metric computation, and shared by the cells evaluated there; a worker
+	// process that only gets one cell regenerates the identical graph from
+	// the same seed, so results do not depend on where cells run.
+	var (
+		graphOnce sync.Once
+		sharedG   *graph.Graph
+		graphErr  error
+	)
+	substrate := func() (*graph.Graph, error) {
+		graphOnce.Do(func() {
+			if sharedG, graphErr = erGraph(n, seed); graphErr == nil {
+				sharedG.Metric()
+			}
 		})
+		return sharedG, graphErr
 	}
-	tab.X = make([]float64, rounds)
-	for t := range tab.X {
-		tab.X[t] = float64(t)
+	return &runner.Spec{
+		Name: name,
+		Xs:   1, Variants: len(loads), Runs: 1,
+		Cell: func(_, vi, _ int) ([]float64, error) {
+			g, err := substrate()
+			if err != nil {
+				return nil, err
+			}
+			env, err := sim.NewEnv(g, loads[vi], cost.AssignMinCost, cost.DefaultParams(), poolDefaults())
+			if err != nil {
+				return nil, err
+			}
+			seq, err := buildScenario(kind, env.Matrix, T, lambda, rounds, 0, nil)
+			if err != nil {
+				return nil, err
+			}
+			return exemplaryRun(env, seq)
+		},
+		Reduce: func(g *runner.Grid) (*trace.Table, error) {
+			tab := &trace.Table{
+				Title:  title,
+				XLabel: "round",
+				YLabel: "active servers (ONTH)",
+			}
+			for vi, load := range loads {
+				tab.Series = append(tab.Series, trace.Series{
+					Label:  fmt.Sprintf("%s load", load.Name()),
+					Values: g.Cell(0, vi, 0),
+				})
+			}
+			tab.X = make([]float64, rounds)
+			for t := range tab.X {
+				tab.X[t] = float64(t)
+			}
+			return tab, tab.Validate()
+		},
 	}
-	return tab, tab.Validate()
+}
+
+func figure1Spec(o Options) *runner.Spec {
+	n := pick(o, 1000, 120)
+	rounds := pick(o, 1000, 280)
+	T := pick(o, 14, 8)
+	return figureExecSpec(o, "1", "Figure 1: ONTH execution, commuter dynamic load", commuterDynamic,
+		n, T, 20, rounds)
+}
+
+func figure2Spec(o Options) *runner.Spec {
+	n := pick(o, 500, 120)
+	rounds := pick(o, 1000, 280)
+	T := pick(o, 12, 8)
+	return figureExecSpec(o, "2", "Figure 2: ONTH execution, commuter static load", commuterStatic,
+		n, T, 20, rounds)
 }
 
 // Figure1 reproduces Figure 1: an exemplary execution of ONTH in the
 // commuter scenario with dynamic load (runtime 1000 rounds, T = 14, network
 // size 1000, λ = 20), showing that steeper load functions (quadratic vs
 // linear) make ONTH allocate more servers as demand fans out.
-func Figure1(o Options) (*trace.Table, error) {
-	n := pick(o, 1000, 120)
-	rounds := pick(o, 1000, 280)
-	T := pick(o, 14, 8)
-	return figureExec(o, "Figure 1: ONTH execution, commuter dynamic load", commuterDynamic,
-		n, T, 20, rounds)
-}
+func Figure1(o Options) (*trace.Table, error) { return local(figure1Spec(o)) }
 
 // Figure2 reproduces Figure 2: the same exemplary execution for the
 // commuter scenario with static load (runtime 1000 rounds, T = 12, network
 // size 500, λ = 20). The system converges quickly to a server count that is
 // largely independent of how many access points the fixed demand originates
 // from, with the quadratic load model requiring more servers.
-func Figure2(o Options) (*trace.Table, error) {
-	n := pick(o, 500, 120)
-	rounds := pick(o, 1000, 280)
-	T := pick(o, 12, 8)
-	return figureExec(o, "Figure 2: ONTH execution, commuter static load", commuterStatic,
-		n, T, 20, rounds)
-}
+func Figure2(o Options) (*trace.Table, error) { return local(figure2Spec(o)) }

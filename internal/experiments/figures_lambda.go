@@ -4,14 +4,14 @@ import (
 	"math/rand"
 
 	"repro/internal/cost"
-	"repro/internal/stats"
+	"repro/internal/experiments/runner"
 	"repro/internal/trace"
 )
 
-// figureLambda is the shared implementation of Figures 8–10: total cost of
-// the online strategies as a function of λ (runtime 900 rounds, T = 10,
-// network size 200, averaged over 10 runs).
-func figureLambda(o Options, title string, kind scenarioKind) (*trace.Table, error) {
+// figureLambdaSpec is the shared grid of Figures 8–10: total cost of the
+// online strategies as a function of λ (runtime 900 rounds, T = 10, network
+// size 200, averaged over 10 runs). One cell per (λ, strategy, run).
+func figureLambdaSpec(o Options, name, title string, kind scenarioKind) *runner.Spec {
 	n := pick(o, 200, 60)
 	rounds := pick(o, 900, 200)
 	runs := pick(o, 10, 2)
@@ -20,52 +20,47 @@ func figureLambda(o Options, title string, kind scenarioKind) (*trace.Table, err
 	seed := o.seed()
 
 	labels := []string{"ONBR-fixed", "ONBR-dyn", "ONTH"}
-	values := make([][]float64, len(labels))
-	tab := &trace.Table{Title: title, XLabel: "lambda", YLabel: "total cost"}
-	for xi, lambda := range lambdas {
-		tab.X = append(tab.X, float64(lambda))
-		for ai := range labels {
-			ai, lambda := ai, lambda
-			totals, err := parallelRuns(runs, func(run int) (float64, error) {
-				s := runSeed(seed, xi, run)
-				env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
-				if err != nil {
-					return 0, err
-				}
-				seq, err := buildScenario(kind, env.Matrix, T, lambda, rounds, 0, rand.New(rand.NewSource(s+1)))
-				if err != nil {
-					return 0, err
-				}
-				return runTotal(env, onlineContenders()[ai], seq)
-			})
+	return &runner.Spec{
+		Name: name,
+		Xs:   len(lambdas), Variants: len(labels), Runs: runs,
+		Cell: func(xi, ai, run int) ([]float64, error) {
+			s := runSeed(seed, xi, run)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
 			if err != nil {
 				return nil, err
 			}
-			values[ai] = append(values[ai], stats.Mean(totals))
-		}
+			seq, err := buildScenario(kind, env.Matrix, T, lambdas[xi], rounds, 0, rand.New(rand.NewSource(s+1)))
+			if err != nil {
+				return nil, err
+			}
+			return one(runTotal(env, onlineContenders()[ai], seq))
+		},
+		Reduce: meanSeriesReduce(title, "lambda", "total cost", floats(lambdas), labels),
 	}
-	for ai, label := range labels {
-		tab.Series = append(tab.Series, trace.Series{Label: label, Values: values[ai]})
-	}
-	return tab, tab.Validate()
+}
+
+func figure8Spec(o Options) *runner.Spec {
+	return figureLambdaSpec(o, "8", "Figure 8: cost vs lambda, commuter dynamic load", commuterDynamic)
+}
+
+func figure9Spec(o Options) *runner.Spec {
+	return figureLambdaSpec(o, "9", "Figure 9: cost vs lambda, commuter static load", commuterStatic)
+}
+
+func figure10Spec(o Options) *runner.Spec {
+	return figureLambdaSpec(o, "10", "Figure 10: cost vs lambda, time zones (p=50%)", timeZones)
 }
 
 // Figure8 reproduces Figure 8: cost as a function of λ in the commuter
 // scenario with dynamic load. The total cost is largely independent of λ,
 // with ONTH better by roughly a factor of two.
-func Figure8(o Options) (*trace.Table, error) {
-	return figureLambda(o, "Figure 8: cost vs lambda, commuter dynamic load", commuterDynamic)
-}
+func Figure8(o Options) (*trace.Table, error) { return local(figure8Spec(o)) }
 
 // Figure9 reproduces Figure 9: the same sweep for the static-load commuter
 // scenario.
-func Figure9(o Options) (*trace.Table, error) {
-	return figureLambda(o, "Figure 9: cost vs lambda, commuter static load", commuterStatic)
-}
+func Figure9(o Options) (*trace.Table, error) { return local(figure9Spec(o)) }
 
 // Figure10 reproduces Figure 10: the same sweep for the time-zone scenario
 // with p = 50%. The total cost decreases slightly with λ because fewer
 // migrations are needed when the hotspot moves less often.
-func Figure10(o Options) (*trace.Table, error) {
-	return figureLambda(o, "Figure 10: cost vs lambda, time zones (p=50%)", timeZones)
-}
+func Figure10(o Options) (*trace.Table, error) { return local(figure10Spec(o)) }

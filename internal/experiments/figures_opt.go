@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cost"
+	"repro/internal/experiments/runner"
 	"repro/internal/offline"
 	"repro/internal/online"
 	"repro/internal/sim"
@@ -26,12 +27,26 @@ func optInstance(kind scenarioKind, params cost.Params, n, T, lambda, rounds, re
 	return env, seq, nil
 }
 
-// Figure11 reproduces Figure 11: the competitive ratio of ONTH (its cost
-// divided by OPT's cost on the same sequence) as a function of λ, on
+// optParamSets are the two cost parameterisations the OFFSTAT/OPT ratio
+// figures compare.
+func optParamSets() []struct {
+	label  string
+	params cost.Params
+} {
+	return []struct {
+		label  string
+		params cost.Params
+	}{
+		{"β<c", cost.DefaultParams()},
+		{"β>c", cost.InvertedParams()},
+	}
+}
+
+// figure11Spec is the grid of Figure 11: the competitive ratio of ONTH (its
+// cost divided by OPT's cost on the same sequence) as a function of λ, on
 // five-node networks over 200 rounds, averaged over 10 runs, for all three
-// scenarios. Ratios stay fairly low everywhere; the static-load commuter
-// scenario peaks at intermediate λ.
-func Figure11(o Options) (*trace.Table, error) {
+// scenarios.
+func figure11Spec(o Options) *runner.Spec {
 	n := 5
 	rounds := pick(o, 200, 60)
 	runs := pick(o, 10, 2)
@@ -40,87 +55,94 @@ func Figure11(o Options) (*trace.Table, error) {
 	seed := o.seed()
 
 	kinds := []scenarioKind{commuterDynamic, commuterStatic, timeZones}
-	tab := &trace.Table{
-		Title:  "Figure 11: competitive ratio ONTH/OPT vs lambda (n=5)",
-		XLabel: "lambda",
-		YLabel: "cost(ONTH) / cost(OPT)",
+	labels := make([]string, len(kinds))
+	for ki, kind := range kinds {
+		labels[ki] = kind.String()
 	}
-	values := make([][]float64, len(kinds))
-	for xi, lambda := range lambdas {
-		tab.X = append(tab.X, float64(lambda))
-		for ki, kind := range kinds {
-			ki, kind, lambda := ki, kind, lambda
-			ratios, err := parallelRuns(runs, func(run int) (float64, error) {
-				s := runSeed(seed, xi*len(kinds)+ki, run)
-				env, seq, err := optInstance(kind, cost.DefaultParams(), n, T, lambda, rounds, 3, s)
-				if err != nil {
-					return 0, err
-				}
-				onth, err := runTotal(env, online.NewONTH(), seq)
-				if err != nil {
-					return 0, err
-				}
-				opt, err := runTotal(env, offline.NewOPT(seq), seq)
-				if err != nil {
-					return 0, err
-				}
-				return stats.Ratio(onth, opt), nil
-			})
+	return &runner.Spec{
+		Name: "11",
+		Xs:   len(lambdas), Variants: len(kinds), Runs: runs,
+		Cell: func(xi, ki, run int) ([]float64, error) {
+			s := runSeed(seed, xi*len(kinds)+ki, run)
+			env, seq, err := optInstance(kinds[ki], cost.DefaultParams(), n, T, lambdas[xi], rounds, 3, s)
 			if err != nil {
 				return nil, err
 			}
-			values[ki] = append(values[ki], stats.Mean(ratios))
-		}
+			onth, err := runTotal(env, online.NewONTH(), seq)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := runTotal(env, offline.NewOPT(seq), seq)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{stats.Ratio(onth, opt)}, nil
+		},
+		Reduce: meanSeriesReduce("Figure 11: competitive ratio ONTH/OPT vs lambda (n=5)",
+			"lambda", "cost(ONTH) / cost(OPT)", floats(lambdas), labels),
 	}
-	for ki, kind := range kinds {
-		tab.Series = append(tab.Series, trace.Series{Label: kind.String(), Values: values[ki]})
-	}
-	return tab, tab.Validate()
 }
 
-// Figure12 reproduces Figure 12: how OFFSTAT determines the best number of
-// servers — the total cost of the greedy static configuration as a function
-// of the server count i, whose minimum defines kopt.
-func Figure12(o Options) (*trace.Table, error) {
+// Figure11 reproduces Figure 11: ratios stay fairly low everywhere; the
+// static-load commuter scenario peaks at intermediate λ.
+func Figure11(o Options) (*trace.Table, error) { return local(figure11Spec(o)) }
+
+// figure12Spec is the grid of Figure 12: a single deterministic cell whose
+// values are OFFSTAT's whole cost curve over the server count.
+func figure12Spec(o Options) *runner.Spec {
 	n := pick(o, 100, 40)
 	rounds := pick(o, 300, 100)
 	maxK := pick(o, 10, 6)
 	seed := o.seed()
 
-	env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), seed)
-	if err != nil {
-		return nil, err
+	return &runner.Spec{
+		Name: "12",
+		Xs:   1, Variants: 1, Runs: 1,
+		Cell: func(_, _, _ int) ([]float64, error) {
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), seed)
+			if err != nil {
+				return nil, err
+			}
+			// Bound the curve length without constraining the other
+			// algorithms.
+			env.Pool.MaxServers = maxK
+			seq, err := workload.CommuterDynamic(env.Matrix,
+				workload.CommuterConfig{T: workload.TForSize(n), Lambda: 10}, rounds)
+			if err != nil {
+				return nil, err
+			}
+			off := offline.NewOFFSTAT(seq)
+			if err := off.Reset(env); err != nil {
+				return nil, err
+			}
+			return off.CostCurve(), nil
+		},
+		Reduce: func(g *runner.Grid) (*trace.Table, error) {
+			curve := g.Cell(0, 0, 0)
+			tab := &trace.Table{
+				Title:  "Figure 12: OFFSTAT total cost vs number of static servers",
+				XLabel: "servers",
+				YLabel: "total cost",
+			}
+			for i := range curve {
+				tab.X = append(tab.X, float64(i+1))
+			}
+			tab.Series = []trace.Series{{Label: "OFFSTAT", Values: curve}}
+			return tab, tab.Validate()
+		},
 	}
-	// Bound the curve length without constraining the other algorithms.
-	env.Pool.MaxServers = maxK
-	seq, err := workload.CommuterDynamic(env.Matrix,
-		workload.CommuterConfig{T: workload.TForSize(n), Lambda: 10}, rounds)
-	if err != nil {
-		return nil, err
-	}
-	off := offline.NewOFFSTAT(seq)
-	if err := off.Reset(env); err != nil {
-		return nil, err
-	}
-	curve := off.CostCurve()
-	tab := &trace.Table{
-		Title:  "Figure 12: OFFSTAT total cost vs number of static servers",
-		XLabel: "servers",
-		YLabel: "total cost",
-	}
-	vals := make([]float64, len(curve))
-	for i, c := range curve {
-		tab.X = append(tab.X, float64(i+1))
-		vals[i] = c
-	}
-	tab.Series = []trace.Series{{Label: "OFFSTAT", Values: vals}}
-	return tab, tab.Validate()
 }
 
-// figureAbsolute is the shared implementation of Figures 13 and 14: the
-// absolute total costs of OFFSTAT and OPT in the dynamic-load commuter
-// scenario as a function of λ (200 rounds, five nodes, T = 4, 10 runs).
-func figureAbsolute(o Options, title string, params cost.Params) (*trace.Table, error) {
+// Figure12 reproduces Figure 12: how OFFSTAT determines the best number of
+// servers — the total cost of the greedy static configuration as a function
+// of the server count i, whose minimum defines kopt.
+func Figure12(o Options) (*trace.Table, error) { return local(figure12Spec(o)) }
+
+// figureAbsoluteSpec is the shared grid of Figures 13 and 14: the absolute
+// total costs of OFFSTAT and OPT in the dynamic-load commuter scenario as a
+// function of λ (200 rounds, five nodes, T = 4, 10 runs). One cell per
+// (λ, run), returning both algorithms' totals on the shared instance.
+func figureAbsoluteSpec(o Options, name, title string, params cost.Params) *runner.Spec {
 	n := 5
 	rounds := pick(o, 200, 60)
 	runs := pick(o, 10, 2)
@@ -128,56 +150,62 @@ func figureAbsolute(o Options, title string, params cost.Params) (*trace.Table, 
 	T := 4
 	seed := o.seed()
 
-	tab := &trace.Table{Title: title, XLabel: "lambda", YLabel: "total cost"}
-	var offVals, optVals []float64
-	for xi, lambda := range lambdas {
-		tab.X = append(tab.X, float64(lambda))
-		lambda := lambda
-		offTotals := make([]float64, runs)
-		optTotals := make([]float64, runs)
-		_, err := parallelRuns(runs, func(run int) (float64, error) {
+	return &runner.Spec{
+		Name: name,
+		Xs:   len(lambdas), Variants: 1, Runs: runs,
+		Cell: func(xi, _, run int) ([]float64, error) {
 			s := runSeed(seed, xi, run)
-			env, seq, err := optInstance(commuterDynamic, params, n, T, lambda, rounds, 0, s)
+			env, seq, err := optInstance(commuterDynamic, params, n, T, lambdas[xi], rounds, 0, s)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			if offTotals[run], err = runTotal(env, offline.NewOFFSTAT(seq), seq); err != nil {
-				return 0, err
+			off, err := runTotal(env, offline.NewOFFSTAT(seq), seq)
+			if err != nil {
+				return nil, err
 			}
-			if optTotals[run], err = runTotal(env, offline.NewOPT(seq), seq); err != nil {
-				return 0, err
+			opt, err := runTotal(env, offline.NewOPT(seq), seq)
+			if err != nil {
+				return nil, err
 			}
-			return 0, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		offVals = append(offVals, stats.Mean(offTotals))
-		optVals = append(optVals, stats.Mean(optTotals))
+			return []float64{off, opt}, nil
+		},
+		Reduce: func(g *runner.Grid) (*trace.Table, error) {
+			tab := &trace.Table{Title: title, XLabel: "lambda", YLabel: "total cost", X: floats(lambdas)}
+			offVals := make([]float64, len(lambdas))
+			optVals := make([]float64, len(lambdas))
+			for xi := range lambdas {
+				offVals[xi] = stats.Mean(g.RunsAt(xi, 0, 0))
+				optVals[xi] = stats.Mean(g.RunsAt(xi, 0, 1))
+			}
+			tab.Series = []trace.Series{
+				{Label: "OFFSTAT", Values: offVals},
+				{Label: "OPT", Values: optVals},
+			}
+			return tab, tab.Validate()
+		},
 	}
-	tab.Series = []trace.Series{
-		{Label: "OFFSTAT", Values: offVals},
-		{Label: "OPT", Values: optVals},
-	}
-	return tab, tab.Validate()
+}
+
+func figure13Spec(o Options) *runner.Spec {
+	return figureAbsoluteSpec(o, "13", "Figure 13: OFFSTAT vs OPT cost, commuter dynamic load (β<c)", cost.DefaultParams())
+}
+
+func figure14Spec(o Options) *runner.Spec {
+	return figureAbsoluteSpec(o, "14", "Figure 14: OFFSTAT vs OPT cost, commuter dynamic load (β>c)", cost.InvertedParams())
 }
 
 // Figure13 reproduces Figure 13: in less dynamic systems (larger λ) the
 // absolute cost goes down, and the relative advantage of allocation and
 // migration flexibility declines.
-func Figure13(o Options) (*trace.Table, error) {
-	return figureAbsolute(o, "Figure 13: OFFSTAT vs OPT cost, commuter dynamic load (β<c)", cost.DefaultParams())
-}
+func Figure13(o Options) (*trace.Table, error) { return local(figure13Spec(o)) }
 
 // Figure14 reproduces Figure 14: the same comparison with β = 400 > c = 40.
-func Figure14(o Options) (*trace.Table, error) {
-	return figureAbsolute(o, "Figure 14: OFFSTAT vs OPT cost, commuter dynamic load (β>c)", cost.InvertedParams())
-}
+func Figure14(o Options) (*trace.Table, error) { return local(figure14Spec(o)) }
 
-// figureRatioLambda is the shared implementation of Figures 15–17: the
-// ratio of OFFSTAT's to OPT's total cost as a function of λ, for both the
-// β < c and β > c parameterisations.
-func figureRatioLambda(o Options, title string, kind scenarioKind, reqPerRound int) (*trace.Table, error) {
+// figureRatioLambdaSpec is the shared grid of Figures 15–17: the ratio of
+// OFFSTAT's to OPT's total cost as a function of λ, for both the β < c and
+// β > c parameterisations.
+func figureRatioLambdaSpec(o Options, name, title string, kind scenarioKind, reqPerRound int) *runner.Spec {
 	n := 5
 	rounds := pick(o, 200, 60)
 	runs := pick(o, 10, 2)
@@ -185,45 +213,41 @@ func figureRatioLambda(o Options, title string, kind scenarioKind, reqPerRound i
 	T := 4
 	seed := o.seed()
 
-	paramSets := []struct {
-		label  string
-		params cost.Params
-	}{
-		{"β<c", cost.DefaultParams()},
-		{"β>c", cost.InvertedParams()},
-	}
-	tab := &trace.Table{Title: title, XLabel: "lambda", YLabel: "cost(OFFSTAT) / cost(OPT)"}
-	values := make([][]float64, len(paramSets))
-	for xi, lambda := range lambdas {
-		tab.X = append(tab.X, float64(lambda))
-		for pi, ps := range paramSets {
-			pi, ps, lambda := pi, ps, lambda
-			ratios, err := parallelRuns(runs, func(run int) (float64, error) {
-				s := runSeed(seed, xi*len(paramSets)+pi, run)
-				env, seq, err := optInstance(kind, ps.params, n, T, lambda, rounds, reqPerRound, s)
-				if err != nil {
-					return 0, err
-				}
-				off, err := runTotal(env, offline.NewOFFSTAT(seq), seq)
-				if err != nil {
-					return 0, err
-				}
-				opt, err := runTotal(env, offline.NewOPT(seq), seq)
-				if err != nil {
-					return 0, err
-				}
-				return stats.Ratio(off, opt), nil
-			})
+	paramSets := optParamSets()
+	labels := []string{paramSets[0].label, paramSets[1].label}
+	return &runner.Spec{
+		Name: name,
+		Xs:   len(lambdas), Variants: len(paramSets), Runs: runs,
+		Cell: func(xi, pi, run int) ([]float64, error) {
+			s := runSeed(seed, xi*len(paramSets)+pi, run)
+			env, seq, err := optInstance(kind, paramSets[pi].params, n, T, lambdas[xi], rounds, reqPerRound, s)
 			if err != nil {
 				return nil, err
 			}
-			values[pi] = append(values[pi], stats.Mean(ratios))
-		}
+			off, err := runTotal(env, offline.NewOFFSTAT(seq), seq)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := runTotal(env, offline.NewOPT(seq), seq)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{stats.Ratio(off, opt)}, nil
+		},
+		Reduce: meanSeriesReduce(title, "lambda", "cost(OFFSTAT) / cost(OPT)", floats(lambdas), labels),
 	}
-	for pi, ps := range paramSets {
-		tab.Series = append(tab.Series, trace.Series{Label: ps.label, Values: values[pi]})
-	}
-	return tab, tab.Validate()
+}
+
+func figure15Spec(o Options) *runner.Spec {
+	return figureRatioLambdaSpec(o, "15", "Figure 15: OFFSTAT/OPT ratio vs lambda, commuter dynamic load", commuterDynamic, 0)
+}
+
+func figure16Spec(o Options) *runner.Spec {
+	return figureRatioLambdaSpec(o, "16", "Figure 16: OFFSTAT/OPT ratio vs lambda, commuter static load", commuterStatic, 0)
+}
+
+func figure17Spec(o Options) *runner.Spec {
+	return figureRatioLambdaSpec(o, "17", "Figure 17: OFFSTAT/OPT ratio vs lambda, time zones (p=50%)", timeZones, 3)
 }
 
 // Figure15 reproduces Figure 15: the benefit of dynamic allocation in the
@@ -231,30 +255,23 @@ func figureRatioLambda(o Options, title string, kind scenarioKind, reqPerRound i
 // flexibility of OPT is of limited benefit; at moderate dynamics OPT
 // exploits the request pattern for up to a factor of two, and the benefit
 // is relatively larger when β > c.
-func Figure15(o Options) (*trace.Table, error) {
-	return figureRatioLambda(o, "Figure 15: OFFSTAT/OPT ratio vs lambda, commuter dynamic load", commuterDynamic, 0)
-}
+func Figure15(o Options) (*trace.Table, error) { return local(figure15Spec(o)) }
 
 // Figure16 reproduces Figure 16: the same ratio in the static-load commuter
 // scenario, fluctuating around a low constant for β < c and peaking near
 // two at intermediate λ for β > c.
-func Figure16(o Options) (*trace.Table, error) {
-	return figureRatioLambda(o, "Figure 16: OFFSTAT/OPT ratio vs lambda, commuter static load", commuterStatic, 0)
-}
+func Figure16(o Options) (*trace.Table, error) { return local(figure16Spec(o)) }
 
 // Figure17 reproduces Figure 17: the ratio in the time-zone scenario
 // (p = 50%, three requests per round). Because the requests move in a
 // highly correlated way, creating new servers and migrating existing ones
 // are nearly interchangeable, and the β < c and β > c curves come out
 // similar.
-func Figure17(o Options) (*trace.Table, error) {
-	return figureRatioLambda(o, "Figure 17: OFFSTAT/OPT ratio vs lambda, time zones (p=50%)", timeZones, 3)
-}
+func Figure17(o Options) (*trace.Table, error) { return local(figure17Spec(o)) }
 
-// figureRatioT is the shared implementation of Figures 18 and 19: the
-// OFFSTAT/OPT ratio as a function of T (200 rounds, λ = 10, five nodes,
-// 10 runs).
-func figureRatioT(o Options, title string, kind scenarioKind) (*trace.Table, error) {
+// figureRatioTSpec is the shared grid of Figures 18 and 19: the OFFSTAT/OPT
+// ratio as a function of T (200 rounds, λ = 10, five nodes, 10 runs).
+func figureRatioTSpec(o Options, name, title string, kind scenarioKind) *runner.Spec {
 	n := 5
 	rounds := pick(o, 200, 60)
 	runs := pick(o, 10, 2)
@@ -262,55 +279,43 @@ func figureRatioT(o Options, title string, kind scenarioKind) (*trace.Table, err
 	lambda := 10
 	seed := o.seed()
 
-	paramSets := []struct {
-		label  string
-		params cost.Params
-	}{
-		{"β<c", cost.DefaultParams()},
-		{"β>c", cost.InvertedParams()},
-	}
-	tab := &trace.Table{Title: title, XLabel: "T", YLabel: "cost(OFFSTAT) / cost(OPT)"}
-	values := make([][]float64, len(paramSets))
-	for xi, T := range Ts {
-		tab.X = append(tab.X, float64(T))
-		for pi, ps := range paramSets {
-			pi, ps, T := pi, ps, T
-			ratios, err := parallelRuns(runs, func(run int) (float64, error) {
-				s := runSeed(seed, xi*len(paramSets)+pi, run)
-				env, seq, err := optInstance(kind, ps.params, n, T, lambda, rounds, 0, s)
-				if err != nil {
-					return 0, err
-				}
-				off, err := runTotal(env, offline.NewOFFSTAT(seq), seq)
-				if err != nil {
-					return 0, err
-				}
-				opt, err := runTotal(env, offline.NewOPT(seq), seq)
-				if err != nil {
-					return 0, err
-				}
-				return stats.Ratio(off, opt), nil
-			})
+	paramSets := optParamSets()
+	labels := []string{paramSets[0].label, paramSets[1].label}
+	return &runner.Spec{
+		Name: name,
+		Xs:   len(Ts), Variants: len(paramSets), Runs: runs,
+		Cell: func(xi, pi, run int) ([]float64, error) {
+			s := runSeed(seed, xi*len(paramSets)+pi, run)
+			env, seq, err := optInstance(kind, paramSets[pi].params, n, Ts[xi], lambda, rounds, 0, s)
 			if err != nil {
 				return nil, err
 			}
-			values[pi] = append(values[pi], stats.Mean(ratios))
-		}
+			off, err := runTotal(env, offline.NewOFFSTAT(seq), seq)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := runTotal(env, offline.NewOPT(seq), seq)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{stats.Ratio(off, opt)}, nil
+		},
+		Reduce: meanSeriesReduce(title, "T", "cost(OFFSTAT) / cost(OPT)", floats(Ts), labels),
 	}
-	for pi, ps := range paramSets {
-		tab.Series = append(tab.Series, trace.Series{Label: ps.label, Values: values[pi]})
-	}
-	return tab, tab.Validate()
+}
+
+func figure18Spec(o Options) *runner.Spec {
+	return figureRatioTSpec(o, "18", "Figure 18: OFFSTAT/OPT ratio vs T, commuter dynamic load", commuterDynamic)
+}
+
+func figure19Spec(o Options) *runner.Spec {
+	return figureRatioTSpec(o, "19", "Figure 19: OFFSTAT/OPT ratio vs T, commuter static load", commuterStatic)
 }
 
 // Figure18 reproduces Figure 18: a larger T widens the request horizon, so
 // both absolute costs and the benefit of migration grow with T in the
 // dynamic-load commuter scenario, with β > c benefiting more.
-func Figure18(o Options) (*trace.Table, error) {
-	return figureRatioT(o, "Figure 18: OFFSTAT/OPT ratio vs T, commuter dynamic load", commuterDynamic)
-}
+func Figure18(o Options) (*trace.Table, error) { return local(figure18Spec(o)) }
 
 // Figure19 reproduces Figure 19: the same sweep for static load.
-func Figure19(o Options) (*trace.Table, error) {
-	return figureRatioT(o, "Figure 19: OFFSTAT/OPT ratio vs T, commuter static load", commuterStatic)
-}
+func Figure19(o Options) (*trace.Table, error) { return local(figure19Spec(o)) }

@@ -4,9 +4,9 @@ import (
 	"math/rand"
 
 	"repro/internal/cost"
+	"repro/internal/experiments/runner"
 	"repro/internal/offline"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -18,12 +18,15 @@ func scenarioContenders(seq *workload.Sequence) []sim.Algorithm {
 	return append(onlineContenders(), offline.NewOFFBR(seq), offline.NewOFFTH(seq))
 }
 
-// CompareScenarios runs the contenders across every workload family — the
-// paper's commuter and time-zones scenarios and the composable flash-crowd,
-// diurnal multi-region, and weekday/weekend scenarios — on a shared
-// Erdős–Rényi substrate. One x-position per scenario (in allScenarios
-// order), one series per strategy, mean total cost over the runs.
-func CompareScenarios(o Options) (*trace.Table, error) {
+// scenarioLabels names the contenders' series.
+func scenarioLabels() []string {
+	return []string{"ONBR-fixed", "ONBR-dyn", "ONTH", "OFFBR-fixed", "OFFTH"}
+}
+
+// compareScenariosSpec is the grid of the cross-scenario comparison: one
+// cell per (workload family, strategy, run) on a shared Erdős–Rényi
+// substrate.
+func compareScenariosSpec(o Options) *runner.Spec {
 	n := pick(o, 200, 60)
 	rounds := pick(o, 900, 200)
 	runs := pick(o, 10, 2)
@@ -32,47 +35,49 @@ func CompareScenarios(o Options) (*trace.Table, error) {
 	seed := o.seed()
 
 	kinds := allScenarios()
-	labels := []string{"ONBR-fixed", "ONBR-dyn", "ONTH", "OFFBR-fixed", "OFFTH"}
-	values := make([][]float64, len(labels))
-	tab := &trace.Table{
-		Title:  "Scenario comparison: total cost per workload family",
-		XLabel: "scenario (0=commuter-dyn, 1=commuter-static, 2=time-zones, 3=flash-crowd, 4=diurnal, 5=weekly)",
-		YLabel: "total cost",
-	}
-	for xi, kind := range kinds {
-		tab.X = append(tab.X, float64(xi))
-		for ai := range labels {
-			ai, kind := ai, kind
-			totals, err := parallelRuns(runs, func(run int) (float64, error) {
-				s := runSeed(seed, xi, run)
-				env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
-				if err != nil {
-					return 0, err
-				}
-				seq, err := buildScenario(kind, env.Matrix, T, lambda, rounds, 0, rand.New(rand.NewSource(s+1)))
-				if err != nil {
-					return 0, err
-				}
-				return runTotal(env, scenarioContenders(seq)[ai], seq)
-			})
+	labels := scenarioLabels()
+	return &runner.Spec{
+		Name: "compare-scenarios",
+		Xs:   len(kinds), Variants: len(labels), Runs: runs,
+		Cell: func(xi, ai, run int) ([]float64, error) {
+			s := runSeed(seed, xi, run)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
 			if err != nil {
 				return nil, err
 			}
-			values[ai] = append(values[ai], stats.Mean(totals))
-		}
+			seq, err := buildScenario(kinds[xi], env.Matrix, T, lambda, rounds, 0, rand.New(rand.NewSource(s+1)))
+			if err != nil {
+				return nil, err
+			}
+			return one(runTotal(env, scenarioContenders(seq)[ai], seq))
+		},
+		Reduce: meanSeriesReduce(
+			"Scenario comparison: total cost per workload family",
+			"scenario (0=commuter-dyn, 1=commuter-static, 2=time-zones, 3=flash-crowd, 4=diurnal, 5=weekly)",
+			"total cost",
+			floats(intRange(len(kinds))), labels),
 	}
-	for ai, label := range labels {
-		tab.Series = append(tab.Series, trace.Series{Label: label, Values: values[ai]})
-	}
-	return tab, tab.Validate()
 }
 
-// ScenarioFlashCrowd sweeps the spike amplitude of the flash-crowd
-// scenario: x is the peak volume as a multiple of the background, and the
-// series are the contenders' mean total costs. Sharper crowds reward
-// strategies that reconfigure decisively (and the lookahead variants that
-// see them coming).
-func ScenarioFlashCrowd(o Options) (*trace.Table, error) {
+// intRange returns [0, 1, ..., n-1].
+func intRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// CompareScenarios runs the contenders across every workload family — the
+// paper's commuter and time-zones scenarios and the composable flash-crowd,
+// diurnal multi-region, and weekday/weekend scenarios — on a shared
+// Erdős–Rényi substrate. One x-position per scenario (in allScenarios
+// order), one series per strategy, mean total cost over the runs.
+func CompareScenarios(o Options) (*trace.Table, error) { return local(compareScenariosSpec(o)) }
+
+// scenarioFlashCrowdSpec is the grid of the flash-crowd amplitude sweep:
+// one cell per (spike peak, strategy, run).
+func scenarioFlashCrowdSpec(o Options) *runner.Spec {
 	n := pick(o, 200, 60)
 	rounds := pick(o, 900, 200)
 	runs := pick(o, 10, 2)
@@ -81,48 +86,42 @@ func ScenarioFlashCrowd(o Options) (*trace.Table, error) {
 	peaks := pickSizes(o, []int{1, 2, 4, 8, 16}, []int{2, 8})
 	seed := o.seed()
 
-	labels := []string{"ONBR-fixed", "ONBR-dyn", "ONTH", "OFFBR-fixed", "OFFTH"}
-	values := make([][]float64, len(labels))
-	tab := &trace.Table{
-		Title:  "Flash crowd: cost vs spike amplitude",
-		XLabel: "spike peak (multiple of background volume)",
-		YLabel: "total cost",
-	}
-	for xi, peak := range peaks {
-		tab.X = append(tab.X, float64(peak))
-		for ai := range labels {
-			ai, peak := ai, peak
-			totals, err := parallelRuns(runs, func(run int) (float64, error) {
-				s := runSeed(seed, xi, run)
-				env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
-				if err != nil {
-					return 0, err
-				}
-				seq, err := workload.FlashCrowd(env.Matrix, workload.FlashCrowdConfig{
-					BaseRequests: base, Spikes: 4, Peak: float64(peak * base), Tau: tau,
-				}, rounds, rand.New(rand.NewSource(s+1)))
-				if err != nil {
-					return 0, err
-				}
-				return runTotal(env, scenarioContenders(seq)[ai], seq)
-			})
+	labels := scenarioLabels()
+	return &runner.Spec{
+		Name: "scenario-flash-crowd",
+		Xs:   len(peaks), Variants: len(labels), Runs: runs,
+		Cell: func(xi, ai, run int) ([]float64, error) {
+			s := runSeed(seed, xi, run)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
 			if err != nil {
 				return nil, err
 			}
-			values[ai] = append(values[ai], stats.Mean(totals))
-		}
+			seq, err := workload.FlashCrowd(env.Matrix, workload.FlashCrowdConfig{
+				BaseRequests: base, Spikes: 4, Peak: float64(peaks[xi] * base), Tau: tau,
+			}, rounds, rand.New(rand.NewSource(s+1)))
+			if err != nil {
+				return nil, err
+			}
+			return one(runTotal(env, scenarioContenders(seq)[ai], seq))
+		},
+		Reduce: meanSeriesReduce(
+			"Flash crowd: cost vs spike amplitude",
+			"spike peak (multiple of background volume)",
+			"total cost",
+			floats(peaks), labels),
 	}
-	for ai, label := range labels {
-		tab.Series = append(tab.Series, trace.Series{Label: label, Values: values[ai]})
-	}
-	return tab, tab.Validate()
 }
 
-// ScenarioDiurnal sweeps the number of regions in the diurnal multi-region
-// scenario: x is the region count k, and the series are the contenders'
-// mean total costs. More regions mean a faster-moving sun — shorter
-// daytime windows stress how quickly each strategy re-centers.
-func ScenarioDiurnal(o Options) (*trace.Table, error) {
+// ScenarioFlashCrowd sweeps the spike amplitude of the flash-crowd
+// scenario: x is the peak volume as a multiple of the background, and the
+// series are the contenders' mean total costs. Sharper crowds reward
+// strategies that reconfigure decisively (and the lookahead variants that
+// see them coming).
+func ScenarioFlashCrowd(o Options) (*trace.Table, error) { return local(scenarioFlashCrowdSpec(o)) }
+
+// scenarioDiurnalSpec is the grid of the diurnal region-count sweep: one
+// cell per (region count, strategy, run).
+func scenarioDiurnalSpec(o Options) *runner.Spec {
 	n := pick(o, 200, 60)
 	rounds := pick(o, 900, 200)
 	runs := pick(o, 10, 2)
@@ -130,39 +129,34 @@ func ScenarioDiurnal(o Options) (*trace.Table, error) {
 	regionCounts := pickSizes(o, []int{2, 3, 4, 6, 8}, []int{2, 4})
 	seed := o.seed()
 
-	labels := []string{"ONBR-fixed", "ONBR-dyn", "ONTH", "OFFBR-fixed", "OFFTH"}
-	values := make([][]float64, len(labels))
-	tab := &trace.Table{
-		Title:  "Diurnal multi-region: cost vs region count",
-		XLabel: "regions k",
-		YLabel: "total cost",
-	}
-	for xi, k := range regionCounts {
-		tab.X = append(tab.X, float64(k))
-		for ai := range labels {
-			ai, k := ai, k
-			totals, err := parallelRuns(runs, func(run int) (float64, error) {
-				s := runSeed(seed, xi, run)
-				env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
-				if err != nil {
-					return 0, err
-				}
-				seq, err := workload.DiurnalMultiRegion(env.Matrix, workload.DiurnalConfig{
-					Regions: k, Period: period, HotShare: 0.5,
-				}, rounds, rand.New(rand.NewSource(s+1)))
-				if err != nil {
-					return 0, err
-				}
-				return runTotal(env, scenarioContenders(seq)[ai], seq)
-			})
+	labels := scenarioLabels()
+	return &runner.Spec{
+		Name: "scenario-diurnal",
+		Xs:   len(regionCounts), Variants: len(labels), Runs: runs,
+		Cell: func(xi, ai, run int) ([]float64, error) {
+			s := runSeed(seed, xi, run)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
 			if err != nil {
 				return nil, err
 			}
-			values[ai] = append(values[ai], stats.Mean(totals))
-		}
+			seq, err := workload.DiurnalMultiRegion(env.Matrix, workload.DiurnalConfig{
+				Regions: regionCounts[xi], Period: period, HotShare: 0.5,
+			}, rounds, rand.New(rand.NewSource(s+1)))
+			if err != nil {
+				return nil, err
+			}
+			return one(runTotal(env, scenarioContenders(seq)[ai], seq))
+		},
+		Reduce: meanSeriesReduce(
+			"Diurnal multi-region: cost vs region count",
+			"regions k",
+			"total cost",
+			floats(regionCounts), labels),
 	}
-	for ai, label := range labels {
-		tab.Series = append(tab.Series, trace.Series{Label: label, Values: values[ai]})
-	}
-	return tab, tab.Validate()
 }
+
+// ScenarioDiurnal sweeps the number of regions in the diurnal multi-region
+// scenario: x is the region count k, and the series are the contenders'
+// mean total costs. More regions mean a faster-moving sun — shorter
+// daytime windows stress how quickly each strategy re-centers.
+func ScenarioDiurnal(o Options) (*trace.Table, error) { return local(scenarioDiurnalSpec(o)) }

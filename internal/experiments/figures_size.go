@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cost"
+	"repro/internal/experiments/runner"
 	"repro/internal/online"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -11,14 +12,14 @@ import (
 	"repro/internal/workload"
 )
 
-// figureSize is the shared implementation of Figures 3–5: total cost of the
-// online strategies as a function of network size (runtime 500 rounds,
-// λ = 10, averaged over 5 runs, T growing with network size). The paper
-// does not list the swept sizes; the commuter sweeps go up to 1000 nodes,
-// while the time-zone sweep stops at 500 because its background demand
-// touches nearly every node, which makes each best-response scan cost
-// Θ(k·n²) instead of Θ(k·n·2^(T/2)).
-func figureSize(o Options, title string, kind scenarioKind) (*trace.Table, error) {
+// figureSizeSpec is the shared grid of Figures 3–5: total cost of the online
+// strategies as a function of network size (runtime 500 rounds, λ = 10,
+// averaged over 5 runs, T growing with network size). The paper does not
+// list the swept sizes; the commuter sweeps go up to 1000 nodes, while the
+// time-zone sweep stops at 500 because its background demand touches nearly
+// every node, which makes each best-response scan cost Θ(k·n²) instead of
+// Θ(k·n·2^(T/2)).
+func figureSizeSpec(o Options, name, title string, kind scenarioKind) *runner.Spec {
 	full := []int{100, 200, 300, 400, 500, 700, 1000}
 	if kind == timeZones {
 		full = []int{100, 200, 300, 400, 500}
@@ -30,136 +31,116 @@ func figureSize(o Options, title string, kind scenarioKind) (*trace.Table, error
 	seed := o.seed()
 
 	labels := []string{"ONBR-fixed", "ONBR-dyn", "ONTH"}
-	values := make([][]float64, len(labels))
-	tab := &trace.Table{Title: title, XLabel: "network size", YLabel: "total cost"}
-	for xi, n := range sizes {
-		tab.X = append(tab.X, float64(n))
-		T := workload.TForSize(n)
-		perAlg := make([][]float64, len(labels))
-		for ai := range labels {
-			ai := ai
-			totals, err := parallelRuns(runs, func(run int) (float64, error) {
-				s := runSeed(seed, xi, run)
-				env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
-				if err != nil {
-					return 0, err
-				}
-				seq, err := buildScenario(kind, env.Matrix, T, lambda, rounds, 0, rand.New(rand.NewSource(s+1)))
-				if err != nil {
-					return 0, err
-				}
-				return runTotal(env, onlineContenders()[ai], seq)
-			})
+	return &runner.Spec{
+		Name: name,
+		Xs:   len(sizes), Variants: len(labels), Runs: runs,
+		Cell: func(xi, ai, run int) ([]float64, error) {
+			n := sizes[xi]
+			s := runSeed(seed, xi, run)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
 			if err != nil {
 				return nil, err
 			}
-			perAlg[ai] = totals
-		}
-		for ai := range labels {
-			values[ai] = append(values[ai], stats.Mean(perAlg[ai]))
-		}
+			seq, err := buildScenario(kind, env.Matrix, workload.TForSize(n), lambda, rounds, 0,
+				rand.New(rand.NewSource(s+1)))
+			if err != nil {
+				return nil, err
+			}
+			return one(runTotal(env, onlineContenders()[ai], seq))
+		},
+		Reduce: meanSeriesReduce(title, "network size", "total cost", floats(sizes), labels),
 	}
-	for ai, label := range labels {
-		tab.Series = append(tab.Series, trace.Series{Label: label, Values: values[ai]})
-	}
-	return tab, tab.Validate()
+}
+
+func figure3Spec(o Options) *runner.Spec {
+	return figureSizeSpec(o, "3", "Figure 3: cost vs network size, commuter dynamic load", commuterDynamic)
+}
+
+func figure4Spec(o Options) *runner.Spec {
+	return figureSizeSpec(o, "4", "Figure 4: cost vs network size, commuter static load", commuterStatic)
+}
+
+func figure5Spec(o Options) *runner.Spec {
+	return figureSizeSpec(o, "5", "Figure 5: cost vs network size, time zones", timeZones)
 }
 
 // Figure3 reproduces Figure 3: cost of ONBR-fixed, ONBR-dyn and ONTH in the
 // commuter scenario with dynamic load as a function of network size. ONTH
 // has the lowest cost throughout, though its cost grows slightly faster
 // with the node count.
-func Figure3(o Options) (*trace.Table, error) {
-	return figureSize(o, "Figure 3: cost vs network size, commuter dynamic load", commuterDynamic)
-}
+func Figure3(o Options) (*trace.Table, error) { return local(figure3Spec(o)) }
 
 // Figure4 reproduces Figure 4: like Figure 3, but for the commuter scenario
 // with static load.
-func Figure4(o Options) (*trace.Table, error) {
-	return figureSize(o, "Figure 4: cost vs network size, commuter static load", commuterStatic)
-}
+func Figure4(o Options) (*trace.Table, error) { return local(figure4Spec(o)) }
 
 // Figure5 reproduces Figure 5: like Figure 3, but for the time-zone
 // scenario (p = 50%).
-func Figure5(o Options) (*trace.Table, error) {
-	return figureSize(o, "Figure 5: cost vs network size, time zones", timeZones)
-}
+func Figure5(o Options) (*trace.Table, error) { return local(figure5Spec(o)) }
 
-// Figure6 reproduces Figure 6: the breakdown of the costs incurred by ONBR
-// in a scenario with β = 400 > c = 40 as a function of network size
-// (runtime 500 rounds, λ = 10, 5 runs). With β > c the three online
-// algorithms coincide and the paper considers ONBR with fixed threshold 2c;
-// migration never happens, so the reconfiguration budget is pure creation.
-func Figure6(o Options) (*trace.Table, error) {
+// figure6Spec is the grid of Figure 6: the breakdown of the costs incurred
+// by ONBR in a scenario with β = 400 > c = 40 as a function of network size
+// (runtime 500 rounds, λ = 10, 5 runs). Each cell is one run returning the
+// four cost categories.
+func figure6Spec(o Options) *runner.Spec {
 	sizes := pickSizes(o, []int{100, 200, 300, 400, 500, 700, 1000}, []int{50, 100, 150})
 	rounds := pick(o, 500, 150)
 	runs := pick(o, 5, 2)
 	lambda := 10
 	seed := o.seed()
 
-	type breakdown struct{ access, run, mig, create float64 }
-	tab := &trace.Table{
-		Title:  "Figure 6: ONBR cost breakdown, commuter dynamic load, β=400 c=40",
-		XLabel: "network size",
-		YLabel: "cost per category",
-	}
-	var acc, run, mig, create []float64
-	for xi, n := range sizes {
-		tab.X = append(tab.X, float64(n))
-		T := workload.TForSize(n)
-		parts := make([]breakdown, runs)
-		_, err := parallelRuns(runs, func(r int) (float64, error) {
-			s := runSeed(seed, xi, r)
+	components := []string{"access", "running", "migration", "creation"}
+	return &runner.Spec{
+		Name: "6",
+		Xs:   len(sizes), Variants: 1, Runs: runs,
+		Cell: func(xi, _, run int) ([]float64, error) {
+			n := sizes[xi]
+			s := runSeed(seed, xi, run)
 			env, err := erEnv(n, cost.Linear{}, cost.InvertedParams(), s)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)
+			seq, err := workload.CommuterDynamic(env.Matrix,
+				workload.CommuterConfig{T: workload.TForSize(n), Lambda: lambda}, rounds)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			l, err := sim.Run(env, online.NewONBR(), seq)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
-			parts[r] = breakdown{
-				access: l.Totals.Access(),
-				run:    l.Totals.Run,
-				mig:    l.Totals.Migration,
-				create: l.Totals.Creation,
+			return []float64{l.Totals.Access(), l.Totals.Run, l.Totals.Migration, l.Totals.Creation}, nil
+		},
+		Reduce: func(g *runner.Grid) (*trace.Table, error) {
+			tab := &trace.Table{
+				Title:  "Figure 6: ONBR cost breakdown, commuter dynamic load, β=400 c=40",
+				XLabel: "network size",
+				YLabel: "cost per category",
+				X:      floats(sizes),
 			}
-			return 0, nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		var sum breakdown
-		for _, p := range parts {
-			sum.access += p.access
-			sum.run += p.run
-			sum.mig += p.mig
-			sum.create += p.create
-		}
-		f := float64(runs)
-		acc = append(acc, sum.access/f)
-		run = append(run, sum.run/f)
-		mig = append(mig, sum.mig/f)
-		create = append(create, sum.create/f)
+			for ci, label := range components {
+				vals := make([]float64, len(sizes))
+				for xi := range sizes {
+					vals[xi] = stats.Mean(g.RunsAt(xi, 0, ci))
+				}
+				tab.Series = append(tab.Series, trace.Series{Label: label, Values: vals})
+			}
+			return tab, tab.Validate()
+		},
 	}
-	tab.Series = []trace.Series{
-		{Label: "access", Values: acc},
-		{Label: "running", Values: run},
-		{Label: "migration", Values: mig},
-		{Label: "creation", Values: create},
-	}
-	return tab, tab.Validate()
 }
 
-// Figure7 reproduces Figure 7: cost as a function of T for the three online
-// strategies in a commuter scenario with static load (runtime 600 rounds,
-// λ = 20, network size 1000, averaged over 10 runs). Cost rises slightly
-// with T because a larger T widens the request horizon.
-func Figure7(o Options) (*trace.Table, error) {
+// Figure6 reproduces Figure 6: the breakdown of the costs incurred by ONBR
+// in a scenario with β = 400 > c = 40 as a function of network size. With
+// β > c the three online algorithms coincide and the paper considers ONBR
+// with fixed threshold 2c; migration never happens, so the reconfiguration
+// budget is pure creation.
+func Figure6(o Options) (*trace.Table, error) { return local(figure6Spec(o)) }
+
+// figure7Spec is the grid of Figure 7: cost as a function of T for the
+// three online strategies in a commuter scenario with static load (runtime
+// 600 rounds, λ = 20, network size 1000, averaged over 10 runs).
+func figure7Spec(o Options) *runner.Spec {
 	n := pick(o, 1000, 100)
 	rounds := pick(o, 600, 150)
 	runs := pick(o, 10, 2)
@@ -168,36 +149,27 @@ func Figure7(o Options) (*trace.Table, error) {
 	seed := o.seed()
 
 	labels := []string{"ONBR-fixed", "ONBR-dyn", "ONTH"}
-	values := make([][]float64, len(labels))
-	tab := &trace.Table{
-		Title:  "Figure 7: cost vs T, commuter static load",
-		XLabel: "T",
-		YLabel: "total cost",
-	}
-	for xi, T := range Ts {
-		tab.X = append(tab.X, float64(T))
-		for ai := range labels {
-			ai := ai
-			totals, err := parallelRuns(runs, func(run int) (float64, error) {
-				s := runSeed(seed, xi, run)
-				env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
-				if err != nil {
-					return 0, err
-				}
-				seq, err := workload.CommuterStatic(env.Matrix, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)
-				if err != nil {
-					return 0, err
-				}
-				return runTotal(env, onlineContenders()[ai], seq)
-			})
+	return &runner.Spec{
+		Name: "7",
+		Xs:   len(Ts), Variants: len(labels), Runs: runs,
+		Cell: func(xi, ai, run int) ([]float64, error) {
+			s := runSeed(seed, xi, run)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
 			if err != nil {
 				return nil, err
 			}
-			values[ai] = append(values[ai], stats.Mean(totals))
-		}
+			seq, err := workload.CommuterStatic(env.Matrix,
+				workload.CommuterConfig{T: Ts[xi], Lambda: lambda}, rounds)
+			if err != nil {
+				return nil, err
+			}
+			return one(runTotal(env, onlineContenders()[ai], seq))
+		},
+		Reduce: meanSeriesReduce("Figure 7: cost vs T, commuter static load", "T", "total cost",
+			floats(Ts), labels),
 	}
-	for ai, label := range labels {
-		tab.Series = append(tab.Series, trace.Series{Label: label, Values: values[ai]})
-	}
-	return tab, tab.Validate()
 }
+
+// Figure7 reproduces Figure 7: cost rises slightly with T because a larger
+// T widens the request horizon.
+func Figure7(o Options) (*trace.Table, error) { return local(figure7Spec(o)) }

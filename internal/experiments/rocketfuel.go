@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/cost"
+	"repro/internal/experiments/runner"
 	"repro/internal/offline"
 	"repro/internal/online"
 	"repro/internal/sim"
@@ -47,39 +48,63 @@ func (r RocketfuelResult) Table() *trace.Table {
 	}
 }
 
+// rocketfuelSpec is the grid of the Section V closing experiment: a single
+// cell playing OFFSTAT, ONTH, and ONBR on the shared AS-like instance.
+func rocketfuelSpec(o Options) *runner.Spec {
+	rounds := pick(o, 600, 150)
+	seed := o.seed()
+
+	return &runner.Spec{
+		Name: "rocketfuel",
+		Xs:   1, Variants: 1, Runs: 1,
+		Cell: func(_, _, _ int) ([]float64, error) {
+			rng := rand.New(rand.NewSource(seed))
+			g, err := topo.ASLike(topo.AS7018Config(), rng)
+			if err != nil {
+				return nil, err
+			}
+			env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost, cost.DefaultParams(), poolDefaults())
+			if err != nil {
+				return nil, err
+			}
+			seq, err := workload.TimeZones(env.Matrix, workload.TimeZonesConfig{
+				T: 12, P: 0.5, Lambda: 20,
+			}, rounds, rand.New(rand.NewSource(seed+1)))
+			if err != nil {
+				return nil, err
+			}
+			var res RocketfuelResult
+			if res.Offstat, err = runTotal(env, offline.NewOFFSTAT(seq), seq); err != nil {
+				return nil, err
+			}
+			if res.Onth, err = runTotal(env, online.NewONTH(), seq); err != nil {
+				return nil, err
+			}
+			if res.Onbr, err = runTotal(env, online.NewONBR(), seq); err != nil {
+				return nil, err
+			}
+			return []float64{res.Offstat, res.Onth, res.Onbr}, nil
+		},
+		Reduce: func(g *runner.Grid) (*trace.Table, error) {
+			tab := rocketfuelResultFromGrid(g).Table()
+			return tab, tab.Validate()
+		},
+	}
+}
+
+func rocketfuelResultFromGrid(g *runner.Grid) RocketfuelResult {
+	v := g.Cell(0, 0, 0)
+	return RocketfuelResult{Offstat: v[0], Onth: v[1], Onbr: v[2]}
+}
+
 // TableRocketfuel reproduces the Section V closing experiment. The measured
 // Rocketfuel map is replaced by the synthetic AS-like topology of
 // internal/topo (see DESIGN.md); the validated claim is the ordering
 // OFFSTAT < ONTH < ONBR with ONTH within roughly 2× of OFFSTAT.
 func TableRocketfuel(o Options) (RocketfuelResult, error) {
-	rounds := pick(o, 600, 150)
-	seed := o.seed()
-
-	rng := rand.New(rand.NewSource(seed))
-	g, err := topo.ASLike(topo.AS7018Config(), rng)
+	g, err := runner.Collect(rocketfuelSpec(o), nil)
 	if err != nil {
 		return RocketfuelResult{}, err
 	}
-	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost, cost.DefaultParams(), poolDefaults())
-	if err != nil {
-		return RocketfuelResult{}, err
-	}
-	seq, err := workload.TimeZones(env.Matrix, workload.TimeZonesConfig{
-		T: 12, P: 0.5, Lambda: 20,
-	}, rounds, rand.New(rand.NewSource(seed+1)))
-	if err != nil {
-		return RocketfuelResult{}, err
-	}
-
-	var res RocketfuelResult
-	if res.Offstat, err = runTotal(env, offline.NewOFFSTAT(seq), seq); err != nil {
-		return res, err
-	}
-	if res.Onth, err = runTotal(env, online.NewONTH(), seq); err != nil {
-		return res, err
-	}
-	if res.Onbr, err = runTotal(env, online.NewONBR(), seq); err != nil {
-		return res, err
-	}
-	return res, nil
+	return rocketfuelResultFromGrid(g), nil
 }

@@ -1,0 +1,401 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"reflect"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// testSpec is a deterministic spec whose cell values encode their own
+// coordinates, so any scheduling or transport bug shows up as a wrong value.
+// It must be reconstructible from scratch (the procs round-trip rebuilds it
+// in a child process).
+func testSpec(xs, variants, runs int) *Spec {
+	s := &Spec{
+		Name: "runner-test",
+		Xs:   xs, Variants: variants, Runs: runs,
+		Cell: func(xi, vi, run int) ([]float64, error) {
+			return []float64{float64(xi*10000 + vi*100 + run), float64(run)}, nil
+		},
+	}
+	s.Reduce = func(g *Grid) (*trace.Table, error) {
+		tab := &trace.Table{Title: "runner test", XLabel: "x", YLabel: "y"}
+		for xi := 0; xi < xs; xi++ {
+			tab.X = append(tab.X, float64(xi))
+		}
+		for vi := 0; vi < variants; vi++ {
+			vals := make([]float64, xs)
+			for xi := 0; xi < xs; xi++ {
+				vals[xi] = stats.Mean(g.Runs(xi, vi))
+			}
+			tab.Series = append(tab.Series, trace.Series{Label: fmt.Sprintf("v%d", vi), Values: vals})
+		}
+		return tab, tab.Validate()
+	}
+	return s
+}
+
+func TestMain(m *testing.M) {
+	// Re-executed as a Procs worker: speak the worker protocol for the
+	// shared test spec on stdin/stdout, then exit.
+	if dims := os.Getenv("RUNNER_TEST_WORKER"); dims != "" {
+		var xs, variants, runs int
+		if _, err := fmt.Sscanf(dims, "%d,%d,%d", &xs, &variants, &runs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := ServeWorker(testSpec(xs, variants, runs), os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func TestIndexCoordsRoundTrip(t *testing.T) {
+	s := testSpec(3, 4, 5)
+	seen := make(map[int]bool)
+	for xi := 0; xi < s.Xs; xi++ {
+		for vi := 0; vi < s.Variants; vi++ {
+			for run := 0; run < s.Runs; run++ {
+				idx := s.Index(xi, vi, run)
+				if idx < 0 || idx >= s.Cells() || seen[idx] {
+					t.Fatalf("index (%d,%d,%d) -> %d invalid or duplicate", xi, vi, run, idx)
+				}
+				seen[idx] = true
+				gx, gv, gr := s.Coords(idx)
+				if gx != xi || gv != vi || gr != run {
+					t.Fatalf("coords(%d) = (%d,%d,%d), want (%d,%d,%d)", idx, gx, gv, gr, xi, vi, run)
+				}
+			}
+		}
+	}
+	if len(seen) != s.Cells() {
+		t.Fatalf("%d distinct indices, want %d", len(seen), s.Cells())
+	}
+}
+
+func TestLocalMatchesInline(t *testing.T) {
+	s := testSpec(4, 3, 6)
+	want, err := Run(s, Local{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7, 64} {
+		got, err := Run(s, Local{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d table differs from inline run", workers)
+		}
+	}
+}
+
+// TestLocalBoundsGoroutines is the regression test for the unbounded
+// goroutine spawn of the old parallelRuns helper, which started one
+// goroutine per run before acquiring the semaphore. The Local backend must
+// start at most Workers worker goroutines no matter how many cells queue.
+func TestLocalBoundsGoroutines(t *testing.T) {
+	const workers = 4
+	const cells = 512
+	base := runtime.NumGoroutine()
+	var peak atomic.Int64
+	s := &Spec{
+		Name: "goroutine-bound",
+		Xs:   cells, Variants: 1, Runs: 1,
+		Cell: func(xi, vi, run int) ([]float64, error) {
+			// Linger briefly so queued cells would pile up goroutines if
+			// each had one.
+			time.Sleep(100 * time.Microsecond)
+			n := int64(runtime.NumGoroutine())
+			for {
+				cur := peak.Load()
+				if n <= cur || peak.CompareAndSwap(cur, n) {
+					break
+				}
+			}
+			return []float64{1}, nil
+		},
+		Reduce: func(g *Grid) (*trace.Table, error) {
+			return &trace.Table{X: []float64{0}, Series: []trace.Series{{Label: "n", Values: []float64{1}}}}, nil
+		},
+	}
+	if _, err := Run(s, Local{Workers: workers}); err != nil {
+		t.Fatal(err)
+	}
+	// Allow slack for the test harness's own goroutines, but nothing close
+	// to one-per-cell: the old implementation peaked at base + cells.
+	if got := int(peak.Load()); got > base+workers+8 {
+		t.Fatalf("peak %d goroutines for %d cells with %d workers (base %d): pool is not bounded",
+			got, cells, workers, base)
+	}
+}
+
+func TestLocalPropagatesCellError(t *testing.T) {
+	s := testSpec(4, 1, 4)
+	s.Cell = func(xi, vi, run int) ([]float64, error) {
+		if xi >= 2 {
+			return nil, fmt.Errorf("boom x=%d run=%d", xi, run)
+		}
+		return []float64{1, 1}, nil
+	}
+	_, err := Run(s, Local{Workers: 8})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+	if !contains(err.Error(), "boom x=") {
+		t.Fatalf("error %q does not surface the failing cell", err)
+	}
+	// Single-worker execution is sequential, so the report is exact and
+	// cells after the failure are skipped.
+	if _, err := Run(s, Local{Workers: 1}); err == nil || !contains(err.Error(), "boom x=2 run=0") {
+		t.Fatalf("sequential error %q does not name the first failing cell", err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestShardPartialMergeMatchesLocal(t *testing.T) {
+	s := testSpec(5, 2, 3)
+	want, err := Run(s, Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, total := range []int{2, 3, 7} {
+		var parts []*trace.Partial
+		covered := 0
+		for i := 1; i <= total; i++ {
+			g, err := Shard{Index: i, Total: total}.Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Complete(); err == nil && total > 1 {
+				t.Fatalf("shard %d/%d produced a complete grid", i, total)
+			}
+			p := g.Partial(7, true, i, total)
+			covered += len(p.Results)
+			parts = append(parts, p)
+		}
+		if covered != s.Cells() {
+			t.Fatalf("shards 1..%d covered %d cells, want %d", total, covered, s.Cells())
+		}
+		merged, err := trace.MergePartials(parts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !merged.Complete() {
+			t.Fatalf("merged partial incomplete: %d of %d", len(merged.Results), merged.Cells)
+		}
+		g, err := FromPartial(s, merged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Reduce(s, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%d-way shard+merge table differs from local run", total)
+		}
+	}
+}
+
+func TestShardRejectsBadSplit(t *testing.T) {
+	s := testSpec(2, 2, 2)
+	for _, sh := range []Shard{{Index: 0, Total: 2}, {Index: 3, Total: 2}, {Index: 1, Total: 0}} {
+		if _, err := sh.Run(s); err == nil {
+			t.Fatalf("shard %d/%d accepted", sh.Index, sh.Total)
+		}
+	}
+}
+
+func TestServeWorkerProtocol(t *testing.T) {
+	s := testSpec(2, 2, 2)
+	clientIn, workerOut := io.Pipe()
+	workerIn, clientOut := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		err := ServeWorker(s, workerIn, workerOut)
+		workerOut.Close()
+		done <- err
+	}()
+
+	// Drive two cells by hand and check the responses line up.
+	go func() {
+		fmt.Fprintln(clientOut, 3)
+		fmt.Fprintln(clientOut, 0)
+		clientOut.Close()
+	}()
+	buf := make([]byte, 4096)
+	var out []byte
+	for {
+		n, err := clientIn.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	want := "{\"i\":3,\"v\":[101,1]}\n{\"i\":0,\"v\":[0,0]}\n"
+	if string(out) != want {
+		t.Fatalf("worker wrote %q, want %q", out, want)
+	}
+}
+
+func TestServeWorkerReportsCellErrors(t *testing.T) {
+	s := testSpec(1, 1, 1)
+	s.Cell = func(xi, vi, run int) ([]float64, error) { return nil, fmt.Errorf("kaput") }
+	in, out := io.Pipe()
+	var buf safeBuffer
+	done := make(chan error, 1)
+	go func() { done <- ServeWorker(s, in, &buf) }()
+	fmt.Fprintln(out, 0)
+	out.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "{\"i\":0,\"err\":\"kaput\"}\n" {
+		t.Fatalf("worker wrote %q", got)
+	}
+}
+
+type safeBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+func (b *safeBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return string(b.buf)
+}
+
+// TestProcsRoundTrip spawns this test binary as real worker subprocesses
+// (via the TestMain hook) and checks the multi-process table is identical to
+// the in-process one.
+func TestProcsRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	s := testSpec(4, 3, 2)
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := Procs{
+		N: 2,
+		Command: func() (*exec.Cmd, error) {
+			cmd := exec.Command(exe)
+			cmd.Env = append(os.Environ(),
+				"RUNNER_TEST_WORKER="+fmt.Sprintf("%d,%d,%d", s.Xs, s.Variants, s.Runs))
+			cmd.Stderr = os.Stderr
+			return cmd, nil
+		},
+	}
+	got, err := Run(s, procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(s, Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("procs table differs from local run")
+	}
+}
+
+func TestProcsSurfacesWorkerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	s := testSpec(2, 1, 2)
+	procs := Procs{
+		N: 1,
+		Command: func() (*exec.Cmd, error) {
+			// A worker that exits immediately without speaking the protocol.
+			return exec.Command("/bin/sh", "-c", "exit 0"), nil
+		},
+	}
+	if _, err := Run(s, procs); err == nil {
+		t.Fatal("dead worker not reported")
+	}
+}
+
+func TestRunValidatesSpec(t *testing.T) {
+	bad := []*Spec{
+		nil,
+		{Name: "", Xs: 1, Variants: 1, Runs: 1},
+		{Name: "x", Xs: 0, Variants: 1, Runs: 1},
+		{Name: "x", Xs: 1, Variants: 1, Runs: 1}, // no cell/reduce
+	}
+	for i, s := range bad {
+		if _, err := Run(s, Local{}); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestFromPartialRejectsForeign(t *testing.T) {
+	s := testSpec(2, 1, 1)
+	if _, err := FromPartial(s, &trace.Partial{Figure: "other", Cells: 2}); err == nil {
+		t.Fatal("foreign figure accepted")
+	}
+	if _, err := FromPartial(s, &trace.Partial{Figure: s.Name, Cells: 99}); err == nil {
+		t.Fatal("wrong grid size accepted")
+	}
+	if _, err := FromPartial(s, &trace.Partial{
+		Figure: s.Name, Cells: s.Cells(),
+		Results: []trace.CellResult{{Idx: 5, Values: []float64{1}}},
+	}); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+	if err := strconvSanity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// strconvSanity pins the float64 JSON round-trip assumption the shard format
+// relies on: shortest-form encoding parses back bit-identically.
+func strconvSanity() error {
+	for _, v := range []float64{1.0 / 3.0, 0.1, 12345.678901234567, 2.2250738585072014e-308} {
+		s := strconv.FormatFloat(v, 'g', -1, 64)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return err
+		}
+		if back != v {
+			return fmt.Errorf("%v round-tripped to %v", v, back)
+		}
+	}
+	return nil
+}

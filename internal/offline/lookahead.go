@@ -110,3 +110,28 @@ func lookahead(env *sim.Env, seq *workload.Sequence, placement core.Placement, i
 	}
 	return memo.agg.Demand(), length
 }
+
+// rescoreWindow closes the switched-window reuse gap named in the ROADMAP:
+// when a lookahead window *does* trigger a reconfiguration, its memoized
+// costs were scored under the pre-switch placement and are useless to the
+// driver, which previously re-evaluated every round of the new epoch from
+// scratch. Re-scoring the window under the post-switch placement — starting
+// at the epoch's first round and accumulating until the same threshold the
+// epoch-end trigger uses — refills the memo with exactly the values
+// sim.Run's AccessReuser hook will ask for, so served rounds keep coming
+// out of the memo across reconfigurations. Rounds scored past the realised
+// epoch end stay cached and are picked up by the next window scan under the
+// unchanged placement, so no evaluation is wasted. The memoized values are
+// the exact Eval.Access results the driver would compute itself; ledgers
+// are pinned bit-identical with the hook on and off, including forced
+// switches (reuse_parity_test.go).
+func rescoreWindow(env *sim.Env, seq *workload.Sequence, placement core.Placement, inactive, from int, threshold float64, memo *roundMemo) {
+	accum := 0.0
+	run := env.Costs.Run(placement.Len(), inactive)
+	for t := from; t < seq.Len(); t++ {
+		accum += memo.access(env, placement, t, seq.Demand(t)).Total() + run
+		if accum >= threshold {
+			break
+		}
+	}
+}

@@ -96,6 +96,10 @@ func (a *OFFBR) Prepare(t int) core.Delta {
 	if err != nil {
 		panic(err)
 	}
+	// The window was scored under the pre-switch placement; re-score it
+	// under the new one so the driver keeps reusing memoized access costs
+	// through the reconfiguration.
+	rescoreWindow(a.env, a.seq, a.pool.Active(), a.pool.NumInactive(), t, a.theta, &a.memo)
 	return delta
 }
 

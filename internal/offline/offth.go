@@ -82,6 +82,11 @@ func (a *OFFTH) ReuseAccess(t int, p core.Placement, d cost.Demand) (cost.Access
 // the last epoch boundary, scored against the upcoming window.
 func (a *OFFTH) Prepare(t int) core.Delta {
 	var delta core.Delta
+	// needRescore tracks whether the memo's window was scored under a
+	// placement the pool has since switched away from; a trailing re-score
+	// refreshes it so the driver's AccessReuser hook survives the
+	// reconfiguration.
+	needRescore := false
 	if a.pendingAdd {
 		a.pendingAdd = false
 		cur := a.pool.Active()
@@ -94,6 +99,7 @@ func (a *OFFTH) Prepare(t int) core.Delta {
 						panic(err)
 					}
 					delta = delta.Add(d)
+					needRescore = true
 				}
 			}
 		}
@@ -102,6 +108,9 @@ func (a *OFFTH) Prepare(t int) core.Delta {
 		a.pendingBR = false
 		agg, length := lookahead(a.env, a.seq, a.pool.Active(), a.pool.NumInactive(), t, a.y()*a.env.Costs.Beta, &a.memo)
 		if length > 0 {
+			// This scan ran under the current placement, so the memo is
+			// fresh again whether or not the add above switched.
+			needRescore = false
 			target := online.BestResponse(a.env, a.pool, agg, length, online.SearchMoves{Move: true, Deactivate: true})
 			if !target.Equal(a.pool.Active()) {
 				d, err := a.pool.SwitchTo(target)
@@ -109,8 +118,12 @@ func (a *OFFTH) Prepare(t int) core.Delta {
 					panic(err)
 				}
 				delta = delta.Add(d)
+				needRescore = true
 			}
 		}
+	}
+	if needRescore {
+		rescoreWindow(a.env, a.seq, a.pool.Active(), a.pool.NumInactive(), t, a.y()*a.env.Costs.Beta, &a.memo)
 	}
 	return delta
 }

@@ -110,8 +110,8 @@ func TestDriverReuseParity(t *testing.T) {
 // TestDriverReuseActuallyFires asserts the hook is not dead code: over a
 // stable-demand run whose epochs turn over without reconfiguring, most
 // served rounds must come out of the lookahead memo instead of being
-// re-evaluated. (A window that does trigger a switch cannot be reused —
-// its costs were scored under the pre-switch placement.)
+// re-evaluated. (A window that triggers a switch is re-scored under the
+// post-switch placement — see TestDriverReuseForcedSwitch.)
 func TestDriverReuseActuallyFires(t *testing.T) {
 	env := lineEnv(t, 8, 3, cost.Params{Beta: 5, Create: 20, RunActive: 0.5, RunInactive: 0.1})
 	seq := heavyCornerSeq(7, 3, 120)
@@ -135,6 +135,72 @@ func TestDriverReuseActuallyFires(t *testing.T) {
 	}
 	if thCounter.hits == 0 {
 		t.Fatal("OFFTH hook never fired")
+	}
+}
+
+// alternatingSeq flips heavy demand between the two ends of the line every
+// `phase` rounds, so every lookahead window sees the demand on the far side
+// and best-responds by moving the server — each epoch forces a switch.
+func alternatingSeq(n, perRound, phase, rounds int) *workload.Sequence {
+	demands := make([]cost.Demand, rounds)
+	for i := range demands {
+		node := 0
+		if (i/phase)%2 == 0 {
+			node = n - 1
+		}
+		demands[i] = cost.DemandFromPairs(cost.NodeCount{Node: node, Count: perRound})
+	}
+	return workload.NewSequence("alternating", demands)
+}
+
+// TestDriverReuseForcedSwitch pins the switched-window fix: on a workload
+// that forces a reconfiguration at essentially every epoch boundary, the
+// re-scored windows must (a) leave the ledger bit-identical to a hook-off
+// run, and (b) keep the AccessReuser hook firing — before the fix a
+// switching window could never be reused, so a permanently switching run
+// degenerated to zero hits.
+func TestDriverReuseForcedSwitch(t *testing.T) {
+	env := lineEnv(t, 8, 3, cost.Params{Beta: 5, Create: 20, RunActive: 0.5, RunInactive: 0.1})
+	seq := alternatingSeq(8, 6, 10, 120)
+
+	algs := []struct {
+		label string
+		make  func() sim.Algorithm
+	}{
+		{"OFFBR-fixed", func() sim.Algorithm { return NewOFFBR(seq) }},
+		{"OFFBR-dyn", func() sim.Algorithm { a := NewOFFBR(seq); a.Dynamic = true; return a }},
+		{"OFFTH", func() sim.Algorithm { return NewOFFTH(seq) }},
+	}
+	for _, a := range algs {
+		inner := a.make()
+		counter := &countingReuser{Algorithm: inner, inner: inner.(sim.AccessReuser)}
+		hooked, err := sim.Run(env, counter, seq)
+		if err != nil {
+			t.Fatalf("%s: %v", a.label, err)
+		}
+		fresh, err := sim.Run(env, hookless{a.make()}, seq)
+		if err != nil {
+			t.Fatalf("%s (hook off): %v", a.label, err)
+		}
+		if !reflect.DeepEqual(hooked.Totals, fresh.Totals) {
+			t.Fatalf("%s: totals diverge with hook on/off:\n on  %+v\n off %+v",
+				a.label, hooked.Totals, fresh.Totals)
+		}
+		for r := range hooked.Rounds {
+			if hooked.Rounds[r] != fresh.Rounds[r] {
+				t.Fatalf("%s round %d: %+v vs %+v", a.label, r, hooked.Rounds[r], fresh.Rounds[r])
+			}
+		}
+		// The workload must actually force reconfigurations...
+		if hooked.Totals.Migration+hooked.Totals.Creation == 0 {
+			t.Fatalf("%s: alternating demand forced no reconfiguration", a.label)
+		}
+		// ...and the re-scored windows must keep the hook alive through
+		// them.
+		if counter.hits == 0 {
+			t.Fatalf("%s: hook never fired on the forced-switch run", a.label)
+		}
+		t.Logf("%s: %d of %d rounds reused", a.label, counter.hits, seq.Len())
 	}
 }
 

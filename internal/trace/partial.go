@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CellResult is one evaluated grid cell of a sharded experiment run: the
+// cell's flat index and the values it produced.
+type CellResult struct {
+	Idx    int       `json:"idx"`
+	Values []float64 `json:"values"`
+}
+
+// Partial is the mergeable on-disk result of evaluating a subset of an
+// experiment's cell grid — the unit of work a shard (one process or one
+// machine) contributes. Floats survive the JSON round trip exactly:
+// encoding/json emits the shortest representation that parses back to the
+// same float64, so merged tables stay byte-identical with single-process
+// runs.
+type Partial struct {
+	// Figure names the spec the cells belong to.
+	Figure string `json:"figure"`
+	// Seed and Quick record the experiment options the cells were evaluated
+	// under; merging partials from mismatched options is an error.
+	Seed  int64 `json:"seed"`
+	Quick bool  `json:"quick,omitempty"`
+	// Cells is the total grid size; all shards of one run agree on it.
+	Cells int `json:"cells"`
+	// Shard/Shards record which slice of the grid this partial covers
+	// (1-based), for diagnostics; 0/0 on merged partials.
+	Shard  int `json:"shard,omitempty"`
+	Shards int `json:"shards,omitempty"`
+	// Results are the evaluated cells, sorted by index.
+	Results []CellResult `json:"results"`
+}
+
+// Validate checks internal consistency: indices in range, sorted, unique,
+// values present.
+func (p *Partial) Validate() error {
+	if p.Figure == "" {
+		return fmt.Errorf("trace: partial without a figure name")
+	}
+	if p.Cells <= 0 {
+		return fmt.Errorf("trace: partial %s with grid size %d", p.Figure, p.Cells)
+	}
+	last := -1
+	for _, r := range p.Results {
+		if r.Idx < 0 || r.Idx >= p.Cells {
+			return fmt.Errorf("trace: partial %s cell %d outside grid of %d", p.Figure, r.Idx, p.Cells)
+		}
+		if r.Idx <= last {
+			return fmt.Errorf("trace: partial %s cells not sorted or duplicated at %d", p.Figure, r.Idx)
+		}
+		if len(r.Values) == 0 {
+			return fmt.Errorf("trace: partial %s cell %d without values", p.Figure, r.Idx)
+		}
+		last = r.Idx
+	}
+	return nil
+}
+
+// Complete reports whether every cell of the grid has a result.
+func (p *Partial) Complete() bool {
+	return len(p.Results) == p.Cells
+}
+
+// WritePartial serialises the partial as indented JSON.
+func WritePartial(w io.Writer, p *Partial) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadPartial parses a partial written by WritePartial.
+func ReadPartial(r io.Reader) (*Partial, error) {
+	var p Partial
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("trace: reading partial: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// MergePartials deterministically folds the shards of one experiment run
+// into a single partial: results are collected by cell index and sorted, so
+// the merge order of the inputs cannot affect the output. Partials must
+// agree on figure, options, and grid size; a cell present in several shards
+// must carry bit-identical values (a shard split is a partition, so an
+// overlap signals a misconfigured run — it is tolerated only when harmless).
+func MergePartials(parts ...*Partial) (*Partial, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("trace: no partials to merge")
+	}
+	first := parts[0]
+	merged := &Partial{Figure: first.Figure, Seed: first.Seed, Quick: first.Quick, Cells: first.Cells}
+	byIdx := make(map[int][]float64, first.Cells)
+	for _, p := range parts {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if p.Figure != first.Figure {
+			return nil, fmt.Errorf("trace: merging partials of %q and %q", first.Figure, p.Figure)
+		}
+		if p.Seed != first.Seed || p.Quick != first.Quick {
+			return nil, fmt.Errorf("trace: partials of %s disagree on options (seed %d/%d, quick %v/%v)",
+				first.Figure, first.Seed, p.Seed, first.Quick, p.Quick)
+		}
+		if p.Cells != first.Cells {
+			return nil, fmt.Errorf("trace: partials of %s disagree on grid size (%d vs %d)",
+				first.Figure, first.Cells, p.Cells)
+		}
+		for _, r := range p.Results {
+			if prev, ok := byIdx[r.Idx]; ok {
+				if !sameValues(prev, r.Values) {
+					return nil, fmt.Errorf("trace: partials of %s conflict on cell %d", first.Figure, r.Idx)
+				}
+				continue
+			}
+			byIdx[r.Idx] = r.Values
+		}
+	}
+	merged.Results = make([]CellResult, 0, len(byIdx))
+	for idx, v := range byIdx {
+		merged.Results = append(merged.Results, CellResult{Idx: idx, Values: v})
+	}
+	sort.Slice(merged.Results, func(i, j int) bool { return merged.Results[i].Idx < merged.Results[j].Idx })
+	return merged, nil
+}
+
+func sameValues(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

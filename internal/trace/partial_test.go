@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func samplePartial() *Partial {
+	return &Partial{
+		Figure: "13",
+		Seed:   7,
+		Quick:  true,
+		Cells:  4,
+		Shard:  1,
+		Shards: 2,
+		Results: []CellResult{
+			{Idx: 0, Values: []float64{1.0 / 3.0, 42}},
+			{Idx: 2, Values: []float64{math.Nextafter(1, 2)}},
+		},
+	}
+}
+
+func TestPartialRoundTrip(t *testing.T) {
+	p := samplePartial()
+	var buf bytes.Buffer
+	if err := WritePartial(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPartial(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Figure != p.Figure || got.Seed != p.Seed || got.Quick != p.Quick || got.Cells != p.Cells {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	if len(got.Results) != len(p.Results) {
+		t.Fatalf("%d results, want %d", len(got.Results), len(p.Results))
+	}
+	for i, r := range got.Results {
+		if r.Idx != p.Results[i].Idx {
+			t.Fatalf("result %d index %d, want %d", i, r.Idx, p.Results[i].Idx)
+		}
+		for j, v := range r.Values {
+			// Bit-exact: the shard format must not lose precision.
+			if v != p.Results[i].Values[j] {
+				t.Fatalf("result %d value %d: %v != %v", i, j, v, p.Results[i].Values[j])
+			}
+		}
+	}
+}
+
+func TestPartialValidate(t *testing.T) {
+	bad := []*Partial{
+		{Figure: "", Cells: 2},
+		{Figure: "x", Cells: 0},
+		{Figure: "x", Cells: 2, Results: []CellResult{{Idx: 2, Values: []float64{1}}}},
+		{Figure: "x", Cells: 2, Results: []CellResult{{Idx: 1, Values: []float64{1}}, {Idx: 0, Values: []float64{1}}}},
+		{Figure: "x", Cells: 2, Results: []CellResult{{Idx: 0, Values: []float64{1}}, {Idx: 0, Values: []float64{1}}}},
+		{Figure: "x", Cells: 2, Results: []CellResult{{Idx: 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad partial %d validated", i)
+		}
+	}
+	if err := samplePartial().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPartialRejectsGarbage(t *testing.T) {
+	if _, err := ReadPartial(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadPartial(strings.NewReader(`{"figure":"","cells":0}`)); err == nil {
+		t.Fatal("invalid partial accepted")
+	}
+}
+
+func TestMergePartials(t *testing.T) {
+	a := &Partial{Figure: "f", Seed: 1, Cells: 4, Shard: 1, Shards: 2,
+		Results: []CellResult{{Idx: 0, Values: []float64{10}}, {Idx: 2, Values: []float64{30}}}}
+	b := &Partial{Figure: "f", Seed: 1, Cells: 4, Shard: 2, Shards: 2,
+		Results: []CellResult{{Idx: 1, Values: []float64{20}}, {Idx: 3, Values: []float64{40}}}}
+	for _, order := range [][]*Partial{{a, b}, {b, a}} {
+		m, err := MergePartials(order...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.Complete() {
+			t.Fatalf("merge incomplete: %d of %d", len(m.Results), m.Cells)
+		}
+		// Deterministic regardless of input order: sorted by index.
+		for i, r := range m.Results {
+			if r.Idx != i || r.Values[0] != float64((i+1)*10) {
+				t.Fatalf("merged cell %d = %+v", i, r)
+			}
+		}
+	}
+}
+
+func TestMergePartialsOverlapAndConflict(t *testing.T) {
+	a := &Partial{Figure: "f", Seed: 1, Cells: 2,
+		Results: []CellResult{{Idx: 0, Values: []float64{1}}}}
+	dup := &Partial{Figure: "f", Seed: 1, Cells: 2,
+		Results: []CellResult{{Idx: 0, Values: []float64{1}}, {Idx: 1, Values: []float64{2}}}}
+	if m, err := MergePartials(a, dup); err != nil || !m.Complete() {
+		t.Fatalf("identical overlap rejected: %v", err)
+	}
+	conflict := &Partial{Figure: "f", Seed: 1, Cells: 2,
+		Results: []CellResult{{Idx: 0, Values: []float64{99}}}}
+	if _, err := MergePartials(a, conflict); err == nil {
+		t.Fatal("conflicting overlap accepted")
+	}
+}
+
+func TestMergePartialsRejectsMismatch(t *testing.T) {
+	base := &Partial{Figure: "f", Seed: 1, Quick: true, Cells: 2}
+	cases := []*Partial{
+		{Figure: "g", Seed: 1, Quick: true, Cells: 2},
+		{Figure: "f", Seed: 2, Quick: true, Cells: 2},
+		{Figure: "f", Seed: 1, Quick: false, Cells: 2},
+		{Figure: "f", Seed: 1, Quick: true, Cells: 3},
+	}
+	for i, c := range cases {
+		if _, err := MergePartials(base, c); err == nil {
+			t.Fatalf("mismatched partial %d accepted", i)
+		}
+	}
+	if _, err := MergePartials(); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+}
