@@ -12,15 +12,18 @@
 //	figures -only 15,16,17         # just the OFFSTAT/OPT ratio sweeps
 //	figures -only rocketfuel -csvdir out/
 //	figures -only ablations -quick
-//	figures -only 3 -procs 4       # fan the grid out over 4 worker processes
+//	figures -only 3,4 -procs 4     # one pool of 4 workers serves both grids
 //	figures -only 3 -shard 1/2 -partials parts/   # machine 1
 //	figures -only 3 -shard 2/2 -partials parts/   # machine 2
 //	figures -only 3 -merge -partials parts/       # fold the shards' results
+//	figures -only 3 -plan 2 -partials parts/      # LPT plan from the timings
+//	figures -only 3 -shard 1/2 -withplan -partials parts/  # planned shard
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/exec"
@@ -28,6 +31,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -60,13 +64,16 @@ func main() {
 	only := flag.String("only", "", "comma-separated figure ids (e.g. 3,11,rocketfuel,ablations); empty = all figures")
 	csvDir := flag.String("csvdir", "", "also write one CSV per figure into this directory")
 	seed := flag.Int64("seed", 1, "base random seed")
-	procs := flag.Int("procs", 0, "fan each figure's cell grid out over this many worker subprocesses")
+	procs := flag.Int("procs", 0, "fan the whole selection's cell grids out over this many shared worker subprocesses")
 	workers := flag.Int("workers", 0, "bound the in-process worker pool (0 = GOMAXPROCS)")
 	shard := flag.String("shard", "", "evaluate only slice i of m of each grid, as i/m, and write partial results")
-	partials := flag.String("partials", "", "directory for shard partial files (required with -shard and -merge)")
+	partials := flag.String("partials", "", "directory for shard partial and plan files (required with -shard, -merge, -plan)")
 	merge := flag.Bool("merge", false, "merge shard partials from -partials and print the tables")
-	workerFlag := flag.Bool("worker", false, "internal: serve cells for -spec on stdin/stdout")
-	spec := flag.String("spec", "", "internal: spec name served in -worker mode")
+	plan := flag.Int("plan", 0, "write an m-way timing-balanced shard plan from the partials of a previous run")
+	withPlan := flag.Bool("withplan", false, "with -shard i/m: evaluate the cells the plan file assigns to shard i instead of the modulo slice")
+	faultInject := flag.Int("faultinject", 0, "internal/testing: first worker subprocess exits after this many cells")
+	workerFlag := flag.Bool("worker", false, "internal: serve cells on stdin/stdout (SPEC lines select the grid)")
+	spec := flag.String("spec", "", "internal: spec served in -worker mode before any SPEC line")
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quickFlag, Seed: *seed}
@@ -81,14 +88,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if (shardTotal > 0 || *merge) && *partials == "" {
-		log.Fatal("-shard and -merge require -partials")
+	if (shardTotal > 0 || *merge || *plan > 0) && *partials == "" {
+		log.Fatal("-shard, -merge, and -plan require -partials")
 	}
-	if shardTotal > 0 && *merge {
-		log.Fatal("-shard and -merge are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{shardTotal > 0, *merge, *plan > 0} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		log.Fatal("-shard, -merge, and -plan are mutually exclusive")
 	}
 	if shardTotal > 0 && *csvDir != "" {
 		log.Fatal("-shard emits partial files only; use -csvdir on the -merge run")
+	}
+	if *withPlan && shardTotal == 0 {
+		log.Fatal("-withplan requires -shard")
+	}
+	if *faultInject > 0 && *procs <= 0 {
+		log.Fatal("-faultinject requires -procs")
 	}
 	selected, err := selectFigures(*only)
 	if err != nil {
@@ -102,6 +121,13 @@ func main() {
 		}
 	}
 
+	if *procs > 0 && shardTotal == 0 && !*merge && *plan == 0 {
+		if err := runPooled(selected, opts, *procs, *faultInject, *csvDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	for _, name := range selected {
 		start := time.Now()
 		sp, err := experiments.NewSpec(name, opts)
@@ -109,8 +135,12 @@ func main() {
 			log.Fatal(err)
 		}
 		switch {
+		case *plan > 0:
+			if err := runPlan(sp, opts, *plan, *partials); err != nil {
+				log.Fatalf("figure %s: %v", name, err)
+			}
 		case shardTotal > 0:
-			if err := runShard(sp, opts, shardIdx, shardTotal, *workers, *partials); err != nil {
+			if err := runShard(sp, opts, shardIdx, shardTotal, *workers, *partials, *withPlan); err != nil {
 				log.Fatalf("figure %s: %v", name, err)
 			}
 		case *merge:
@@ -120,11 +150,7 @@ func main() {
 			}
 			emit(name, tab, *csvDir)
 		default:
-			var backend runner.Exec = runner.Local{Workers: *workers}
-			if *procs > 0 {
-				backend = runner.Procs{N: *procs, Command: workerCommand(name, opts)}
-			}
-			tab, err := runner.Run(sp, backend)
+			tab, err := runner.Run(sp, runner.Local{Workers: *workers})
 			if err != nil {
 				log.Fatalf("figure %s: %v", name, err)
 			}
@@ -132,6 +158,34 @@ func main() {
 		}
 		log.Printf("figure %s: %v elapsed", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runPooled evaluates the whole selection on one shared worker pool: the
+// same subprocesses serve cells from successive figures (announced with
+// SPEC protocol lines), so workers stay busy across figure boundaries
+// instead of draining and respawning per figure. Tables print in selection
+// order as each grid completes.
+func runPooled(selected []string, opts experiments.Options, procs, faultInject int, csvDir string) error {
+	specs := make([]*runner.Spec, len(selected))
+	for i, name := range selected {
+		sp, err := experiments.NewSpec(name, opts)
+		if err != nil {
+			return err
+		}
+		specs[i] = sp
+	}
+	pool := runner.NewPool(procs, 0, workerCommand(opts, faultInject))
+	defer pool.Close()
+	start := time.Now()
+	return pool.RunAll(specs, func(i int, g *runner.Grid) error {
+		tab, err := runner.Reduce(specs[i], g)
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", selected[i], err)
+		}
+		emit(selected[i], tab, csvDir)
+		log.Printf("figure %s: done at %v", selected[i], time.Since(start).Round(time.Millisecond))
+		return nil
+	})
 }
 
 // emit prints the table to stdout and optionally writes its CSV.
@@ -146,72 +200,114 @@ func emit(name string, tab *trace.Table, csvDir string) {
 	}
 }
 
+// writeFileAtomic writes via a temp file in the destination's directory and
+// renames it into place, so a killed run never leaves a truncated partial,
+// plan, or CSV for a later -merge or -withplan run to ingest.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once the rename has happened
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	// CreateTemp makes mode-0600 files; restore the world-readable mode a
+	// plain os.Create would have given shareable artifacts.
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // writeCSV emits one figure's table into dir as figure-<name>.csv.
 func writeCSV(dir, name string, tab *trace.Table) error {
-	fh, err := os.Create(filepath.Join(dir, "figure-"+name+".csv"))
-	if err != nil {
-		return err
-	}
-	if err := trace.WriteTable(fh, tab); err != nil {
-		fh.Close()
-		return err
-	}
-	return fh.Close()
+	return writeFileAtomic(filepath.Join(dir, "figure-"+name+".csv"), func(w io.Writer) error {
+		return trace.WriteTable(w, tab)
+	})
 }
 
-// runWorker serves cells of one spec over stdin/stdout — the subprocess
-// half of the -procs backend. The coordinator passes the spec name and the
-// experiment options on the command line, so both sides build the identical
-// grid.
+// runWorker serves cells over stdin/stdout — the subprocess half of the
+// pooled backend. The coordinator selects grids with SPEC protocol lines
+// (any registered experiment name), so one worker process serves cells from
+// successive figures; -spec optionally names the grid served before any
+// SPEC line. The experiment options arrive on the command line, so both
+// sides build the identical grid.
 func runWorker(name string, o experiments.Options) error {
-	if name == "" {
-		return fmt.Errorf("-worker requires -spec")
+	var initial *runner.Spec
+	if name != "" {
+		sp, err := experiments.NewSpec(name, o)
+		if err != nil {
+			return err
+		}
+		initial = sp
 	}
-	sp, err := experiments.NewSpec(name, o)
-	if err != nil {
-		return err
+	var out io.Writer = os.Stdout
+	if n, _ := strconv.Atoi(os.Getenv("FIGURES_DIE_AFTER")); n > 0 {
+		out = &runner.DieAfterWriter{W: os.Stdout, Lines: n}
 	}
-	return runner.ServeWorker(sp, os.Stdin, os.Stdout)
+	return runner.ServePool(initial, func(name string) (*runner.Spec, error) {
+		return experiments.NewSpec(name, o)
+	}, os.Stdin, out)
 }
 
-// workerCommand re-invokes this binary in -worker mode for one spec.
-func workerCommand(name string, o experiments.Options) func() (*exec.Cmd, error) {
+// workerCommand re-invokes this binary in -worker mode. With fault
+// injection, only the first spawned worker gets the die-after budget —
+// respawned replacements are healthy, so the requeued cells complete.
+func workerCommand(o experiments.Options, faultInject int) func() (*exec.Cmd, error) {
+	var spawned atomic.Int64
 	return func() (*exec.Cmd, error) {
 		exe, err := os.Executable()
 		if err != nil {
 			return nil, err
 		}
-		args := []string{"-worker", "-spec", name, "-seed", strconv.FormatInt(o.Seed, 10)}
+		args := []string{"-worker", "-seed", strconv.FormatInt(o.Seed, 10)}
 		if o.Quick {
 			args = append(args, "-quick")
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stderr = os.Stderr
+		if faultInject > 0 && spawned.Add(1) == 1 {
+			cmd.Env = append(os.Environ(), "FIGURES_DIE_AFTER="+strconv.Itoa(faultInject))
+		}
 		return cmd, nil
 	}
 }
 
 // runShard evaluates one slice of the grid and writes the mergeable partial
-// file <partials>/<name>.shard-<i>-of-<m>.json.
-func runShard(sp *runner.Spec, o experiments.Options, idx, total, workers int, dir string) error {
-	g, err := runner.Shard{Index: idx, Total: total, Workers: workers}.Run(sp)
+// file <partials>/<name>.shard-<i>-of-<m>.json. With withPlan, the slice is
+// the cell set a timing plan (figures -plan) assigns to this shard instead
+// of the modulo split.
+func runShard(sp *runner.Spec, o experiments.Options, idx, total, workers int, dir string, withPlan bool) error {
+	var backend runner.Exec = runner.Shard{Index: idx, Total: total, Workers: workers}
+	if withPlan {
+		pl, err := readPlan(dir, sp.Name, total)
+		if err != nil {
+			return err
+		}
+		if pl.Cells != sp.Cells() {
+			return fmt.Errorf("plan covers %d cells, grid has %d", pl.Cells, sp.Cells())
+		}
+		backend = runner.CellSet{Idxs: pl.ShardCells(idx), Workers: workers}
+	}
+	g, err := backend.Run(sp)
 	if err != nil {
 		return err
 	}
 	p := g.Partial(o.Seed, o.Quick, idx, total)
 	path := filepath.Join(dir, shardFile(sp.Name, idx, total))
-	fh, err := os.Create(path)
-	if err != nil {
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		return trace.WritePartial(w, p)
+	}); err != nil {
 		return err
 	}
-	if err := trace.WritePartial(fh, p); err != nil {
-		fh.Close()
-		return err
-	}
-	if err := fh.Close(); err != nil {
-		return err
-	}
-	log.Printf("figure %s: wrote %s (%d of %d cells)", sp.Name, path, len(p.Results), p.Cells)
+	log.Printf("figure %s: wrote %s (%d of %d cells, %v cell time)",
+		sp.Name, path, len(p.Results), p.Cells, time.Duration(p.TotalNanos()).Round(time.Millisecond))
 	return nil
 }
 
@@ -219,10 +315,57 @@ func shardFile(name string, idx, total int) string {
 	return fmt.Sprintf("%s.shard-%d-of-%d.json", name, idx, total)
 }
 
-// mergeShards folds every partial file of one figure back into the full
-// grid and reduces it — the output is byte-identical to a single-process
-// run of the same figure.
-func mergeShards(sp *runner.Spec, o experiments.Options, dir string) (*trace.Table, error) {
+func planFile(name string, shards int) string {
+	return fmt.Sprintf("%s.plan-%d-way.json", name, shards)
+}
+
+// readPlan loads the figure's m-way plan file from the partials directory.
+func readPlan(dir, name string, shards int) (*trace.Plan, error) {
+	path := filepath.Join(dir, planFile(name, shards))
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	pl, err := trace.ReadPlan(fh)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if pl.Figure != name || pl.Shards != shards {
+		return nil, fmt.Errorf("%s: plan is for %s over %d shards", path, pl.Figure, pl.Shards)
+	}
+	return pl, nil
+}
+
+// runPlan derives an m-way timing-balanced shard plan from the partials of
+// a previous run of this figure and writes it next to them, for -shard
+// -withplan to consume.
+func runPlan(sp *runner.Spec, o experiments.Options, shards int, dir string) error {
+	merged, err := loadMerged(sp, o, dir)
+	if err != nil {
+		return err
+	}
+	pl, err := trace.PlanShards(merged, shards)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, planFile(sp.Name, shards))
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		return trace.WritePlan(w, pl)
+	}); err != nil {
+		return err
+	}
+	for i, ns := range pl.ShardNanos {
+		log.Printf("figure %s: plan shard %d/%d: %d cells, predicted %v",
+			sp.Name, i+1, shards, len(pl.ShardCells(i+1)), time.Duration(ns).Round(time.Millisecond))
+	}
+	log.Printf("figure %s: wrote %s", sp.Name, path)
+	return nil
+}
+
+// loadMerged reads and merges every partial file of one figure, reporting
+// each shard's recorded cell time, and validates the options match the run.
+func loadMerged(sp *runner.Spec, o experiments.Options, dir string) (*trace.Partial, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, sp.Name+".shard-*.json"))
 	if err != nil {
 		return nil, err
@@ -242,6 +385,8 @@ func mergeShards(sp *runner.Spec, o experiments.Options, dir string) (*trace.Tab
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
+		log.Printf("figure %s: shard %d/%d: %d cells, %v cell time",
+			sp.Name, p.Shard, p.Shards, len(p.Results), time.Duration(p.TotalNanos()).Round(time.Millisecond))
 		parts = append(parts, p)
 	}
 	merged, err := trace.MergePartials(parts...)
@@ -251,6 +396,18 @@ func mergeShards(sp *runner.Spec, o experiments.Options, dir string) (*trace.Tab
 	if merged.Seed != o.Seed || merged.Quick != o.Quick {
 		return nil, fmt.Errorf("partials were produced with -seed %d quick=%v, run asked for -seed %d quick=%v",
 			merged.Seed, merged.Quick, o.Seed, o.Quick)
+	}
+	return merged, nil
+}
+
+// mergeShards folds every partial file of one figure back into the full
+// grid and reduces it — the output is byte-identical to a single-process
+// run of the same figure. Per-shard cell-time totals go to stderr, the
+// input for balancing the next run (figures -plan).
+func mergeShards(sp *runner.Spec, o experiments.Options, dir string) (*trace.Table, error) {
+	merged, err := loadMerged(sp, o, dir)
+	if err != nil {
+		return nil, err
 	}
 	g, err := runner.FromPartial(sp, merged)
 	if err != nil {

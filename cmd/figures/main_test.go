@@ -2,12 +2,14 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"reflect"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/experiments"
@@ -155,6 +157,142 @@ func TestWorkerModeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWorkerModeFaultInjection kills the first worker subprocess after two
+// responses and requires the requeue path to still produce a table
+// identical to the in-process run — the cmd-level contract of the
+// fault-tolerant pool.
+func TestWorkerModeFaultInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	o := experiments.Options{Quick: true, Seed: 7}
+	sp, err := experiments.NewSpec("13", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spawned atomic.Int64
+	pool := runner.NewPool(2, 0, func() (*exec.Cmd, error) {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			"FIGURES_TEST_WORKER=13",
+			"FIGURES_TEST_SEED=7")
+		if spawned.Add(1) == 1 {
+			cmd.Env = append(cmd.Env, "FIGURES_DIE_AFTER=2")
+		}
+		cmd.Stderr = os.Stderr
+		return cmd, nil
+	})
+	defer pool.Close()
+	g, err := pool.Run(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := runner.Reduce(sp, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.Figure13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("fault-injected table differs from in-process run")
+	}
+	if n := spawned.Load(); n < 2 {
+		t.Fatalf("fault injection spawned %d workers; the dying worker was never replaced", n)
+	}
+}
+
+// TestPlannedShardMergeRoundTrip runs a modulo-sharded pass to collect
+// timings, derives a 2-way LPT plan from its partials, re-runs both shards
+// under the plan, and checks the merged table is still bit-identical — the
+// -plan / -shard -withplan recipe end to end.
+func TestPlannedShardMergeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	o := experiments.Options{Quick: true, Seed: 7}
+	sp, err := experiments.NewSpec("13", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if err := runShard(sp, o, i, 2, 0, dir, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No plan file yet: -withplan must refuse, not fall back silently.
+	if err := runShard(sp, o, 1, 2, 0, dir, true); err == nil {
+		t.Fatal("-withplan ran without a plan file")
+	}
+	if err := runPlan(sp, o, 2, dir); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := readPlan(dir, "13", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(pl.ShardCells(1)) + len(pl.ShardCells(2)); got != sp.Cells() {
+		t.Fatalf("plan covers %d of %d cells", got, sp.Cells())
+	}
+	for i := 1; i <= 2; i++ {
+		if err := runShard(sp, o, i, 2, 0, dir, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := mergeShards(sp, o, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.Figure13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("planned shard+merge table differs from in-process run")
+	}
+	// A plan for a different split must be refused.
+	if _, err := readPlan(dir, "13", 3); err == nil {
+		t.Fatal("3-way plan read from a 2-way file")
+	}
+}
+
+// TestWriteFileAtomic pins the no-truncated-partials property: a failed
+// write leaves no destination file and no temp residue; a successful one
+// replaces the destination in full.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		fmt.Fprint(w, "partial garbage")
+		return fmt.Errorf("simulated crash")
+	}); err == nil {
+		t.Fatal("write error not propagated")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed write left %s behind", path)
+	}
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		_, err := fmt.Fprint(w, "complete")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "complete" {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp residue in %s: %v", dir, entries)
+	}
+}
+
 // TestShardMergeRoundTrip drives the shard/partial/merge path through the
 // same helpers main uses and checks the merged table is bit-identical.
 func TestShardMergeRoundTrip(t *testing.T) {
@@ -165,7 +303,7 @@ func TestShardMergeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 2; i++ {
-		if err := runShard(sp, o, i, 2, 0, dir); err != nil {
+		if err := runShard(sp, o, i, 2, 0, dir, false); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,413 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+)
+
+// DefaultCellRetries is how many times a cell is re-attempted after its
+// first failure before the run is declared failed. A worker crash costs the
+// in-flight cell one attempt; only a cell that keeps failing across fresh
+// workers — a deterministic failure — exhausts the budget.
+const DefaultCellRetries = 2
+
+// Pool is a fault-tolerant worker-subprocess pool shared across specs.
+//
+// Unlike Procs, which spins a pool up and drains it for every figure, a Pool
+// is created once for a whole selection: the same subprocesses serve cells
+// from successive specs (the coordinator announces spec switches with a
+// "SPEC <name>" protocol line), so workers stay busy across figure
+// boundaries instead of idling while one figure's tail cells finish and the
+// next figure's pool boots.
+//
+// The pool is also where failure is contained. When a worker process dies or
+// answers out of protocol, the coordinator kills and reaps it, respawns a
+// fresh process lazily, and requeues the in-flight cell; the grid only fails
+// once a single cell has failed Retries+1 times — a deterministic failure —
+// and the error names that cell. A cell-level error reported by a healthy
+// worker (the cell function itself returned an error) is retried on the same
+// budget without recycling the process.
+type Pool struct {
+	command func() (*exec.Cmd, error)
+	retries int
+
+	mu     sync.Mutex // serialises RunAll; a Pool runs one selection at a time
+	taskCh chan poolTask
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// poolTask is one cell assignment handed to a worker goroutine.
+type poolTask struct {
+	spec    *Spec
+	specIdx int
+	idx     int
+	attempt int
+	done    chan<- poolDone
+}
+
+// poolDone reports one attempt's outcome back to the coordinator.
+type poolDone struct {
+	specIdx int
+	idx     int
+	attempt int
+	values  []float64
+	nanos   int64
+	err     error
+}
+
+// NewPool starts n worker goroutines (n < 1 means 1) that will lazily spawn
+// subprocesses via command. retries is the per-cell re-attempt budget after
+// the first failure; 0 selects DefaultCellRetries, negative disables
+// requeueing — the same convention as Procs.Retries. Close the pool to shut
+// the subprocesses down.
+func NewPool(n, retries int, command func() (*exec.Cmd, error)) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	switch {
+	case retries == 0:
+		retries = DefaultCellRetries
+	case retries < 0:
+		retries = 0
+	}
+	p := &Pool{
+		command: command,
+		retries: retries,
+		taskCh:  make(chan poolTask),
+	}
+	p.wg.Add(n)
+	for w := 0; w < n; w++ {
+		go p.workerLoop()
+	}
+	return p
+}
+
+// Close shuts the pool down: workers close their subprocesses' stdin (the
+// orderly-exit signal) and reap them. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.taskCh)
+	p.wg.Wait()
+}
+
+// Run implements Exec for a single spec.
+func (p *Pool) Run(s *Spec) (*Grid, error) {
+	var out *Grid
+	err := p.RunAll([]*Spec{s}, func(_ int, g *Grid) error {
+		out = g
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunAll evaluates every spec's grid on the shared pool, pipelining cells
+// across spec boundaries: as soon as one spec's queue drains, workers pull
+// cells of the next spec while the previous spec's tail cells are still in
+// flight. emit is called once per spec, in spec order, as each grid
+// completes (it may be nil). On failure the already-dispatched cells are
+// drained before returning, so the pool stays usable for another RunAll.
+func (p *Pool) RunAll(specs []*Spec, emit func(i int, g *Grid) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("runner: RunAll on a closed pool")
+	}
+	if p.command == nil {
+		return fmt.Errorf("runner: pool without a worker command")
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("runner: RunAll without specs")
+	}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if strings.ContainsAny(s.Name, " \t\r\n") {
+			return fmt.Errorf("runner: spec name %q cannot cross the worker protocol", s.Name)
+		}
+	}
+
+	type queued struct{ specIdx, idx, attempt int }
+	grids := make([]*Grid, len(specs))
+	remaining := make([]int, len(specs))
+	var pending []queued
+	for i, s := range specs {
+		grids[i] = NewGrid(s)
+		remaining[i] = s.Cells()
+		for c := 0; c < s.Cells(); c++ {
+			pending = append(pending, queued{i, c, 0})
+		}
+	}
+	done := make(chan poolDone, cap(pending))
+	next := 0     // head of the pending queue (requeues are appended)
+	inflight := 0 // tasks handed to workers and not yet answered
+	emitted := 0  // specs whose grids have been emitted, in order
+	var failure error
+
+	maybeEmit := func() {
+		for failure == nil && emitted < len(specs) && remaining[emitted] == 0 {
+			if emit != nil {
+				if err := emit(emitted, grids[emitted]); err != nil {
+					failure = err
+					return
+				}
+			}
+			emitted++
+		}
+	}
+
+	for {
+		if inflight == 0 && (failure != nil || next >= len(pending)) {
+			break
+		}
+		// Offer the next pending task and listen for completions at once;
+		// with no pending task (or a doomed run) the nil channel leaves only
+		// the drain case.
+		var sendCh chan poolTask
+		var t poolTask
+		if failure == nil && next < len(pending) {
+			q := pending[next]
+			sendCh = p.taskCh
+			t = poolTask{spec: specs[q.specIdx], specIdx: q.specIdx, idx: q.idx, attempt: q.attempt, done: done}
+		}
+		select {
+		case sendCh <- t:
+			next++
+			inflight++
+		case d := <-done:
+			inflight--
+			if failure != nil {
+				continue // draining a doomed run; drop the result
+			}
+			if d.err != nil {
+				if d.attempt >= p.retries {
+					failure = fmt.Errorf("runner: spec %s cell %d failed after %d attempts: %w",
+						specs[d.specIdx].Name, d.idx, d.attempt+1, d.err)
+					continue
+				}
+				pending = append(pending, queued{d.specIdx, d.idx, d.attempt + 1})
+				continue
+			}
+			if err := grids[d.specIdx].SetTimed(d.idx, d.values, d.nanos); err != nil {
+				failure = err
+				continue
+			}
+			remaining[d.specIdx]--
+			maybeEmit()
+		}
+	}
+	return failure
+}
+
+// workerLoop owns one worker slot: it lazily spawns a subprocess, feeds it
+// tasks, and on any transport or protocol error kills and reaps the process
+// so the next task gets a fresh one. On pool shutdown a live subprocess is
+// closed via the orderly path (stdin EOF, then exactly one Wait).
+func (p *Pool) workerLoop() {
+	defer p.wg.Done()
+	var w *procWorker
+	defer func() {
+		if w != nil {
+			w.shutdown()
+		}
+	}()
+	for t := range p.taskCh {
+		if w == nil {
+			nw, err := spawnWorker(p.command)
+			if err != nil {
+				t.done <- poolDone{t.specIdx, t.idx, t.attempt, nil, 0, fmt.Errorf("runner: spawning worker: %w", err)}
+				continue
+			}
+			w = nw
+		}
+		values, nanos, cellErr, protoErr := w.eval(t.spec.Name, t.idx)
+		switch {
+		case protoErr != nil:
+			// The process is gone or speaking garbage: recycle it. The cell
+			// is requeued by the coordinator and will be served by a fresh
+			// process (spawned on this slot's next task).
+			w.kill()
+			w = nil
+			t.done <- poolDone{t.specIdx, t.idx, t.attempt, nil, 0, protoErr}
+		case cellErr != nil:
+			// The worker is healthy; the cell itself failed. Keep the
+			// process, surface the error for the retry budget.
+			t.done <- poolDone{t.specIdx, t.idx, t.attempt, nil, 0, cellErr}
+		default:
+			t.done <- poolDone{t.specIdx, t.idx, t.attempt, values, nanos, nil}
+		}
+	}
+}
+
+// procWorker is one live worker subprocess and the spec it is currently
+// serving.
+type procWorker struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	rd    *bufio.Reader
+	spec  string // name of the spec last announced with a SPEC line
+}
+
+func spawnWorker(command func() (*exec.Cmd, error)) (*procWorker, error) {
+	cmd, err := command()
+	if err != nil {
+		return nil, err
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	return &procWorker{cmd: cmd, stdin: stdin, rd: bufio.NewReader(stdout)}, nil
+}
+
+// eval runs one cell on the worker: announce the spec if it changed, send
+// the index, read the one-line reply. cellErr is a failure of the cell
+// function on a healthy worker; protoErr means the process must be
+// recycled.
+func (w *procWorker) eval(specName string, idx int) (values []float64, nanos int64, cellErr, protoErr error) {
+	if w.spec != specName {
+		if _, err := fmt.Fprintf(w.stdin, "SPEC %s\n", specName); err != nil {
+			return nil, 0, nil, fmt.Errorf("runner: worker write: %w", err)
+		}
+		w.spec = specName
+	}
+	if _, err := fmt.Fprintf(w.stdin, "%d\n", idx); err != nil {
+		return nil, 0, nil, fmt.Errorf("runner: worker write: %w", err)
+	}
+	line, err := w.rd.ReadString('\n')
+	if err != nil {
+		return nil, 0, nil, fmt.Errorf("runner: worker died on cell %d: %w", idx, err)
+	}
+	var msg cellMsg
+	if err := json.Unmarshal([]byte(line), &msg); err != nil {
+		return nil, 0, nil, fmt.Errorf("runner: bad worker response %q: %w", strings.TrimSpace(line), err)
+	}
+	if msg.Idx != idx {
+		return nil, 0, nil, fmt.Errorf("runner: worker answered cell %d for cell %d", msg.Idx, idx)
+	}
+	if msg.Err != "" {
+		return nil, 0, fmt.Errorf("%s", msg.Err), nil
+	}
+	if msg.Values == nil {
+		return nil, 0, nil, fmt.Errorf("runner: empty worker result for cell %d", idx)
+	}
+	return msg.Values, msg.Nanos, nil, nil
+}
+
+// kill tears down a failed worker: the process is killed and reaped so the
+// slot can respawn. Wait runs exactly once per process — here on the error
+// path, or in shutdown on the orderly path.
+func (w *procWorker) kill() {
+	w.stdin.Close()
+	w.cmd.Process.Kill()
+	w.cmd.Wait()
+}
+
+// shutdown closes the worker via the orderly path: stdin EOF tells the
+// subprocess to exit, then one Wait reaps it. The process is not killed —
+// Kill is reserved for the error path.
+func (w *procWorker) shutdown() error {
+	w.stdin.Close()
+	return w.cmd.Wait()
+}
+
+// DieAfterWriter forwards writes and exits the process once Lines response
+// lines have been written — the deterministic stand-in for a worker crash
+// mid-grid shared by the runner's fault-injection tests and `figures
+// -faultinject`. Exiting right after a completed response line means the
+// coordinator receives that cell's result and the *next* assignment hits
+// the dead pipe, exercising the requeue path at a known cell.
+type DieAfterWriter struct {
+	W     io.Writer
+	Lines int
+}
+
+func (d *DieAfterWriter) Write(p []byte) (int, error) {
+	n, err := d.W.Write(p)
+	for _, b := range p[:n] {
+		if b == '\n' {
+			d.Lines--
+			if d.Lines <= 0 {
+				fmt.Fprintln(os.Stderr, "runner: fault injection, worker exiting after response")
+				os.Exit(1)
+			}
+		}
+	}
+	return n, err
+}
+
+// ServePool runs the multi-spec worker half of the pool protocol: lines on
+// r are either "SPEC <name>" — switch to serving the named spec, built via
+// build — or a decimal cell index for the current spec. One JSON result line
+// per cell goes to w, carrying the cell's wall-clock nanoseconds so the
+// coordinator can balance future shard assignments by measured cost.
+// initial, if non-nil, is the spec served before any SPEC line (the
+// single-spec compatibility mode).
+func ServePool(initial *Spec, build func(name string) (*Spec, error), r io.Reader, w io.Writer) error {
+	cur := initial
+	if cur != nil {
+		if err := cur.Validate(); err != nil {
+			return err
+		}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if name, ok := strings.CutPrefix(line, "SPEC "); ok {
+			name = strings.TrimSpace(name)
+			if cur != nil && cur.Name == name {
+				continue
+			}
+			s, err := build(name)
+			if err != nil {
+				return err
+			}
+			if err := s.Validate(); err != nil {
+				return err
+			}
+			cur = s
+			continue
+		}
+		if cur == nil {
+			return fmt.Errorf("runner: cell assignment %q before any SPEC line", line)
+		}
+		msg, err := serveCell(cur, line)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(msg); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

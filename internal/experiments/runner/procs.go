@@ -1,41 +1,43 @@
 package runner
 
 import (
-	"bufio"
-	"encoding/json"
 	"fmt"
 	"io"
 	"os/exec"
 	"strconv"
-	"strings"
-	"sync"
-	"sync/atomic"
+	"time"
 )
 
 // cellMsg is one worker-protocol response: the cell index it answers, and
-// either the cell's values or the error it failed with.
+// either the cell's values (plus its wall-clock nanoseconds, for timing-
+// balanced shard planning) or the error it failed with.
 type cellMsg struct {
 	Idx    int       `json:"i"`
 	Values []float64 `json:"v,omitempty"`
+	Nanos  int64     `json:"ns,omitempty"`
 	Err    string    `json:"err,omitempty"`
 }
 
-// Procs evaluates cells across worker subprocesses. The coordinator streams
-// cell indices (one decimal per line) to each worker's stdin and reads one
-// JSON result line per cell from its stdout; assignment is dynamic, so slow
-// cells do not stall the other workers. Workers exit when their stdin is
-// closed. Results are keyed by cell index, so the schedule — which worker
-// evaluated which cell, and in which order — cannot affect the reduced
-// table.
+// Procs evaluates one spec's cells across worker subprocesses: a
+// single-spec convenience over Pool. The coordinator streams cell indices
+// (one decimal per line) to each worker's stdin and reads one JSON result
+// line per cell from its stdout; assignment is dynamic, so slow cells do
+// not stall the other workers, and results are keyed by cell index, so the
+// schedule cannot affect the reduced table. A worker that dies or answers
+// out of protocol is respawned and its in-flight cell requeued; only a cell
+// that fails Retries+1 times fails the run. For a multi-spec selection,
+// create one Pool instead so workers survive spec boundaries.
 type Procs struct {
 	// N is the number of worker processes; 0 means 1.
 	N int
 	// Command prepares one worker process: a command that speaks the worker
-	// protocol for this spec on its stdin/stdout (for cmd/figures, the
-	// binary re-invoked with -worker -spec <name> and the experiment
-	// options). Stdin/Stdout must be left unset — the coordinator wires
-	// them to pipes.
+	// protocol on its stdin/stdout (for cmd/figures, the binary re-invoked
+	// with -worker and the experiment options). Stdin/Stdout must be left
+	// unset — the coordinator wires them to pipes.
 	Command func() (*exec.Cmd, error)
+	// Retries is the per-cell re-attempt budget after the first failure;
+	// 0 selects DefaultCellRetries, negative disables requeueing.
+	Retries int
 }
 
 // Run implements Exec.
@@ -53,148 +55,45 @@ func (p Procs) Run(s *Spec) (*Grid, error) {
 	if n > s.Cells() {
 		n = s.Cells()
 	}
-
-	type result struct {
-		idx    int
-		values []float64
-	}
-	idxCh := make(chan int)
-	results := make(chan result, n)
-	errCh := make(chan error, n)
-	// After any worker fails the grid cannot complete; surviving workers
-	// stop evaluating queued cells instead of burning through the rest of
-	// a doomed paper-scale grid.
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-
-	worker := func() error {
-		cmd, err := p.Command()
-		if err != nil {
-			return err
-		}
-		stdin, err := cmd.StdinPipe()
-		if err != nil {
-			return err
-		}
-		stdout, err := cmd.StdoutPipe()
-		if err != nil {
-			return err
-		}
-		if err := cmd.Start(); err != nil {
-			return err
-		}
-		// On any protocol error, kill the worker so Wait cannot hang on a
-		// wedged subprocess.
-		defer cmd.Wait()
-		defer stdin.Close()
-		defer cmd.Process.Kill()
-		rd := bufio.NewReader(stdout)
-		for idx := range idxCh {
-			if failed.Load() {
-				continue // keep draining, stop spending
-			}
-			if _, err := fmt.Fprintf(stdin, "%d\n", idx); err != nil {
-				return fmt.Errorf("runner: worker write: %w", err)
-			}
-			line, err := rd.ReadString('\n')
-			if err != nil {
-				return fmt.Errorf("runner: worker died on cell %d: %w", idx, err)
-			}
-			var msg cellMsg
-			if err := json.Unmarshal([]byte(line), &msg); err != nil {
-				return fmt.Errorf("runner: bad worker response %q: %w", strings.TrimSpace(line), err)
-			}
-			if msg.Idx != idx {
-				return fmt.Errorf("runner: worker answered cell %d for cell %d", msg.Idx, idx)
-			}
-			if msg.Err != "" {
-				return fmt.Errorf("runner: spec %s cell %d: %s", s.Name, idx, msg.Err)
-			}
-			if msg.Values == nil {
-				return fmt.Errorf("runner: spec %s cell %d: empty worker result", s.Name, idx)
-			}
-			results <- result{idx, msg.Values}
-		}
-		stdin.Close() // EOF: orderly worker exit
-		if err := cmd.Wait(); err != nil {
-			return fmt.Errorf("runner: worker exit: %w", err)
-		}
-		return nil
-	}
-
-	wg.Add(n)
-	for w := 0; w < n; w++ {
-		go func() {
-			defer wg.Done()
-			if err := worker(); err != nil {
-				failed.Store(true)
-				errCh <- err
-				// Drain assignments so the feeder never blocks on a dead
-				// worker pool.
-				for range idxCh {
-				}
-			}
-		}()
-	}
-	go func() {
-		for idx := 0; idx < s.Cells(); idx++ {
-			idxCh <- idx
-		}
-		close(idxCh)
-		wg.Wait()
-		close(results)
-	}()
-
-	g := NewGrid(s)
-	for r := range results {
-		if err := g.Set(r.idx, r.values); err != nil {
-			return nil, err
-		}
-	}
-	select {
-	case err := <-errCh:
-		return nil, err
-	default:
-	}
-	return g, nil
+	pool := NewPool(n, p.Retries, p.Command)
+	defer pool.Close()
+	return pool.Run(s)
 }
 
-// ServeWorker runs the worker half of the Procs protocol: it reads cell
-// indices from r (one decimal per line), evaluates them, and writes one JSON
-// result line per cell to w, until r reaches EOF. cmd/figures calls this in
-// -worker mode with the spec rebuilt from its name.
+// ServeWorker runs the worker half of the protocol for a single spec: it
+// reads assignments from r, evaluates them, and writes one JSON result line
+// per cell to w, until r reaches EOF. "SPEC <name>" lines are accepted but
+// must name this spec. cmd/figures -worker mode serves the whole registry
+// instead, via ServePool.
 func ServeWorker(s *Spec, r io.Reader, w io.Writer) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		idx, err := strconv.Atoi(line)
-		if err != nil {
-			return fmt.Errorf("runner: bad cell assignment %q: %w", line, err)
-		}
-		if idx < 0 || idx >= s.Cells() {
-			return fmt.Errorf("runner: cell assignment %d outside grid of %d cells", idx, s.Cells())
-		}
-		msg := cellMsg{Idx: idx}
-		xi, vi, run := s.Coords(idx)
-		if v, err := s.Cell(xi, vi, run); err != nil {
-			msg.Err = err.Error()
-		} else {
-			msg.Values = v
-		}
-		if err := enc.Encode(msg); err != nil {
-			return err
-		}
-		if err := bw.Flush(); err != nil {
-			return err
-		}
+	return ServePool(s, func(name string) (*Spec, error) {
+		return nil, fmt.Errorf("runner: single-spec worker for %s asked to serve %s", s.Name, name)
+	}, r, w)
+}
+
+// serveCell evaluates one assignment line against the spec and builds the
+// reply. Cell failures travel inside the message — the worker stays up; only
+// malformed assignments are protocol errors that bring the worker down.
+func serveCell(s *Spec, line string) (cellMsg, error) {
+	idx, err := strconv.Atoi(line)
+	if err != nil {
+		return cellMsg{}, fmt.Errorf("runner: bad cell assignment %q: %w", line, err)
 	}
-	return sc.Err()
+	if idx < 0 || idx >= s.Cells() {
+		return cellMsg{}, fmt.Errorf("runner: cell assignment %d outside grid of %d cells", idx, s.Cells())
+	}
+	msg := cellMsg{Idx: idx}
+	xi, vi, run := s.Coords(idx)
+	start := time.Now()
+	v, err := s.Cell(xi, vi, run)
+	if err != nil {
+		msg.Err = err.Error()
+		return msg, nil
+	}
+	msg.Values = v
+	msg.Nanos = time.Since(start).Nanoseconds()
+	return msg, nil
 }

@@ -12,10 +12,14 @@
 // Execution goes through a pluggable Exec backend:
 //
 //   - Local runs cells on a bounded worker pool inside the current process.
-//   - Procs forks worker subprocesses (cmd/figures -worker) and streams cell
-//     assignments to them over pipes.
+//   - Pool shares one set of worker subprocesses (cmd/figures -worker)
+//     across a whole multi-spec selection, streaming cell assignments over
+//     pipes; a crashed worker is respawned and its in-flight cell requeued.
+//   - Procs is the single-spec convenience over Pool.
 //   - Shard evaluates a deterministic subset of the grid, for multi-machine
-//     runs whose partial results are merged later (trace.MergePartials).
+//     runs whose partial results are merged later (trace.MergePartials);
+//     CellSet evaluates an explicit cell list, for timing-balanced plans
+//     (trace.PlanShards).
 package runner
 
 import (
@@ -23,6 +27,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/trace"
 )
@@ -82,15 +87,19 @@ func (s *Spec) Coords(idx int) (xi, vi, run int) {
 }
 
 // Grid holds cell results. A nil entry is a cell that has not been evaluated
-// (shard runs produce deliberately incomplete grids).
+// (shard runs produce deliberately incomplete grids). Alongside each result
+// the grid records the cell's evaluation wall-clock, which rides along in
+// partial files so shard assignments can be balanced by measured cost; the
+// timings never reach the reduced table.
 type Grid struct {
 	spec  *Spec
 	cells [][]float64
+	nanos []int64
 }
 
 // NewGrid returns an empty grid for the spec.
 func NewGrid(s *Spec) *Grid {
-	return &Grid{spec: s, cells: make([][]float64, s.Cells())}
+	return &Grid{spec: s, cells: make([][]float64, s.Cells()), nanos: make([]int64, s.Cells())}
 }
 
 // Spec returns the spec the grid belongs to.
@@ -98,6 +107,11 @@ func (g *Grid) Spec() *Spec { return g.spec }
 
 // Set stores a cell result by flat index.
 func (g *Grid) Set(idx int, values []float64) error {
+	return g.SetTimed(idx, values, 0)
+}
+
+// SetTimed stores a cell result and its evaluation wall-clock.
+func (g *Grid) SetTimed(idx int, values []float64, nanos int64) error {
 	if idx < 0 || idx >= len(g.cells) {
 		return fmt.Errorf("runner: cell index %d outside grid of %d cells", idx, len(g.cells))
 	}
@@ -105,8 +119,13 @@ func (g *Grid) Set(idx int, values []float64) error {
 		return fmt.Errorf("runner: nil result for cell %d", idx)
 	}
 	g.cells[idx] = values
+	g.nanos[idx] = nanos
 	return nil
 }
+
+// Nanos returns the recorded evaluation wall-clock of one cell (0 if the
+// cell is missing or was stored untimed).
+func (g *Grid) Nanos(idx int) int64 { return g.nanos[idx] }
 
 // Cell returns the result of one cell (nil if missing).
 func (g *Grid) Cell(xi, vi, run int) []float64 {
@@ -161,7 +180,7 @@ func (g *Grid) Partial(seed int64, quick bool, shard, shards int) *trace.Partial
 	}
 	for idx, c := range g.cells {
 		if c != nil {
-			p.Results = append(p.Results, trace.CellResult{Idx: idx, Values: c})
+			p.Results = append(p.Results, trace.CellResult{Idx: idx, Values: c, Nanos: g.nanos[idx]})
 		}
 	}
 	return p
@@ -178,7 +197,7 @@ func FromPartial(s *Spec, p *trace.Partial) (*Grid, error) {
 	}
 	g := NewGrid(s)
 	for _, r := range p.Results {
-		if err := g.Set(r.Idx, r.Values); err != nil {
+		if err := g.SetTimed(r.Idx, r.Values, r.Nanos); err != nil {
 			return nil, err
 		}
 	}
@@ -270,6 +289,7 @@ func runCells(s *Spec, idxs []int, workers int) (*Grid, error) {
 			return
 		}
 		xi, vi, run := s.Coords(idx)
+		start := time.Now()
 		v, err := s.Cell(xi, vi, run)
 		if err != nil {
 			errs[idx] = err
@@ -282,6 +302,7 @@ func runCells(s *Spec, idxs []int, workers int) (*Grid, error) {
 			return
 		}
 		g.cells[idx] = v
+		g.nanos[idx] = time.Since(start).Nanoseconds()
 	}
 	if workers <= 1 {
 		for _, idx := range idxs {
@@ -338,4 +359,32 @@ func (sh Shard) Run(s *Spec) (*Grid, error) {
 		idxs = append(idxs, idx)
 	}
 	return runCells(s, idxs, sh.Workers)
+}
+
+// CellSet evaluates an explicit set of cells on a Local pool — the
+// planned-shard path, where a timing plan (trace.PlanShards) rather than
+// index arithmetic picks each machine's cells. Like Shard, the resulting
+// grid is incomplete by design; persist it with Grid.Partial and merge.
+type CellSet struct {
+	Idxs []int
+	// Workers bounds the local pool, as in Local.
+	Workers int
+}
+
+// Run implements Exec.
+func (c CellSet) Run(s *Spec) (*Grid, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	seen := make(map[int]bool, len(c.Idxs))
+	for _, idx := range c.Idxs {
+		if idx < 0 || idx >= s.Cells() {
+			return nil, fmt.Errorf("runner: cell set index %d outside grid of %d cells", idx, s.Cells())
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("runner: cell set repeats index %d", idx)
+		}
+		seen[idx] = true
+	}
+	return runCells(s, c.Idxs, c.Workers)
 }

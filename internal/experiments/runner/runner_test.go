@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -8,6 +9,7 @@ import (
 	"reflect"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -46,16 +48,64 @@ func testSpec(xs, variants, runs int) *Spec {
 	return s
 }
 
-func TestMain(m *testing.M) {
-	// Re-executed as a Procs worker: speak the worker protocol for the
-	// shared test spec on stdin/stdout, then exit.
-	if dims := os.Getenv("RUNNER_TEST_WORKER"); dims != "" {
+// buildTestSpec resolves the spec names the test worker can serve:
+//
+//	runner-test          the shared test spec, dims from RUNNER_TEST_WORKER
+//	grid-XxVxR           a coordinate-encoding grid of the given dimensions
+//	failcell-XxVxR       like grid-, but every cell with xi == 1 errors
+//	work-XxVxR-K         like grid-, plus K iterations of float work per cell
+func buildTestSpec(name string) (*Spec, error) {
+	if name == "runner-test" {
 		var xs, variants, runs int
-		if _, err := fmt.Sscanf(dims, "%d,%d,%d", &xs, &variants, &runs); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if _, err := fmt.Sscanf(os.Getenv("RUNNER_TEST_WORKER"), "%d,%d,%d", &xs, &variants, &runs); err != nil {
+			return nil, fmt.Errorf("runner-test dims: %w", err)
 		}
-		if err := ServeWorker(testSpec(xs, variants, runs), os.Stdin, os.Stdout); err != nil {
+		return testSpec(xs, variants, runs), nil
+	}
+	var xs, variants, runs, work int
+	if _, err := fmt.Sscanf(name, "grid-%dx%dx%d", &xs, &variants, &runs); err == nil {
+		s := testSpec(xs, variants, runs)
+		s.Name = name
+		return s, nil
+	}
+	if _, err := fmt.Sscanf(name, "failcell-%dx%dx%d", &xs, &variants, &runs); err == nil {
+		s := testSpec(xs, variants, runs)
+		s.Name = name
+		inner := s.Cell
+		s.Cell = func(xi, vi, run int) ([]float64, error) {
+			if xi == 1 {
+				return nil, fmt.Errorf("kaput x=%d v=%d run=%d", xi, vi, run)
+			}
+			return inner(xi, vi, run)
+		}
+		return s, nil
+	}
+	if _, err := fmt.Sscanf(name, "work-%dx%dx%d-%d", &xs, &variants, &runs, &work); err == nil {
+		s := testSpec(xs, variants, runs)
+		s.Name = name
+		inner := s.Cell
+		s.Cell = func(xi, vi, run int) ([]float64, error) {
+			x := 1.0
+			for k := 0; k < work; k++ {
+				x = x*1.0000001 + float64(k%7)
+			}
+			_ = x
+			return inner(xi, vi, run)
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("unknown test spec %q", name)
+}
+
+func TestMain(m *testing.M) {
+	// Re-executed as a pool worker: speak the worker protocol on
+	// stdin/stdout (SPEC lines select the grid), then exit.
+	if os.Getenv("RUNNER_TEST_WORKER") != "" {
+		var out io.Writer = os.Stdout
+		if n, _ := strconv.Atoi(os.Getenv("RUNNER_TEST_DIE_AFTER")); n > 0 {
+			out = &DieAfterWriter{W: os.Stdout, Lines: n}
+		}
+		if err := ServePool(nil, buildTestSpec, os.Stdin, out); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -258,9 +308,32 @@ func TestServeWorkerProtocol(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	want := "{\"i\":3,\"v\":[101,1]}\n{\"i\":0,\"v\":[0,0]}\n"
-	if string(out) != want {
-		t.Fatalf("worker wrote %q, want %q", out, want)
+	// One JSON line per cell, answering the asked index with the
+	// coordinate-encoding values; the ns timing field may or may not appear.
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	want := []struct {
+		idx    int
+		values []float64
+	}{{3, []float64{101, 1}}, {0, []float64{0, 0}}}
+	if len(lines) != len(want) {
+		t.Fatalf("worker wrote %d lines, want %d: %q", len(lines), len(want), out)
+	}
+	for i, line := range lines {
+		var msg struct {
+			Idx    int       `json:"i"`
+			Values []float64 `json:"v"`
+			Nanos  int64     `json:"ns"`
+			Err    string    `json:"err"`
+		}
+		if err := json.Unmarshal([]byte(line), &msg); err != nil {
+			t.Fatalf("line %d %q: %v", i, line, err)
+		}
+		if msg.Err != "" || msg.Idx != want[i].idx || !reflect.DeepEqual(msg.Values, want[i].values) {
+			t.Fatalf("line %d = %+v, want idx %d values %v", i, msg, want[i].idx, want[i].values)
+		}
+		if msg.Nanos < 0 {
+			t.Fatalf("line %d negative timing %d", i, msg.Nanos)
+		}
 	}
 }
 

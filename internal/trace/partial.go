@@ -8,10 +8,15 @@ import (
 )
 
 // CellResult is one evaluated grid cell of a sharded experiment run: the
-// cell's flat index and the values it produced.
+// cell's flat index, the values it produced, and the wall-clock the
+// evaluation took. Timings are provenance, not results — they feed
+// timing-balanced shard planning (PlanShards) and never reach the reduced
+// table, so two runs of the same shard may differ in Nanos while staying
+// bit-identical in Values.
 type CellResult struct {
 	Idx    int       `json:"idx"`
 	Values []float64 `json:"values"`
+	Nanos  int64     `json:"ns,omitempty"`
 }
 
 // Partial is the mergeable on-disk result of evaluating a subset of an
@@ -67,6 +72,17 @@ func (p *Partial) Complete() bool {
 	return len(p.Results) == p.Cells
 }
 
+// TotalNanos sums the recorded evaluation wall-clock of the partial's cells
+// — the per-shard cost `figures -merge` reports, and the quantity a timing
+// plan balances across machines.
+func (p *Partial) TotalNanos() int64 {
+	var total int64
+	for _, r := range p.Results {
+		total += r.Nanos
+	}
+	return total
+}
+
 // WritePartial serialises the partial as indented JSON.
 func WritePartial(w io.Writer, p *Partial) error {
 	if err := p.Validate(); err != nil {
@@ -101,7 +117,7 @@ func MergePartials(parts ...*Partial) (*Partial, error) {
 	}
 	first := parts[0]
 	merged := &Partial{Figure: first.Figure, Seed: first.Seed, Quick: first.Quick, Cells: first.Cells}
-	byIdx := make(map[int][]float64, first.Cells)
+	byIdx := make(map[int]CellResult, first.Cells)
 	for _, p := range parts {
 		if err := p.Validate(); err != nil {
 			return nil, err
@@ -118,18 +134,20 @@ func MergePartials(parts ...*Partial) (*Partial, error) {
 				first.Figure, first.Cells, p.Cells)
 		}
 		for _, r := range p.Results {
+			// Overlapping cells must agree bit-exactly on values; timings are
+			// provenance and may differ — the first occurrence wins.
 			if prev, ok := byIdx[r.Idx]; ok {
-				if !sameValues(prev, r.Values) {
+				if !sameValues(prev.Values, r.Values) {
 					return nil, fmt.Errorf("trace: partials of %s conflict on cell %d", first.Figure, r.Idx)
 				}
 				continue
 			}
-			byIdx[r.Idx] = r.Values
+			byIdx[r.Idx] = r
 		}
 	}
 	merged.Results = make([]CellResult, 0, len(byIdx))
-	for idx, v := range byIdx {
-		merged.Results = append(merged.Results, CellResult{Idx: idx, Values: v})
+	for _, r := range byIdx {
+		merged.Results = append(merged.Results, r)
 	}
 	sort.Slice(merged.Results, func(i, j int) bool { return merged.Results[i].Idx < merged.Results[j].Idx })
 	return merged, nil

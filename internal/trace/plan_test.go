@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func timedPartial(nanos []int64) *Partial {
+	p := &Partial{Figure: "f", Seed: 1, Cells: len(nanos)}
+	for idx, ns := range nanos {
+		p.Results = append(p.Results, CellResult{Idx: idx, Values: []float64{float64(idx)}, Nanos: ns})
+	}
+	return p
+}
+
+func TestPlanShardsLPT(t *testing.T) {
+	// LPT greedy: cells sorted longest-first, each to the least-loaded
+	// shard. 10,9,8,2,2,2 over 2 shards → {10,2,2,2}=16 and {9,8}=17.
+	p := timedPartial([]int64{10, 9, 8, 2, 2, 2})
+	pl, err := PlanShards(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2, 2, 1, 1, 1}; !reflect.DeepEqual(pl.Assign, want) {
+		t.Fatalf("assignment %v, want %v", pl.Assign, want)
+	}
+	if pl.ShardNanos[0] != 16 || pl.ShardNanos[1] != 17 {
+		t.Fatalf("predicted loads %v", pl.ShardNanos)
+	}
+	if got := pl.ShardCells(2); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("shard 2 cells %v", got)
+	}
+	// Every cell lands on exactly one shard — the split is a partition.
+	covered := 0
+	for sh := 1; sh <= pl.Shards; sh++ {
+		covered += len(pl.ShardCells(sh))
+	}
+	if covered != p.Cells {
+		t.Fatalf("plan covers %d of %d cells", covered, p.Cells)
+	}
+}
+
+func TestPlanShardsDeterministicTies(t *testing.T) {
+	// Equal timings: order falls back to cell index, shards to shard
+	// number, so the plan is reproducible.
+	p := timedPartial([]int64{5, 5, 5, 5})
+	a, err := PlanShards(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlanShards(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Assign, b.Assign) {
+		t.Fatalf("plans differ across runs: %v vs %v", a.Assign, b.Assign)
+	}
+	if want := []int{1, 2, 1, 2}; !reflect.DeepEqual(a.Assign, want) {
+		t.Fatalf("tie-broken assignment %v, want %v", a.Assign, want)
+	}
+}
+
+func TestPlanShardsUntimedCells(t *testing.T) {
+	// Cells without timings (older partials) still spread across shards.
+	p := timedPartial([]int64{0, 0, 0, 0, 0, 0})
+	pl, err := PlanShards(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sh := 1; sh <= 3; sh++ {
+		if got := len(pl.ShardCells(sh)); got != 2 {
+			t.Fatalf("shard %d got %d cells", sh, got)
+		}
+	}
+}
+
+func TestPlanShardsMixedTimedUntimed(t *testing.T) {
+	// Untimed cells (older partials) must spread by cell count even when
+	// the timed cells have already made the loads unequal — an untimed
+	// cell adds no load, so chasing the least-loaded shard would pile
+	// every one of them onto the same machine.
+	p := timedPartial([]int64{10, 7, 0, 0, 0, 0, 0, 0})
+	pl, err := PlanShards(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sh := 1; sh <= 2; sh++ {
+		if got := len(pl.ShardCells(sh)); got != 4 {
+			t.Fatalf("shard %d got %d of 8 cells: %v", sh, got, pl.Assign)
+		}
+	}
+	if pl.ShardNanos[0] != 10 || pl.ShardNanos[1] != 7 {
+		t.Fatalf("timed load split %v", pl.ShardNanos)
+	}
+}
+
+func TestPlanShardsRejectsIncomplete(t *testing.T) {
+	p := timedPartial([]int64{1, 2})
+	p.Cells = 3
+	if _, err := PlanShards(p, 2); err == nil {
+		t.Fatal("incomplete partial planned")
+	}
+	if _, err := PlanShards(timedPartial([]int64{1}), 0); err == nil {
+		t.Fatal("zero shards planned")
+	}
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	pl, err := PlanShards(timedPartial([]int64{7, 3, 3, 1}), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlan(&buf, pl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, pl) {
+		t.Fatalf("round trip mangled plan: %+v vs %+v", got, pl)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []*Plan{
+		{Figure: "", Cells: 1, Shards: 1, Assign: []int{1}},
+		{Figure: "f", Cells: 0, Shards: 1},
+		{Figure: "f", Cells: 2, Shards: 1, Assign: []int{1}},
+		{Figure: "f", Cells: 1, Shards: 1, Assign: []int{2}},
+		{Figure: "f", Cells: 1, Shards: 1, Assign: []int{0}},
+	}
+	for i, pl := range bad {
+		if err := pl.Validate(); err == nil {
+			t.Fatalf("bad plan %d validated", i)
+		}
+	}
+}
+
+func TestMergePartialsKeepsTimings(t *testing.T) {
+	a := &Partial{Figure: "f", Seed: 1, Cells: 2,
+		Results: []CellResult{{Idx: 0, Values: []float64{1}, Nanos: 100}}}
+	b := &Partial{Figure: "f", Seed: 1, Cells: 2,
+		Results: []CellResult{{Idx: 1, Values: []float64{2}, Nanos: 50}}}
+	m, err := MergePartials(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalNanos() != 150 {
+		t.Fatalf("merged timings %d, want 150", m.TotalNanos())
+	}
+	// Overlap with differing timings is not a conflict — values decide.
+	dup := &Partial{Figure: "f", Seed: 1, Cells: 2,
+		Results: []CellResult{{Idx: 0, Values: []float64{1}, Nanos: 999}}}
+	if _, err := MergePartials(a, b, dup); err != nil {
+		t.Fatalf("timing-only overlap rejected: %v", err)
+	}
+}
