@@ -18,20 +18,26 @@
 //	figures -only 3 -merge -partials parts/       # fold the shards' results
 //	figures -only 3 -plan 2 -partials parts/      # LPT plan from the timings
 //	figures -only 3 -shard 1/2 -withplan -partials parts/  # planned shard
+//	figures -only 3 -serve-workers :9131          # coordinator: wait for workers
+//	figures -worker -connect host:9131            # remote worker (any machine)
+//	figures -only 3 -resume -partials parts/      # fill cells a drain left behind
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -71,34 +77,54 @@ func main() {
 	merge := flag.Bool("merge", false, "merge shard partials from -partials and print the tables")
 	plan := flag.Int("plan", 0, "write an m-way timing-balanced shard plan from the partials of a previous run")
 	withPlan := flag.Bool("withplan", false, "with -shard i/m: evaluate the cells the plan file assigns to shard i instead of the modulo slice")
-	faultInject := flag.Int("faultinject", 0, "internal/testing: first worker subprocess exits after this many cells")
-	workerFlag := flag.Bool("worker", false, "internal: serve cells on stdin/stdout (SPEC lines select the grid)")
+	serveWorkers := flag.String("serve-workers", "", "coordinator mode: listen on this address for remote -connect workers instead of spawning subprocesses")
+	deadline := flag.Duration("deadline", 0, "fixed per-cell response deadline for pooled backends (0 = adaptive over observed cell times)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "how long a drain (SIGINT/SIGTERM) waits for in-flight cells (0 = 30s)")
+	resume := flag.Bool("resume", false, "evaluate the cells missing from the partials in -partials and write a resume partial")
+	faultInject := flag.String("faultinject", "", "internal/testing: inject a worker fault, kind:N[:delay] with kind exit|wedge|slow|garbage|disconnect (bare N = exit:N); applies to the first spawned worker with -procs, to this worker with -worker -connect")
+	workerFlag := flag.Bool("worker", false, "internal: serve cells on stdin/stdout (SPEC lines select the grid), or over TCP with -connect")
+	connect := flag.String("connect", "", "with -worker: dial the coordinator at this address and serve cells over TCP, reconnecting with backoff")
 	spec := flag.String("spec", "", "internal: spec served in -worker mode before any SPEC line")
 	flag.Parse()
 
+	fault, err := runner.ParseFault(*faultInject)
+	if err != nil {
+		log.Fatal(err)
+	}
 	opts := experiments.Options{Quick: *quickFlag, Seed: *seed}
 	if *workerFlag {
+		if *connect != "" {
+			if err := runner.ConnectWorker(*connect, func(name string) (*runner.Spec, error) {
+				return experiments.NewSpec(name, opts)
+			}, runner.WorkerOptions{Fault: fault, Logf: log.Printf}); err != nil {
+				log.Fatal(err)
+			}
+			return
+		}
 		if err := runWorker(*spec, opts); err != nil {
 			log.Fatal(err)
 		}
 		return
+	}
+	if *connect != "" {
+		log.Fatal("-connect requires -worker")
 	}
 
 	shardIdx, shardTotal, err := parseShard(*shard)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if (shardTotal > 0 || *merge || *plan > 0) && *partials == "" {
-		log.Fatal("-shard, -merge, and -plan require -partials")
+	if (shardTotal > 0 || *merge || *plan > 0 || *resume) && *partials == "" {
+		log.Fatal("-shard, -merge, -plan, and -resume require -partials")
 	}
 	modes := 0
-	for _, on := range []bool{shardTotal > 0, *merge, *plan > 0} {
+	for _, on := range []bool{shardTotal > 0, *merge, *plan > 0, *resume, *serveWorkers != ""} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		log.Fatal("-shard, -merge, and -plan are mutually exclusive")
+		log.Fatal("-shard, -merge, -plan, -resume, and -serve-workers are mutually exclusive")
 	}
 	if shardTotal > 0 && *csvDir != "" {
 		log.Fatal("-shard emits partial files only; use -csvdir on the -merge run")
@@ -106,8 +132,8 @@ func main() {
 	if *withPlan && shardTotal == 0 {
 		log.Fatal("-withplan requires -shard")
 	}
-	if *faultInject > 0 && *procs <= 0 {
-		log.Fatal("-faultinject requires -procs")
+	if fault != nil && *procs <= 0 {
+		log.Fatal("-faultinject requires -procs (or a -worker -connect worker)")
 	}
 	selected, err := selectFigures(*only)
 	if err != nil {
@@ -121,8 +147,28 @@ func main() {
 		}
 	}
 
-	if *procs > 0 && shardTotal == 0 && !*merge && *plan == 0 {
-		if err := runPooled(selected, opts, *procs, *faultInject, *csvDir); err != nil {
+	cfg := runner.Config{
+		Deadline:     runner.DeadlineConfig{Fixed: *deadline},
+		DrainTimeout: *drainTimeout,
+	}
+	if *serveWorkers != "" {
+		tr, err := runner.Listen(*serveWorkers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("waiting for workers on %s", tr.Addr())
+		pool := runner.NewPoolTransport(tr, cfg)
+		defer pool.Close()
+		if err := runPooled(pool, selected, opts, *csvDir, *partials); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *procs > 0 && shardTotal == 0 && !*merge && *plan == 0 && !*resume {
+		pool := runner.NewPoolTransport(
+			&runner.PipeTransport{N: *procs, Command: workerCommand(opts, fault)}, cfg)
+		defer pool.Close()
+		if err := runPooled(pool, selected, opts, *csvDir, *partials); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -143,6 +189,10 @@ func main() {
 			if err := runShard(sp, opts, shardIdx, shardTotal, *workers, *partials, *withPlan); err != nil {
 				log.Fatalf("figure %s: %v", name, err)
 			}
+		case *resume:
+			if err := runResume(sp, opts, *workers, *partials); err != nil {
+				log.Fatalf("figure %s: %v", name, err)
+			}
 		case *merge:
 			tab, err := mergeShards(sp, opts, *partials)
 			if err != nil {
@@ -160,12 +210,18 @@ func main() {
 	}
 }
 
-// runPooled evaluates the whole selection on one shared worker pool: the
-// same subprocesses serve cells from successive figures (announced with
-// SPEC protocol lines), so workers stay busy across figure boundaries
-// instead of draining and respawning per figure. Tables print in selection
-// order as each grid completes.
-func runPooled(selected []string, opts experiments.Options, procs, faultInject int, csvDir string) error {
+// runPooled evaluates the whole selection on one shared worker pool — the
+// same workers (subprocesses or remote TCP workers) serve cells from
+// successive figures (announced with SPEC protocol lines), so workers stay
+// busy across figure boundaries instead of draining and respawning per
+// figure. Tables print in selection order as each grid completes.
+//
+// SIGINT/SIGTERM drains instead of killing: the pool stops feeding cells,
+// collects in-flight results under the drain deadline, and every completed
+// cell of the not-yet-printed figures is written as a resumable partial
+// (<name>.shard-drain.json, into -partials or the current directory) for
+// `figures -resume` + `figures -merge` to finish without re-evaluating.
+func runPooled(pool *runner.Pool, selected []string, opts experiments.Options, csvDir, partialsDir string) error {
 	specs := make([]*runner.Spec, len(selected))
 	for i, name := range selected {
 		sp, err := experiments.NewSpec(name, opts)
@@ -174,18 +230,87 @@ func runPooled(selected []string, opts experiments.Options, procs, faultInject i
 		}
 		specs[i] = sp
 	}
-	pool := runner.NewPool(procs, 0, workerCommand(opts, faultInject))
-	defer pool.Close()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	go func() {
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		signal.Stop(sig) // a second signal kills the process the default way
+		log.Printf("received %v, draining: collecting in-flight cells, then writing partials", s)
+		pool.Drain()
+	}()
+
 	start := time.Now()
-	return pool.RunAll(specs, func(i int, g *runner.Grid) error {
-		tab, err := runner.Reduce(specs[i], g)
-		if err != nil {
-			return fmt.Errorf("figure %s: %w", selected[i], err)
+	grids, err := pool.RunAllGrids(specs, func(i int, g *runner.Grid) error {
+		tab, rerr := runner.Reduce(specs[i], g)
+		if rerr != nil {
+			return fmt.Errorf("figure %s: %w", selected[i], rerr)
 		}
 		emit(selected[i], tab, csvDir)
 		log.Printf("figure %s: done at %v", selected[i], time.Since(start).Round(time.Millisecond))
 		return nil
 	})
+	close(sig)
+	if errors.Is(err, runner.ErrDrained) {
+		dir := partialsDir
+		if dir == "" {
+			dir = "."
+		}
+		// Every figure gets a partial — the completed (already printed)
+		// ones too — so one `-resume` + `-merge` over the same selection
+		// reproduces the full output byte-identically.
+		for i, g := range grids {
+			p := g.Partial(opts.Seed, opts.Quick, 0, 0)
+			path := filepath.Join(dir, selected[i]+".shard-drain.json")
+			if werr := writeFileAtomic(path, func(w io.Writer) error {
+				return trace.WritePartial(w, p)
+			}); werr != nil {
+				return fmt.Errorf("drained, but writing %s failed: %w", path, werr)
+			}
+			log.Printf("figure %s: drained with %d of %d cells done; wrote %s",
+				selected[i], len(p.Results), p.Cells, path)
+		}
+		return fmt.Errorf("run drained before completing; finish it with -resume and -merge against %s", dir)
+	}
+	return err
+}
+
+// runResume finishes an interrupted run: it merges whatever partials exist
+// for the figure (drained, sharded, or earlier resumes — any mix), computes
+// the missing cells, evaluates exactly those in-process, and writes them as
+// <name>.shard-resume.json next to the others, so a following -merge sees
+// the complete grid. Output is byte-identical to an uninterrupted run: cell
+// results depend only on (figure, options, cell index), never on which
+// process computed them.
+func runResume(sp *runner.Spec, o experiments.Options, workers int, dir string) error {
+	merged, err := loadMerged(sp, o, dir)
+	if err != nil {
+		return err
+	}
+	missing := merged.MissingCells()
+	if len(missing) == 0 {
+		log.Printf("figure %s: partials already cover all %d cells; nothing to resume", sp.Name, merged.Cells)
+		return nil
+	}
+	log.Printf("figure %s: resuming %d of %d cells", sp.Name, len(missing), merged.Cells)
+	g, err := runner.CellSet{Idxs: missing, Workers: workers}.Run(sp)
+	if err != nil {
+		return err
+	}
+	p := g.Partial(o.Seed, o.Quick, 0, 0)
+	path := filepath.Join(dir, sp.Name+".shard-resume.json")
+	if err := writeFileAtomic(path, func(w io.Writer) error {
+		return trace.WritePartial(w, p)
+	}); err != nil {
+		return err
+	}
+	log.Printf("figure %s: wrote %s (%d cells, %v cell time)",
+		sp.Name, path, len(p.Results), time.Duration(p.TotalNanos()).Round(time.Millisecond))
+	return nil
 }
 
 // emit prints the table to stdout and optionally writes its CSV.
@@ -251,15 +376,24 @@ func runWorker(name string, o experiments.Options) error {
 	if n, _ := strconv.Atoi(os.Getenv("FIGURES_DIE_AFTER")); n > 0 {
 		out = &runner.DieAfterWriter{W: os.Stdout, Lines: n}
 	}
-	return runner.ServePool(initial, func(name string) (*runner.Spec, error) {
+	fault, err := runner.ParseFault(os.Getenv("FIGURES_FAULT"))
+	if err != nil {
+		return err
+	}
+	err = runner.ServePoolOpts(initial, func(name string) (*runner.Spec, error) {
 		return experiments.NewSpec(name, o)
-	}, os.Stdin, out)
+	}, os.Stdin, out, runner.ServeOptions{Fault: fault})
+	if errors.Is(err, runner.ErrBye) {
+		return nil
+	}
+	return err
 }
 
 // workerCommand re-invokes this binary in -worker mode. With fault
-// injection, only the first spawned worker gets the die-after budget —
-// respawned replacements are healthy, so the requeued cells complete.
-func workerCommand(o experiments.Options, faultInject int) func() (*exec.Cmd, error) {
+// injection, only the first spawned worker gets the fault (passed via the
+// FIGURES_FAULT environment variable) — respawned replacements are healthy,
+// so the requeued cells complete.
+func workerCommand(o experiments.Options, fault *runner.Fault) func() (*exec.Cmd, error) {
 	var spawned atomic.Int64
 	return func() (*exec.Cmd, error) {
 		exe, err := os.Executable()
@@ -272,8 +406,8 @@ func workerCommand(o experiments.Options, faultInject int) func() (*exec.Cmd, er
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stderr = os.Stderr
-		if faultInject > 0 && spawned.Add(1) == 1 {
-			cmd.Env = append(os.Environ(), "FIGURES_DIE_AFTER="+strconv.Itoa(faultInject))
+		if fault != nil && spawned.Add(1) == 1 {
+			cmd.Env = append(os.Environ(), "FIGURES_FAULT="+fault.String())
 		}
 		return cmd, nil
 	}
@@ -345,6 +479,9 @@ func runPlan(sp *runner.Spec, o experiments.Options, shards int, dir string) err
 	if err != nil {
 		return err
 	}
+	if err := checkCoverage(merged); err != nil {
+		return err
+	}
 	pl, err := trace.PlanShards(merged, shards)
 	if err != nil {
 		return err
@@ -409,11 +546,37 @@ func mergeShards(sp *runner.Spec, o experiments.Options, dir string) (*trace.Tab
 	if err != nil {
 		return nil, err
 	}
+	if err := checkCoverage(merged); err != nil {
+		return nil, err
+	}
 	g, err := runner.FromPartial(sp, merged)
 	if err != nil {
 		return nil, err
 	}
 	return runner.Reduce(sp, g)
+}
+
+// checkCoverage rejects a merged partial that does not cover the whole
+// grid, naming the missing cell indices — the guard that keeps -merge and
+// -plan from silently reducing an interrupted run. A -resume run fills
+// exactly these cells.
+func checkCoverage(merged *trace.Partial) error {
+	missing := merged.MissingCells()
+	if len(missing) == 0 {
+		return nil
+	}
+	shown := missing
+	suffix := ""
+	if len(shown) > 20 {
+		shown = shown[:20]
+		suffix = fmt.Sprintf(", ... (%d more)", len(missing)-20)
+	}
+	idxs := make([]string, len(shown))
+	for i, c := range shown {
+		idxs[i] = strconv.Itoa(c)
+	}
+	return fmt.Errorf("partials cover %d of %d cells; missing cells %s%s (run the missing shards, or figures -resume)",
+		len(merged.Results), merged.Cells, strings.Join(idxs, ","), suffix)
 }
 
 // parseShard parses "i/m" into a 1-based shard split; "" means no shard.

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/experiments/runner"
@@ -328,5 +329,138 @@ func TestShardMergeRoundTrip(t *testing.T) {
 	}
 	if _, err := mergeShards(sp, o, dir); err == nil {
 		t.Fatal("merge reduced an incomplete grid")
+	}
+}
+
+// TestMergeReportsMissingCells pins the coverage check's shape: a merge
+// over incomplete partials must name the missing cell indices.
+func TestMergeReportsMissingCells(t *testing.T) {
+	dir := t.TempDir()
+	o := experiments.Options{Quick: true, Seed: 7}
+	sp, err := experiments.NewSpec("13", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runShard(sp, o, 2, 2, 0, dir, false); err != nil { // shard 2 only
+		t.Fatal(err)
+	}
+	_, err = mergeShards(sp, o, dir)
+	if err == nil {
+		t.Fatal("merge reduced an incomplete grid")
+	}
+	if !strings.Contains(err.Error(), "missing cells") || !strings.Contains(err.Error(), "0") {
+		t.Fatalf("coverage error %q does not list the missing cells", err)
+	}
+	if !strings.Contains(err.Error(), "-resume") {
+		t.Fatalf("coverage error %q does not point at -resume", err)
+	}
+}
+
+// TestResumeFillsMissingCells finishes a half-covered run with -resume and
+// checks the merge is then bit-identical to the in-process table — the
+// drain-partial recovery recipe end to end.
+func TestResumeFillsMissingCells(t *testing.T) {
+	dir := t.TempDir()
+	o := experiments.Options{Quick: true, Seed: 7}
+	sp, err := experiments.NewSpec("13", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runShard(sp, o, 1, 2, 0, dir, false); err != nil { // half the grid
+		t.Fatal(err)
+	}
+	if err := runResume(sp, o, 0, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "13.shard-resume.json")); err != nil {
+		t.Fatalf("resume partial not written: %v", err)
+	}
+	got, err := mergeShards(sp, o, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.Figure13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed merge differs from in-process run")
+	}
+	// A second resume over the now-complete partials is a no-op, not an
+	// error — and must not disturb the merge.
+	if err := runResume(sp, o, 0, dir); err != nil {
+		t.Fatalf("resume over complete partials: %v", err)
+	}
+	if got2, err := mergeShards(sp, o, dir); err != nil || !reflect.DeepEqual(got2, want) {
+		t.Fatalf("merge after no-op resume changed: %v", err)
+	}
+}
+
+// TestWorkerModeFaultMatrix drives every -faultinject mode through the
+// real worker subprocess (via FIGURES_FAULT, as workerCommand sets it) and
+// requires the table to stay identical to the in-process run: each fault
+// converts into requeue-and-recover, never into wrong output.
+func TestWorkerModeFaultMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	o := experiments.Options{Quick: true, Seed: 7}
+	sp, err := experiments.NewSpec("13", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.Figure13(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"exit:2", "garbage:2", "disconnect:2", "slow:1:50ms", "wedge:2:2s"} {
+		t.Run(mode, func(t *testing.T) {
+			fault, err := runner.ParseFault(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var spawned atomic.Int64
+			// One slot, so the faulty first worker necessarily serves the
+			// cell that arms its fault.
+			pool := runner.NewPoolTransport(&runner.PipeTransport{
+				N: 1,
+				Command: func() (*exec.Cmd, error) {
+					cmd := exec.Command(exe)
+					cmd.Env = append(os.Environ(),
+						"FIGURES_TEST_WORKER=13",
+						"FIGURES_TEST_SEED=7")
+					if spawned.Add(1) == 1 {
+						cmd.Env = append(cmd.Env, "FIGURES_FAULT="+fault.String())
+					}
+					cmd.Stderr = os.Stderr
+					return cmd, nil
+				},
+			}, runner.Config{
+				// A firm deadline so the wedge mode converts in test time.
+				Deadline: runner.DeadlineConfig{Fixed: 500 * time.Millisecond},
+				Backoff:  runner.BackoffConfig{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond},
+			})
+			defer pool.Close()
+			g, err := pool.Run(sp)
+			if err != nil {
+				t.Fatalf("fault %s: %v", mode, err)
+			}
+			got, err := runner.Reduce(sp, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("fault %s: table differs from in-process run", mode)
+			}
+			// Every mode except slow breaks the worker; the pool must have
+			// replaced it.
+			if mode != "slow:1:50ms" && spawned.Load() < 2 {
+				t.Fatalf("fault %s: spawned %d workers, the faulty one was never replaced", mode, spawned.Load())
+			}
+		})
 	}
 }

@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseFault(t *testing.T) {
+	cases := []struct {
+		in   string
+		want *Fault
+	}{
+		{"", nil},
+		{"0", nil},
+		{"3", &Fault{Kind: "exit", After: 3}}, // pre-matrix bare-int syntax
+		{"exit:2", &Fault{Kind: "exit", After: 2}},
+		{"wedge:1", &Fault{Kind: "wedge", After: 1}},
+		{"wedge:1:500ms", &Fault{Kind: "wedge", After: 1, Delay: 500 * time.Millisecond}},
+		{"slow:0:50ms", &Fault{Kind: "slow", After: 0, Delay: 50 * time.Millisecond}},
+		{"garbage:4", &Fault{Kind: "garbage", After: 4}},
+		{"disconnect:1", &Fault{Kind: "disconnect", After: 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseFault(c.in)
+		if err != nil {
+			t.Errorf("ParseFault(%q): %v", c.in, err)
+			continue
+		}
+		if (got == nil) != (c.want == nil) {
+			t.Errorf("ParseFault(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		if got != nil && (got.Kind != c.want.Kind || got.After != c.want.After || got.Delay != c.want.Delay) {
+			t.Errorf("ParseFault(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// The String form must parse back to the same fault.
+		if got != nil {
+			back, err := ParseFault(got.String())
+			if err != nil || back.Kind != got.Kind || back.After != got.After || back.Delay != got.Delay {
+				t.Errorf("ParseFault(%q).String() = %q did not round-trip (%+v, %v)", c.in, got.String(), back, err)
+			}
+		}
+	}
+}
+
+func TestParseFaultRejectsMalformed(t *testing.T) {
+	for _, in := range []string{
+		"-2",            // negative exit count
+		"exit",          // missing count
+		"exit:x",        // non-integer count
+		"exit:-1",       // negative count
+		"bogus:1",       // unknown kind
+		"wedge:1:huh",   // unparseable delay
+		"wedge:1:-5s",   // negative delay
+		"exit:1:1s:huh", // too many fields
+	} {
+		if f, err := ParseFault(in); err == nil {
+			t.Errorf("ParseFault(%q) = %+v, want error", in, f)
+		}
+	}
+}

@@ -1,14 +1,15 @@
 package runner
 
 import (
-	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
-	"os"
 	"os/exec"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // DefaultCellRetries is how many times a cell is re-attempted after its
@@ -17,33 +18,138 @@ import (
 // workers — a deterministic failure — exhausts the budget.
 const DefaultCellRetries = 2
 
-// Pool is a fault-tolerant worker-subprocess pool shared across specs.
+// ErrDrained reports a run stopped by Drain: no new cells were fed after
+// the drain signal, in-flight results were collected under the drain
+// deadline, and the grids returned by RunAllGrids hold every completed
+// cell — convert them with Grid.Partial and persist, so a SIGTERM mid-run
+// loses no completed work.
+var ErrDrained = errors.New("runner: run drained")
+
+// Config tunes the pool's failure handling. The zero value selects the
+// production defaults throughout.
+type Config struct {
+	// Retries is the per-cell re-attempt budget after the first failure;
+	// 0 selects DefaultCellRetries, negative disables requeueing.
+	Retries int
+	// Deadline bounds how long one cell may stay unanswered before its
+	// worker is treated as wedged and recycled.
+	Deadline DeadlineConfig
+	// Backoff paces worker respawns, replacing immediate respawn so a
+	// crash-looping worker binary cannot spin the coordinator.
+	Backoff BackoffConfig
+	// HeartbeatTimeout retires an idle worker-driven connection that has
+	// sent nothing (not even heartbeats) for this long — the dead-peer
+	// detector for half-open TCP connections; 0 selects 15s. Pool-driven
+	// (pipe) connections don't need it: a dead subprocess is visible as
+	// pipe EOF immediately.
+	HeartbeatTimeout time.Duration
+	// RejoinGrace is how long a worker-driven pool holds a run at zero
+	// membership (after at least one worker had joined) waiting for a
+	// rejoin before failing it; 0 selects 10s.
+	RejoinGrace time.Duration
+	// DrainTimeout bounds how long a drain waits for in-flight cells
+	// before abandoning them; 0 selects 30s.
+	DrainTimeout time.Duration
+
+	// sleep and uniform are test hooks: a recording sleeper pins the
+	// respawn backoff schedule without real delays, a fixed uniform pins
+	// the jitter.
+	sleep   func(d time.Duration, cancel <-chan struct{})
+	uniform func() float64
+}
+
+func (c Config) withDefaults() Config {
+	switch {
+	case c.Retries == 0:
+		c.Retries = DefaultCellRetries
+	case c.Retries < 0:
+		c.Retries = 0
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 15 * time.Second
+	}
+	if c.RejoinGrace <= 0 {
+		c.RejoinGrace = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.sleep == nil {
+		c.sleep = sleepFor
+	}
+	return c
+}
+
+// sleepFor sleeps d unless cancel fires first.
+func sleepFor(d time.Duration, cancel <-chan struct{}) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-cancel:
+	}
+}
+
+// Pool is a fault-tolerant worker pool shared across specs, generic over
+// its Transport: the same coordinator drives worker subprocesses over
+// stdin/stdout pipes (PipeTransport, the -procs backend) or remote workers
+// over TCP (ListenTransport, the -serve-workers backend), with identical
+// requeue/retry logic and byte-identical output.
 //
-// Unlike Procs, which spins a pool up and drains it for every figure, a Pool
-// is created once for a whole selection: the same subprocesses serve cells
+// Unlike Procs, which spins a pool up and drains it for every figure, a
+// Pool is created once for a whole selection: the same workers serve cells
 // from successive specs (the coordinator announces spec switches with a
 // "SPEC <name>" protocol line), so workers stay busy across figure
 // boundaries instead of idling while one figure's tail cells finish and the
 // next figure's pool boots.
 //
-// The pool is also where failure is contained. When a worker process dies or
-// answers out of protocol, the coordinator kills and reaps it, respawns a
-// fresh process lazily, and requeues the in-flight cell; the grid only fails
-// once a single cell has failed Retries+1 times — a deterministic failure —
-// and the error names that cell. A cell-level error reported by a healthy
-// worker (the cell function itself returned an error) is retried on the same
-// budget without recycling the process.
+// The pool is also where failure is contained:
+//
+//   - A worker that dies or answers out of protocol is retired (killed and
+//     reaped for subprocesses) and its in-flight cell requeued; pipe slots
+//     respawn with exponential backoff and jitter.
+//   - A wedged-but-alive worker — no crash, no response — is converted
+//     into the same retire/requeue path by the per-cell response deadline
+//     (adaptive over observed cell wall-clock; see DeadlineConfig).
+//   - An idle worker-driven connection that stops heartbeating is retired
+//     (dead-peer detection), while a slow cell under its deadline is left
+//     alone: heartbeats distinguish slow from dead.
+//   - Worker-driven membership is elastic: workers join mid-run and are
+//     fed from the shared queue; workers may leave without failing the run
+//     as long as one remains (or rejoins within RejoinGrace), and when
+//     none do the error names the last worker failure.
+//   - The grid only fails once a single cell has failed Retries+1 times —
+//     a deterministic failure — and the error names that cell. A
+//     cell-level error reported by a healthy worker is retried on the same
+//     budget without recycling the worker.
+//   - Drain stops feeding new cells and collects in-flight results under a
+//     deadline, so a terminating coordinator can persist every completed
+//     cell as a resumable partial.
 type Pool struct {
-	command func() (*exec.Cmd, error)
-	retries int
+	tr    Transport
+	cfg   Config
+	track *deadlineTracker
+
+	taskCh chan poolTask
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	drainOnce sync.Once
+	drainCh   chan struct{}
+
+	live       atomic.Int64
+	everJoined atomic.Bool
+	lastErrMu  sync.Mutex
+	lastErr    error
 
 	mu     sync.Mutex // serialises RunAll; a Pool runs one selection at a time
-	taskCh chan poolTask
-	wg     sync.WaitGroup
 	closed bool
 }
 
-// poolTask is one cell assignment handed to a worker goroutine.
+// poolTask is one cell assignment handed to a worker connection.
 type poolTask struct {
 	spec    *Spec
 	specIdx int
@@ -62,35 +168,37 @@ type poolDone struct {
 	err     error
 }
 
-// NewPool starts n worker goroutines (n < 1 means 1) that will lazily spawn
-// subprocesses via command. retries is the per-cell re-attempt budget after
-// the first failure; 0 selects DefaultCellRetries, negative disables
-// requeueing — the same convention as Procs.Retries. Close the pool to shut
-// the subprocesses down.
+// NewPool starts a subprocess pool: n worker slots (n < 1 means 1) that
+// lazily spawn workers via command. retries follows the Config.Retries
+// convention. Close the pool to shut the subprocesses down.
 func NewPool(n, retries int, command func() (*exec.Cmd, error)) *Pool {
-	if n < 1 {
-		n = 1
-	}
-	switch {
-	case retries == 0:
-		retries = DefaultCellRetries
-	case retries < 0:
-		retries = 0
-	}
+	return NewPoolTransport(&PipeTransport{N: n, Command: command}, Config{Retries: retries})
+}
+
+// NewPoolTransport starts a pool over an arbitrary transport.
+func NewPoolTransport(tr Transport, cfg Config) *Pool {
 	p := &Pool{
-		command: command,
-		retries: retries,
+		tr:      tr,
+		cfg:     cfg.withDefaults(),
 		taskCh:  make(chan poolTask),
+		stopCh:  make(chan struct{}),
+		drainCh: make(chan struct{}),
 	}
-	p.wg.Add(n)
-	for w := 0; w < n; w++ {
-		go p.workerLoop()
+	p.track = newDeadlineTracker(p.cfg.Deadline)
+	for i := 0; i < tr.Slots(); i++ {
+		p.wg.Add(1)
+		go p.slotLoop()
+	}
+	if joined := tr.Joined(); joined != nil {
+		p.wg.Add(1)
+		go p.joinLoop(joined)
 	}
 	return p
 }
 
-// Close shuts the pool down: workers close their subprocesses' stdin (the
-// orderly-exit signal) and reap them. Close is idempotent.
+// Close shuts the pool down: worker connections are closed via the orderly
+// path (stdin EOF for subprocesses, BYE for TCP workers) and the transport
+// released. Close is idempotent.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -99,7 +207,37 @@ func (p *Pool) Close() {
 	}
 	p.closed = true
 	close(p.taskCh)
+	close(p.stopCh)
+	p.tr.Close()
 	p.wg.Wait()
+}
+
+// Drain asks the pool to stop feeding new cells: the active RunAllGrids
+// collects in-flight results under DrainTimeout and returns ErrDrained
+// with the partial grids. Drain is sticky — a drained pool starts no
+// further runs — and idempotent, the shape a SIGTERM handler needs.
+func (p *Pool) Drain() {
+	p.drainOnce.Do(func() { close(p.drainCh) })
+}
+
+// LiveWorkers reports the currently connected worker count.
+func (p *Pool) LiveWorkers() int { return int(p.live.Load()) }
+
+// noteLeave records a departed connection and, when it failed, the reason —
+// the "last failure" a zero-membership error names.
+func (p *Pool) noteLeave(err error) {
+	p.live.Add(-1)
+	if err != nil {
+		p.lastErrMu.Lock()
+		p.lastErr = err
+		p.lastErrMu.Unlock()
+	}
+}
+
+func (p *Pool) lastFailure() error {
+	p.lastErrMu.Lock()
+	defer p.lastErrMu.Unlock()
+	return p.lastErr
 }
 
 // Run implements Exec for a single spec.
@@ -122,23 +260,31 @@ func (p *Pool) Run(s *Spec) (*Grid, error) {
 // completes (it may be nil). On failure the already-dispatched cells are
 // drained before returning, so the pool stays usable for another RunAll.
 func (p *Pool) RunAll(specs []*Spec, emit func(i int, g *Grid) error) error {
+	_, err := p.RunAllGrids(specs, emit)
+	return err
+}
+
+// RunAllGrids is RunAll returning the per-spec grids. On ErrDrained the
+// grids hold every cell completed before the drain — persist them with
+// Grid.Partial; on other errors they are partial and best ignored.
+func (p *Pool) RunAllGrids(specs []*Spec, emit func(i int, g *Grid) error) ([]*Grid, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return fmt.Errorf("runner: RunAll on a closed pool")
+		return nil, fmt.Errorf("runner: RunAll on a closed pool")
 	}
-	if p.command == nil {
-		return fmt.Errorf("runner: pool without a worker command")
+	if pt, ok := p.tr.(*PipeTransport); ok && pt.Command == nil {
+		return nil, fmt.Errorf("runner: pool without a worker command")
 	}
 	if len(specs) == 0 {
-		return fmt.Errorf("runner: RunAll without specs")
+		return nil, fmt.Errorf("runner: RunAll without specs")
 	}
 	for _, s := range specs {
 		if err := s.Validate(); err != nil {
-			return err
+			return nil, err
 		}
 		if strings.ContainsAny(s.Name, " \t\r\n") {
-			return fmt.Errorf("runner: spec name %q cannot cross the worker protocol", s.Name)
+			return nil, fmt.Errorf("runner: spec name %q cannot cross the worker protocol", s.Name)
 		}
 	}
 
@@ -153,11 +299,44 @@ func (p *Pool) RunAll(specs []*Spec, emit func(i int, g *Grid) error) error {
 			pending = append(pending, queued{i, c, 0})
 		}
 	}
-	done := make(chan poolDone, cap(pending))
+	// Capacity covers every possible attempt, so a worker finishing an
+	// abandoned cell after a drain can always deposit its result without
+	// blocking.
+	done := make(chan poolDone, len(pending)*(p.cfg.Retries+1))
 	next := 0     // head of the pending queue (requeues are appended)
 	inflight := 0 // tasks handed to workers and not yet answered
 	emitted := 0  // specs whose grids have been emitted, in order
 	var failure error
+
+	draining := false
+	abandoned := false // drain deadline fired with cells still in flight
+	drainCh := p.drainCh
+	var drainTimer *time.Timer
+	var drainTimeout <-chan time.Time
+	startDrain := func() {
+		draining = true
+		drainCh = nil
+		drainTimer = time.NewTimer(p.cfg.DrainTimeout)
+		drainTimeout = drainTimer.C
+	}
+	defer func() {
+		if drainTimer != nil {
+			drainTimer.Stop()
+		}
+	}()
+
+	// Zero-membership detection for worker-driven transports: when every
+	// worker has left (after at least one had joined) and work remains,
+	// the run fails after RejoinGrace names the last failure — instead of
+	// hanging forever on a queue nobody serves.
+	workerDriven := p.tr.Slots() == 0
+	var memTickC <-chan time.Time
+	if workerDriven {
+		memTick := time.NewTicker(50 * time.Millisecond)
+		defer memTick.Stop()
+		memTickC = memTick.C
+	}
+	var zeroSince time.Time
 
 	maybeEmit := func() {
 		for failure == nil && emitted < len(specs) && remaining[emitted] == 0 {
@@ -172,15 +351,15 @@ func (p *Pool) RunAll(specs []*Spec, emit func(i int, g *Grid) error) error {
 	}
 
 	for {
-		if inflight == 0 && (failure != nil || next >= len(pending)) {
+		if abandoned || (inflight == 0 && (failure != nil || draining || next >= len(pending))) {
 			break
 		}
 		// Offer the next pending task and listen for completions at once;
-		// with no pending task (or a doomed run) the nil channel leaves only
-		// the drain case.
+		// with no pending task (or a doomed or draining run) the nil
+		// channel leaves only the drain cases.
 		var sendCh chan poolTask
 		var t poolTask
-		if failure == nil && next < len(pending) {
+		if failure == nil && !draining && next < len(pending) {
 			q := pending[next]
 			sendCh = p.taskCh
 			t = poolTask{spec: specs[q.specIdx], specIdx: q.specIdx, idx: q.idx, attempt: q.attempt, done: done}
@@ -195,7 +374,10 @@ func (p *Pool) RunAll(specs []*Spec, emit func(i int, g *Grid) error) error {
 				continue // draining a doomed run; drop the result
 			}
 			if d.err != nil {
-				if d.attempt >= p.retries {
+				if draining {
+					continue // not feeding; the cell stays unevaluated
+				}
+				if d.attempt >= p.cfg.Retries {
 					failure = fmt.Errorf("runner: spec %s cell %d failed after %d attempts: %w",
 						specs[d.specIdx].Name, d.idx, d.attempt+1, d.err)
 					continue
@@ -209,205 +391,332 @@ func (p *Pool) RunAll(specs []*Spec, emit func(i int, g *Grid) error) error {
 			}
 			remaining[d.specIdx]--
 			maybeEmit()
+		case <-drainCh:
+			startDrain()
+		case <-drainTimeout:
+			abandoned = true
+		case <-memTickC:
+			if failure == nil && !draining && p.everJoined.Load() && p.live.Load() == 0 &&
+				(next < len(pending) || inflight > 0) {
+				if zeroSince.IsZero() {
+					zeroSince = time.Now()
+				} else if time.Since(zeroSince) >= p.cfg.RejoinGrace {
+					last := p.lastFailure()
+					if last == nil {
+						last = errors.New("workers disconnected without reporting a failure")
+					}
+					failure = fmt.Errorf("runner: all workers left the pool with %d cells outstanding; last worker failure: %w",
+						len(pending)-next+inflight, last)
+				}
+			} else {
+				zeroSince = time.Time{}
+			}
 		}
 	}
-	return failure
+	if failure != nil {
+		return grids, failure
+	}
+	if draining || abandoned {
+		for _, r := range remaining {
+			if r != 0 {
+				return grids, ErrDrained
+			}
+		}
+	}
+	return grids, nil
 }
 
-// workerLoop owns one worker slot: it lazily spawns a subprocess, feeds it
-// tasks, and on any transport or protocol error kills and reaps the process
-// so the next task gets a fresh one. On pool shutdown a live subprocess is
-// closed via the orderly path (stdin EOF, then exactly one Wait).
-func (p *Pool) workerLoop() {
+// joinLoop serves worker-driven transports: every connection a worker
+// establishes becomes a serving goroutine fed from the shared task queue —
+// elastic membership, workers joining whenever they dial in.
+func (p *Pool) joinLoop(joined <-chan Conn) {
 	defer p.wg.Done()
-	var w *procWorker
-	defer func() {
-		if w != nil {
-			w.shutdown()
+	for {
+		select {
+		case c, ok := <-joined:
+			if !ok {
+				return
+			}
+			p.wg.Add(1)
+			go p.connLoop(c)
+		case <-p.stopCh:
+			return
 		}
-	}()
-	for t := range p.taskCh {
-		if w == nil {
-			nw, err := spawnWorker(p.command)
-			if err != nil {
-				t.done <- poolDone{t.specIdx, t.idx, t.attempt, nil, 0, fmt.Errorf("runner: spawning worker: %w", err)}
+	}
+}
+
+// connLoop serves one worker-driven connection until it fails or the pool
+// closes. There is no respawn here: a remote worker that wants back in
+// dials again (its own backoff), and the fresh connection gets a fresh
+// connLoop.
+func (p *Pool) connLoop(c Conn) {
+	defer p.wg.Done()
+	lc := newLiveConn(c)
+	p.live.Add(1)
+	p.everJoined.Store(true)
+	orderly, err := p.serveConn(lc, nil, p.cfg.HeartbeatTimeout)
+	if orderly {
+		p.noteLeave(nil)
+		lc.shutdown()
+		return
+	}
+	p.noteLeave(err)
+	lc.retire()
+}
+
+// slotLoop owns one pool-driven worker slot: it lazily connects (spawning
+// a subprocess) when a task arrives, serves tasks until the connection
+// fails, and reconnects for the next task after an exponential-backoff
+// penalty — so a crash-looping worker binary cannot spin the coordinator.
+// A spawn failure charges the waiting task one attempt, exactly like any
+// other worker failure.
+func (p *Pool) slotLoop() {
+	defer p.wg.Done()
+	bo := newBackoff(p.cfg.Backoff, p.cfg.uniform)
+	for {
+		var t poolTask
+		select {
+		case tt, ok := <-p.taskCh:
+			if !ok {
+				return
+			}
+			t = tt
+		case <-p.stopCh:
+			return
+		}
+		c, err := p.tr.Connect()
+		if err != nil {
+			t.done <- poolDone{t.specIdx, t.idx, t.attempt, nil, 0, fmt.Errorf("runner: spawning worker: %w", err)}
+			p.cfg.sleep(bo.Next(), p.stopCh)
+			continue
+		}
+		lc := newLiveConn(c)
+		p.live.Add(1)
+		p.everJoined.Store(true)
+		orderly, serveErr := p.serveConn(lc, &t, 0)
+		if orderly {
+			p.noteLeave(nil)
+			lc.shutdown()
+			return
+		}
+		p.noteLeave(serveErr)
+		lc.retire()
+		if lc.served.Load() > 0 {
+			// The binary did real work before dying: not a crash loop.
+			bo.Reset()
+		}
+		p.cfg.sleep(bo.Next(), p.stopCh)
+	}
+}
+
+// serveConn serves tasks on one connection until the pool closes (orderly
+// == true; the caller shuts the connection down) or the connection fails
+// (orderly == false with the reason; the caller retires it). first, if
+// non-nil, is a task already pulled by the caller. idleTimeout, when
+// positive, retires the connection if nothing — not even a heartbeat —
+// arrives for that long while no cell is in flight.
+func (p *Pool) serveConn(lc *liveConn, first *poolTask, idleTimeout time.Duration) (orderly bool, reason error) {
+	spec := "" // name announced with the last SPEC line
+	if first != nil {
+		switch st, err := p.runTask(lc, &spec, *first); st {
+		case taskConnDead:
+			return false, err
+		case taskPoolStopped:
+			return true, nil
+		}
+	}
+	var idleTickC <-chan time.Time
+	if idleTimeout > 0 {
+		interval := idleTimeout / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		idleTick := time.NewTicker(interval)
+		defer idleTick.Stop()
+		idleTickC = idleTick.C
+	}
+	for {
+		select {
+		case t, ok := <-p.taskCh:
+			if !ok {
+				return true, nil
+			}
+			switch st, err := p.runTask(lc, &spec, t); st {
+			case taskConnDead:
+				return false, err
+			case taskPoolStopped:
+				return true, nil
+			}
+		case r := <-lc.respCh:
+			// A line with no cell in flight: a heartbeat is expected,
+			// anything else means the peer is gone or off-protocol.
+			if r.err != nil {
+				return false, r.err
+			}
+			if r.msg.Hb {
 				continue
 			}
-			w = nw
-		}
-		values, nanos, cellErr, protoErr := w.eval(t.spec.Name, t.idx)
-		switch {
-		case protoErr != nil:
-			// The process is gone or speaking garbage: recycle it. The cell
-			// is requeued by the coordinator and will be served by a fresh
-			// process (spawned on this slot's next task).
-			w.kill()
-			w = nil
-			t.done <- poolDone{t.specIdx, t.idx, t.attempt, nil, 0, protoErr}
-		case cellErr != nil:
-			// The worker is healthy; the cell itself failed. Keep the
-			// process, surface the error for the retry budget.
-			t.done <- poolDone{t.specIdx, t.idx, t.attempt, nil, 0, cellErr}
-		default:
-			t.done <- poolDone{t.specIdx, t.idx, t.attempt, values, nanos, nil}
-		}
-	}
-}
-
-// procWorker is one live worker subprocess and the spec it is currently
-// serving.
-type procWorker struct {
-	cmd   *exec.Cmd
-	stdin io.WriteCloser
-	rd    *bufio.Reader
-	spec  string // name of the spec last announced with a SPEC line
-}
-
-func spawnWorker(command func() (*exec.Cmd, error)) (*procWorker, error) {
-	cmd, err := command()
-	if err != nil {
-		return nil, err
-	}
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		return nil, err
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return nil, err
-	}
-	if err := cmd.Start(); err != nil {
-		return nil, err
-	}
-	return &procWorker{cmd: cmd, stdin: stdin, rd: bufio.NewReader(stdout)}, nil
-}
-
-// eval runs one cell on the worker: announce the spec if it changed, send
-// the index, read the one-line reply. cellErr is a failure of the cell
-// function on a healthy worker; protoErr means the process must be
-// recycled.
-func (w *procWorker) eval(specName string, idx int) (values []float64, nanos int64, cellErr, protoErr error) {
-	if w.spec != specName {
-		if _, err := fmt.Fprintf(w.stdin, "SPEC %s\n", specName); err != nil {
-			return nil, 0, nil, fmt.Errorf("runner: worker write: %w", err)
-		}
-		w.spec = specName
-	}
-	if _, err := fmt.Fprintf(w.stdin, "%d\n", idx); err != nil {
-		return nil, 0, nil, fmt.Errorf("runner: worker write: %w", err)
-	}
-	line, err := w.rd.ReadString('\n')
-	if err != nil {
-		return nil, 0, nil, fmt.Errorf("runner: worker died on cell %d: %w", idx, err)
-	}
-	var msg cellMsg
-	if err := json.Unmarshal([]byte(line), &msg); err != nil {
-		return nil, 0, nil, fmt.Errorf("runner: bad worker response %q: %w", strings.TrimSpace(line), err)
-	}
-	if msg.Idx != idx {
-		return nil, 0, nil, fmt.Errorf("runner: worker answered cell %d for cell %d", msg.Idx, idx)
-	}
-	if msg.Err != "" {
-		return nil, 0, fmt.Errorf("%s", msg.Err), nil
-	}
-	if msg.Values == nil {
-		return nil, 0, nil, fmt.Errorf("runner: empty worker result for cell %d", idx)
-	}
-	return msg.Values, msg.Nanos, nil, nil
-}
-
-// kill tears down a failed worker: the process is killed and reaped so the
-// slot can respawn. Wait runs exactly once per process — here on the error
-// path, or in shutdown on the orderly path.
-func (w *procWorker) kill() {
-	w.stdin.Close()
-	w.cmd.Process.Kill()
-	w.cmd.Wait()
-}
-
-// shutdown closes the worker via the orderly path: stdin EOF tells the
-// subprocess to exit, then one Wait reaps it. The process is not killed —
-// Kill is reserved for the error path.
-func (w *procWorker) shutdown() error {
-	w.stdin.Close()
-	return w.cmd.Wait()
-}
-
-// DieAfterWriter forwards writes and exits the process once Lines response
-// lines have been written — the deterministic stand-in for a worker crash
-// mid-grid shared by the runner's fault-injection tests and `figures
-// -faultinject`. Exiting right after a completed response line means the
-// coordinator receives that cell's result and the *next* assignment hits
-// the dead pipe, exercising the requeue path at a known cell.
-type DieAfterWriter struct {
-	W     io.Writer
-	Lines int
-}
-
-func (d *DieAfterWriter) Write(p []byte) (int, error) {
-	n, err := d.W.Write(p)
-	for _, b := range p[:n] {
-		if b == '\n' {
-			d.Lines--
-			if d.Lines <= 0 {
-				fmt.Fprintln(os.Stderr, "runner: fault injection, worker exiting after response")
-				os.Exit(1)
+			return false, fmt.Errorf("runner: %s: unexpected response %q on an idle connection", lc.conn.Name(), r.raw)
+		case <-idleTickC:
+			if idle := time.Since(time.Unix(0, lc.lastRecv.Load())); idle > idleTimeout {
+				return false, fmt.Errorf("runner: %s: silent for %v on an idle connection (dead peer?)",
+					lc.conn.Name(), idle.Round(time.Millisecond))
 			}
+		case <-p.stopCh:
+			return true, nil
 		}
 	}
-	return n, err
 }
 
-// ServePool runs the multi-spec worker half of the pool protocol: lines on
-// r are either "SPEC <name>" — switch to serving the named spec, built via
-// build — or a decimal cell index for the current spec. One JSON result line
-// per cell goes to w, carrying the cell's wall-clock nanoseconds so the
-// coordinator can balance future shard assignments by measured cost.
-// initial, if non-nil, is the spec served before any SPEC line (the
-// single-spec compatibility mode).
-func ServePool(initial *Spec, build func(name string) (*Spec, error), r io.Reader, w io.Writer) error {
-	cur := initial
-	if cur != nil {
-		if err := cur.Validate(); err != nil {
-			return err
+// taskStatus is one runTask outcome.
+type taskStatus int
+
+const (
+	taskServed      taskStatus = iota // result or cell error reported; connection healthy
+	taskConnDead                      // connection must be retired; task failure reported
+	taskPoolStopped                   // pool is closing; task failure reported
+)
+
+// runTask runs one cell on the connection: announce the spec if it
+// changed, send the index, wait for the response under the per-cell
+// deadline. Every path reports the task's outcome to the coordinator
+// before returning.
+func (p *Pool) runTask(lc *liveConn, spec *string, t poolTask) (taskStatus, error) {
+	fail := func(err error) {
+		t.done <- poolDone{t.specIdx, t.idx, t.attempt, nil, 0, err}
+	}
+	if *spec != t.spec.Name {
+		if err := lc.conn.WriteLine("SPEC " + t.spec.Name); err != nil {
+			fail(err)
+			return taskConnDead, err
+		}
+		*spec = t.spec.Name
+	}
+	if err := lc.conn.WriteLine(strconv.Itoa(t.idx)); err != nil {
+		fail(err)
+		return taskConnDead, err
+	}
+	deadline := p.track.Current()
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	start := time.Now()
+	for {
+		select {
+		case r := <-lc.respCh:
+			if r.err != nil {
+				err := fmt.Errorf("runner: worker died on cell %d: %w", t.idx, r.err)
+				fail(err)
+				return taskConnDead, err
+			}
+			if r.msg.Hb {
+				continue // heartbeats may interleave with a slow cell
+			}
+			msg := r.msg
+			if msg.Idx != t.idx {
+				err := fmt.Errorf("runner: %s answered cell %d for cell %d", lc.conn.Name(), msg.Idx, t.idx)
+				fail(err)
+				return taskConnDead, err
+			}
+			if msg.Err != "" {
+				// The worker is healthy; the cell itself failed. Keep the
+				// connection, surface the error for the retry budget.
+				fail(fmt.Errorf("%s", msg.Err))
+				return taskServed, nil
+			}
+			if msg.Values == nil {
+				err := fmt.Errorf("runner: empty worker result for cell %d", t.idx)
+				fail(err)
+				return taskConnDead, err
+			}
+			p.track.Observe(time.Since(start))
+			lc.served.Add(1)
+			t.done <- poolDone{t.specIdx, t.idx, t.attempt, msg.Values, msg.Nanos, nil}
+			return taskServed, nil
+		case <-timer.C:
+			err := fmt.Errorf("runner: %s: no response for spec %s cell %d within the %v deadline (wedged worker?)",
+				lc.conn.Name(), t.spec.Name, t.idx, deadline.Round(time.Millisecond))
+			fail(err)
+			return taskConnDead, err
+		case <-p.stopCh:
+			fail(fmt.Errorf("runner: pool closed with cell %d in flight", t.idx))
+			return taskPoolStopped, nil
 		}
 	}
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+}
+
+// connResp is one parsed worker line (or the transport error that ended
+// the stream).
+type connResp struct {
+	msg cellMsg
+	raw string
+	err error
+}
+
+// liveConn couples a Conn with the reader goroutine that turns its line
+// stream into parsed responses — the shape that lets the serving goroutine
+// select over responses, deadlines, heartbeat staleness, and pool shutdown
+// at once.
+type liveConn struct {
+	conn     Conn
+	respCh   chan connResp
+	dead     chan struct{}
+	deadOnce sync.Once
+	lastRecv atomic.Int64 // unix nanos of the last received line
+	served   atomic.Int64 // successfully served cells (backoff reset signal)
+}
+
+func newLiveConn(c Conn) *liveConn {
+	lc := &liveConn{conn: c, respCh: make(chan connResp, 4), dead: make(chan struct{})}
+	lc.lastRecv.Store(time.Now().UnixNano())
+	go lc.readLoop()
+	return lc
+}
+
+// readLoop reads worker lines until the connection errors or is retired. A
+// malformed line ends the stream: the worker is speaking garbage and the
+// connection will be retired, so there is nothing left to parse.
+func (lc *liveConn) readLoop() {
+	for {
+		line, err := lc.conn.ReadLine()
+		if err != nil {
+			lc.deliver(connResp{err: err})
+			return
+		}
+		lc.lastRecv.Store(time.Now().UnixNano())
+		line = strings.TrimSpace(line)
 		if line == "" {
 			continue
 		}
-		if name, ok := strings.CutPrefix(line, "SPEC "); ok {
-			name = strings.TrimSpace(name)
-			if cur != nil && cur.Name == name {
-				continue
-			}
-			s, err := build(name)
-			if err != nil {
-				return err
-			}
-			if err := s.Validate(); err != nil {
-				return err
-			}
-			cur = s
-			continue
+		var msg cellMsg
+		if jerr := json.Unmarshal([]byte(line), &msg); jerr != nil {
+			lc.deliver(connResp{raw: line, err: fmt.Errorf("bad worker response %q: %w", line, jerr)})
+			return
 		}
-		if cur == nil {
-			return fmt.Errorf("runner: cell assignment %q before any SPEC line", line)
-		}
-		msg, err := serveCell(cur, line)
-		if err != nil {
-			return err
-		}
-		if err := enc.Encode(msg); err != nil {
-			return err
-		}
-		if err := bw.Flush(); err != nil {
-			return err
+		if !lc.deliver(connResp{msg: msg, raw: line}) {
+			return
 		}
 	}
-	return sc.Err()
+}
+
+// deliver hands one response to the serving goroutine, giving up once the
+// connection has been retired (nobody is listening anymore).
+func (lc *liveConn) deliver(r connResp) bool {
+	select {
+	case lc.respCh <- r:
+		return true
+	case <-lc.dead:
+		return false
+	}
+}
+
+// retire tears the connection down on the error path.
+func (lc *liveConn) retire() {
+	lc.deadOnce.Do(func() { close(lc.dead) })
+	lc.conn.Abort()
+}
+
+// shutdown closes the connection on the orderly path.
+func (lc *liveConn) shutdown() {
+	lc.deadOnce.Do(func() { close(lc.dead) })
+	lc.conn.Shutdown()
 }

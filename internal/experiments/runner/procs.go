@@ -16,6 +16,9 @@ type cellMsg struct {
 	Values []float64 `json:"v,omitempty"`
 	Nanos  int64     `json:"ns,omitempty"`
 	Err    string    `json:"err,omitempty"`
+	// Hb marks an idle-connection heartbeat rather than a cell result; the
+	// coordinator uses it for dead-peer detection on networked transports.
+	Hb bool `json:"hb,omitempty"`
 }
 
 // Procs evaluates one spec's cells across worker subprocesses: a

@@ -1,0 +1,260 @@
+package runner
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startTCPPool boots a coordinator on a loopback port and returns the pool
+// plus the address workers should dial.
+func startTCPPool(t testing.TB, cfg Config) (*Pool, string) {
+	t.Helper()
+	tr, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPoolTransport(tr, cfg)
+	t.Cleanup(pool.Close)
+	return pool, tr.Addr()
+}
+
+// startTCPWorker runs an in-process remote worker against addr; the
+// returned channel carries ConnectWorker's exit status.
+func startTCPWorker(t testing.TB, addr string, opts WorkerOptions) <-chan error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- ConnectWorker(addr, buildTestSpec, opts) }()
+	return done
+}
+
+// tcpTestCfg keeps networked tests fast and deterministic: fixed deadline
+// (no 10-minute bootstrap), millisecond backoff, tight membership windows.
+func tcpTestCfg() Config {
+	return Config{
+		Deadline:         DeadlineConfig{Fixed: 5 * time.Second},
+		Backoff:          BackoffConfig{Base: time.Millisecond, Max: 10 * time.Millisecond, Jitter: -1},
+		HeartbeatTimeout: 2 * time.Second,
+		RejoinGrace:      300 * time.Millisecond,
+	}
+}
+
+// workerTestOpts mirrors tcpTestCfg on the worker side.
+func workerTestOpts() WorkerOptions {
+	return WorkerOptions{
+		Heartbeat: 50 * time.Millisecond,
+		Backoff:   BackoffConfig{Base: time.Millisecond, Max: 10 * time.Millisecond, Jitter: -1},
+	}
+}
+
+// TestTCPPoolMatchesLocal: two loopback workers produce the same reduced
+// table as the in-process backend — placement cannot leak into results.
+func TestTCPPoolMatchesLocal(t *testing.T) {
+	s := namedSpec(t, "grid-3x2x2")
+	pool, addr := startTCPPool(t, tcpTestCfg())
+	w1 := startTCPWorker(t, addr, workerTestOpts())
+	w2 := startTCPWorker(t, addr, workerTestOpts())
+	g, err := pool.Run(s)
+	if err != nil {
+		t.Fatalf("TCP pool run: %v", err)
+	}
+	got, err := Reduce(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(s, Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("TCP run diverged from Local:\ngot  %+v\nwant %+v", got, want)
+	}
+	pool.Close() // BYE both workers so ConnectWorker returns nil
+	for i, w := range []<-chan error{w1, w2} {
+		if err := <-w; err != nil {
+			t.Fatalf("worker %d exit: %v", i+1, err)
+		}
+	}
+}
+
+// TestTCPWorkerJoinsMidRun: the run starts with zero workers and completes
+// once one dials in — elastic membership, no pre-registration.
+func TestTCPWorkerJoinsMidRun(t *testing.T) {
+	s := namedSpec(t, "grid-3x2x1")
+	cfg := tcpTestCfg()
+	cfg.RejoinGrace = 10 * time.Second // no workers yet ≠ all workers gone
+	pool, addr := startTCPPool(t, cfg)
+	type result struct {
+		g   *Grid
+		err error
+	}
+	res := make(chan result, 1)
+	go func() {
+		g, err := pool.Run(s)
+		res <- result{g, err}
+	}()
+	time.Sleep(100 * time.Millisecond) // run is underway, queue unserved
+	startTCPWorker(t, addr, workerTestOpts())
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Fatalf("run with late-joining worker: %v", r.err)
+		}
+		if err := r.g.Complete(); err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not complete after a worker joined")
+	}
+}
+
+// TestTCPWorkerLeavesRunContinues: one worker departs permanently mid-run;
+// the survivor finishes the grid, results intact.
+func TestTCPWorkerLeavesRunContinues(t *testing.T) {
+	s := namedSpec(t, "grid-4x2x2") // 16 cells
+	pool, addr := startTCPPool(t, tcpTestCfg())
+	leaver := workerTestOpts()
+	leaver.Fault = &Fault{Kind: "disconnect", After: 1}
+	leaver.MaxAttempts = 1 // no rejoin: the worker truly leaves
+	w1 := startTCPWorker(t, addr, leaver)
+	startTCPWorker(t, addr, workerTestOpts())
+	g, err := pool.Run(s)
+	if err != nil {
+		t.Fatalf("run with a departing worker: %v", err)
+	}
+	if err := g.Complete(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reduce(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(s, Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("run with a departing worker diverged from Local")
+	}
+	if err := <-w1; err == nil {
+		t.Fatal("expected the departing worker to give up with an error")
+	}
+}
+
+// TestTCPZeroMembershipFails: when every worker has left and none rejoins
+// within the grace window, the run fails with an error naming the last
+// worker failure instead of hanging on an unserved queue.
+func TestTCPZeroMembershipFails(t *testing.T) {
+	s := namedSpec(t, "work-8x2x2-2000000") // enough cells+work to outlive the worker
+	pool, addr := startTCPPool(t, tcpTestCfg())
+	leaver := workerTestOpts()
+	leaver.Fault = &Fault{Kind: "disconnect", After: 2}
+	leaver.MaxAttempts = 1
+	startTCPWorker(t, addr, leaver)
+	_, err := pool.Run(s)
+	if err == nil {
+		t.Fatal("run completed despite losing its only worker")
+	}
+	if !strings.Contains(err.Error(), "all workers left the pool") ||
+		!strings.Contains(err.Error(), "last worker failure") {
+		t.Fatalf("zero-membership error = %v; want it to name the membership collapse and last failure", err)
+	}
+}
+
+// TestTCPWedgedWorkerConvertedByDeadline: a wedged remote worker (alive,
+// silent) is cut off by the response deadline; its reconnect serves the
+// requeued cell, and the output matches Local.
+func TestTCPWedgedWorkerConvertedByDeadline(t *testing.T) {
+	s := namedSpec(t, "grid-3x2x1")
+	cfg := tcpTestCfg()
+	cfg.Deadline = DeadlineConfig{Fixed: 150 * time.Millisecond}
+	// The lone worker stays wedged (and disconnected) for most of its 1s
+	// sleep; the rejoin grace must span that, or zero-membership fires
+	// first — the correct outcome for a worker that never comes back.
+	cfg.RejoinGrace = 10 * time.Second
+	pool, addr := startTCPPool(t, cfg)
+	opts := workerTestOpts()
+	opts.Fault = &Fault{Kind: "wedge", After: 1, Delay: time.Second}
+	startTCPWorker(t, addr, opts)
+	start := time.Now()
+	g, err := pool.Run(s)
+	if err != nil {
+		t.Fatalf("run with wedging worker: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 20*time.Second {
+		t.Fatalf("wedge conversion took %v", elapsed)
+	}
+	got, err := Reduce(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(s, Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("wedged-worker run diverged from Local")
+	}
+}
+
+// TestTCPHeartbeatLifecycle: a mute connection (no heartbeats) is retired
+// by the idle staleness check, while a heartbeating idle worker is kept.
+func TestTCPHeartbeatLifecycle(t *testing.T) {
+	cfg := tcpTestCfg()
+	cfg.HeartbeatTimeout = 200 * time.Millisecond
+	pool, addr := startTCPPool(t, cfg)
+
+	// A raw socket that joins and never says anything — the half-open-
+	// connection stand-in.
+	mute, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mute.Close()
+	waitLive := func(want int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for pool.LiveWorkers() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: live=%d, want %d", what, pool.LiveWorkers(), want)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitLive(1, "mute conn joined")
+	waitLive(0, "mute conn retired by heartbeat staleness")
+
+	// A real worker heartbeating at 50ms stays a member well past the
+	// 200ms staleness window.
+	startTCPWorker(t, addr, workerTestOpts())
+	waitLive(1, "heartbeating worker joined")
+	time.Sleep(600 * time.Millisecond)
+	if got := pool.LiveWorkers(); got != 1 {
+		t.Fatalf("heartbeating idle worker was retired: live=%d", got)
+	}
+}
+
+// BenchmarkPoolTCPLoopback is BenchmarkPoolPipelined over loopback TCP
+// instead of pipes: same specs, two in-process remote workers, measuring
+// the transport's added overhead (see PERFORMANCE.md).
+func BenchmarkPoolTCPLoopback(b *testing.B) {
+	specs := benchPoolSpecs(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := Listen("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pool := NewPoolTransport(tr, Config{Deadline: DeadlineConfig{Fixed: time.Minute}})
+		w1 := startTCPWorker(b, tr.Addr(), workerTestOpts())
+		w2 := startTCPWorker(b, tr.Addr(), workerTestOpts())
+		if err := pool.RunAll(specs, nil); err != nil {
+			b.Fatal(err)
+		}
+		pool.Close()
+		<-w1
+		<-w2
+	}
+}

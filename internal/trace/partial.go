@@ -72,6 +72,27 @@ func (p *Partial) Complete() bool {
 	return len(p.Results) == p.Cells
 }
 
+// MissingCells lists the grid indices with no result, in ascending order —
+// what a coverage check reports and what a resume run must evaluate. Nil
+// when the partial is complete.
+func (p *Partial) MissingCells() []int {
+	if p.Complete() {
+		return nil
+	}
+	missing := make([]int, 0, p.Cells-len(p.Results))
+	next := 0
+	for _, r := range p.Results {
+		for ; next < r.Idx; next++ {
+			missing = append(missing, next)
+		}
+		next = r.Idx + 1
+	}
+	for ; next < p.Cells; next++ {
+		missing = append(missing, next)
+	}
+	return missing
+}
+
 // TotalNanos sums the recorded evaluation wall-clock of the partial's cells
 // — the per-shard cost `figures -merge` reports, and the quantity a timing
 // plan balances across machines.

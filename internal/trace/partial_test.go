@@ -133,3 +133,21 @@ func TestMergePartialsRejectsMismatch(t *testing.T) {
 		t.Fatal("empty merge accepted")
 	}
 }
+
+func TestMissingCells(t *testing.T) {
+	p := samplePartial() // cells 0 and 2 of 4 present
+	if got := p.MissingCells(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("MissingCells = %v, want [1 3]", got)
+	}
+	full := &Partial{Figure: "13", Cells: 2, Results: []CellResult{
+		{Idx: 0, Values: []float64{1}},
+		{Idx: 1, Values: []float64{2}},
+	}}
+	if got := full.MissingCells(); got != nil {
+		t.Fatalf("complete partial reported missing cells %v", got)
+	}
+	empty := &Partial{Figure: "13", Cells: 3}
+	if got := empty.MissingCells(); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("empty partial MissingCells = %v, want [0 1 2]", got)
+	}
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the hot-path micro-benchmarks and emits a JSON perf snapshot
-# (default BENCH_5.json) so later PRs have a trajectory to compare
-# against. When a previous snapshot exists (default BENCH_4.json), a
+# (default BENCH_6.json) so later PRs have a trajectory to compare
+# against. When a previous snapshot exists (default BENCH_5.json), a
 # delta table old/new is printed per benchmark. Usage:
 #
 #   scripts/bench.sh [output.json [baseline.json]]
@@ -13,9 +13,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-6}"
-OUT="${1:-BENCH_5.json}"
-BASE="${2:-BENCH_4.json}"
-BENCH='BenchmarkAccessLinear$|BenchmarkAccessQuadratic$|BenchmarkScorerSweep$|BenchmarkScorerSweepReuse$|BenchmarkScorerApplyMove$|BenchmarkBestResponse$|BenchmarkOPTLine5$|BenchmarkONBRCommuter$|BenchmarkONTHCommuter$|BenchmarkAllPairs500$|BenchmarkONCONF$|BenchmarkWFA$|BenchmarkLookaheadOFFBR$|BenchmarkLookaheadReuseOFFBR$|BenchmarkFlashCrowdGen$|BenchmarkDiurnalGen$|BenchmarkFigureRunnerLocal$|BenchmarkPoolPipelined$|BenchmarkPoolPerFigure$'
+OUT="${1:-BENCH_6.json}"
+BASE="${2:-BENCH_5.json}"
+BENCH='BenchmarkAccessLinear$|BenchmarkAccessQuadratic$|BenchmarkScorerSweep$|BenchmarkScorerSweepReuse$|BenchmarkScorerApplyMove$|BenchmarkBestResponse$|BenchmarkOPTLine5$|BenchmarkONBRCommuter$|BenchmarkONTHCommuter$|BenchmarkAllPairs500$|BenchmarkONCONF$|BenchmarkWFA$|BenchmarkLookaheadOFFBR$|BenchmarkLookaheadReuseOFFBR$|BenchmarkFlashCrowdGen$|BenchmarkDiurnalGen$|BenchmarkFigureRunnerLocal$|BenchmarkPoolPipelined$|BenchmarkPoolPerFigure$|BenchmarkPoolTCPLoopback$|BenchmarkDeadlineTracker$'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
