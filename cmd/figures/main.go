@@ -15,6 +15,7 @@
 //	figures -only 3,4 -procs 4     # one pool of 4 workers serves both grids
 //	figures -only 3 -shard 1/2 -partials parts/   # machine 1
 //	figures -only 3 -shard 2/2 -partials parts/   # machine 2
+//	figures -only 3 -shard 1/2 -procs 4 -partials parts/  # shard on a worker pool
 //	figures -only 3 -merge -partials parts/       # fold the shards' results
 //	figures -only 3 -plan 2 -partials parts/      # LPT plan from the timings
 //	figures -only 3 -shard 1/2 -withplan -partials parts/  # planned shard
@@ -164,10 +165,17 @@ func main() {
 		}
 		return
 	}
-	if *procs > 0 && shardTotal == 0 && !*merge && *plan == 0 && !*resume {
-		pool := runner.NewPoolTransport(
+	// -procs composes with -shard and -resume: the slice's cells are routed
+	// through the same fault-tolerant worker pool the full run uses, instead
+	// of the in-process Local pool. -merge and -plan never evaluate cells,
+	// so they stay local.
+	var pool *runner.Pool
+	if *procs > 0 && !*merge && *plan == 0 {
+		pool = runner.NewPoolTransport(
 			&runner.PipeTransport{N: *procs, Command: workerCommand(opts, fault)}, cfg)
 		defer pool.Close()
+	}
+	if pool != nil && shardTotal == 0 && !*resume {
 		if err := runPooled(pool, selected, opts, *csvDir, *partials); err != nil {
 			log.Fatal(err)
 		}
@@ -186,11 +194,11 @@ func main() {
 				log.Fatalf("figure %s: %v", name, err)
 			}
 		case shardTotal > 0:
-			if err := runShard(sp, opts, shardIdx, shardTotal, *workers, *partials, *withPlan); err != nil {
+			if err := runShard(sp, opts, shardIdx, shardTotal, *workers, *partials, *withPlan, pool); err != nil {
 				log.Fatalf("figure %s: %v", name, err)
 			}
 		case *resume:
-			if err := runResume(sp, opts, *workers, *partials); err != nil {
+			if err := runResume(sp, opts, *workers, *partials, pool); err != nil {
 				log.Fatalf("figure %s: %v", name, err)
 			}
 		case *merge:
@@ -263,8 +271,10 @@ func runPooled(pool *runner.Pool, selected []string, opts experiments.Options, c
 		// Every figure gets a partial — the completed (already printed)
 		// ones too — so one `-resume` + `-merge` over the same selection
 		// reproduces the full output byte-identically.
+		missing := 0
 		for i, g := range grids {
 			p := g.Partial(opts.Seed, opts.Quick, 0, 0)
+			missing += len(p.MissingCells())
 			path := filepath.Join(dir, selected[i]+".shard-drain.json")
 			if werr := writeFileAtomic(path, func(w io.Writer) error {
 				return trace.WritePartial(w, p)
@@ -274,9 +284,19 @@ func runPooled(pool *runner.Pool, selected []string, opts experiments.Options, c
 			log.Printf("figure %s: drained with %d of %d cells done; wrote %s",
 				selected[i], len(p.Results), p.Cells, path)
 		}
-		return fmt.Errorf("run drained before completing; finish it with -resume and -merge against %s", dir)
+		return fmt.Errorf("run drained: %s", drainedNextStep(missing, dir))
 	}
 	return err
+}
+
+// drainedNextStep names the follow-up after a drain: -resume is suggested
+// only when cells are actually missing — a drain that landed after the
+// last cell completed needs only the -merge.
+func drainedNextStep(missing int, dir string) string {
+	if missing > 0 {
+		return fmt.Sprintf("%d cells unevaluated; finish with -resume and -merge against %s", missing, dir)
+	}
+	return fmt.Sprintf("every cell completed; print the tables with -merge against %s", dir)
 }
 
 // runResume finishes an interrupted run: it merges whatever partials exist
@@ -286,7 +306,7 @@ func runPooled(pool *runner.Pool, selected []string, opts experiments.Options, c
 // the complete grid. Output is byte-identical to an uninterrupted run: cell
 // results depend only on (figure, options, cell index), never on which
 // process computed them.
-func runResume(sp *runner.Spec, o experiments.Options, workers int, dir string) error {
+func runResume(sp *runner.Spec, o experiments.Options, workers int, dir string, pool *runner.Pool) error {
 	merged, err := loadMerged(sp, o, dir)
 	if err != nil {
 		return err
@@ -297,7 +317,7 @@ func runResume(sp *runner.Spec, o experiments.Options, workers int, dir string) 
 		return nil
 	}
 	log.Printf("figure %s: resuming %d of %d cells", sp.Name, len(missing), merged.Cells)
-	g, err := runner.CellSet{Idxs: missing, Workers: workers}.Run(sp)
+	g, err := runCellSubset(sp, missing, workers, pool)
 	if err != nil {
 		return err
 	}
@@ -417,8 +437,8 @@ func workerCommand(o experiments.Options, fault *runner.Fault) func() (*exec.Cmd
 // file <partials>/<name>.shard-<i>-of-<m>.json. With withPlan, the slice is
 // the cell set a timing plan (figures -plan) assigns to this shard instead
 // of the modulo split.
-func runShard(sp *runner.Spec, o experiments.Options, idx, total, workers int, dir string, withPlan bool) error {
-	var backend runner.Exec = runner.Shard{Index: idx, Total: total, Workers: workers}
+func runShard(sp *runner.Spec, o experiments.Options, idx, total, workers int, dir string, withPlan bool, pool *runner.Pool) error {
+	var idxs []int
 	if withPlan {
 		pl, err := readPlan(dir, sp.Name, total)
 		if err != nil {
@@ -427,9 +447,15 @@ func runShard(sp *runner.Spec, o experiments.Options, idx, total, workers int, d
 		if pl.Cells != sp.Cells() {
 			return fmt.Errorf("plan covers %d cells, grid has %d", pl.Cells, sp.Cells())
 		}
-		backend = runner.CellSet{Idxs: pl.ShardCells(idx), Workers: workers}
+		idxs = pl.ShardCells(idx)
+	} else {
+		var err error
+		idxs, err = runner.ShardCells(sp.Cells(), idx, total)
+		if err != nil {
+			return err
+		}
 	}
-	g, err := backend.Run(sp)
+	g, err := runCellSubset(sp, idxs, workers, pool)
 	if err != nil {
 		return err
 	}
@@ -443,6 +469,17 @@ func runShard(sp *runner.Spec, o experiments.Options, idx, total, workers int, d
 	log.Printf("figure %s: wrote %s (%d of %d cells, %v cell time)",
 		sp.Name, path, len(p.Results), p.Cells, time.Duration(p.TotalNanos()).Round(time.Millisecond))
 	return nil
+}
+
+// runCellSubset evaluates an explicit cell subset, on the shared worker
+// pool when one exists (-procs composed with -shard/-resume) and on the
+// in-process Local pool otherwise. Both produce identical grids — cell
+// results depend only on (figure, options, cell index).
+func runCellSubset(sp *runner.Spec, idxs []int, workers int, pool *runner.Pool) (*runner.Grid, error) {
+	if pool != nil {
+		return pool.RunCells(sp, idxs)
+	}
+	return runner.CellSet{Idxs: idxs, Workers: workers}.Run(sp)
 }
 
 func shardFile(name string, idx, total int) string {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/experiments/runner"
+	"repro/internal/trace"
 )
 
 func TestMain(m *testing.M) {
@@ -220,12 +221,12 @@ func TestPlannedShardMergeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 2; i++ {
-		if err := runShard(sp, o, i, 2, 0, dir, false); err != nil {
+		if err := runShard(sp, o, i, 2, 0, dir, false, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// No plan file yet: -withplan must refuse, not fall back silently.
-	if err := runShard(sp, o, 1, 2, 0, dir, true); err == nil {
+	if err := runShard(sp, o, 1, 2, 0, dir, true, nil); err == nil {
 		t.Fatal("-withplan ran without a plan file")
 	}
 	if err := runPlan(sp, o, 2, dir); err != nil {
@@ -239,7 +240,7 @@ func TestPlannedShardMergeRoundTrip(t *testing.T) {
 		t.Fatalf("plan covers %d of %d cells", got, sp.Cells())
 	}
 	for i := 1; i <= 2; i++ {
-		if err := runShard(sp, o, i, 2, 0, dir, true); err != nil {
+		if err := runShard(sp, o, i, 2, 0, dir, true, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -304,7 +305,7 @@ func TestShardMergeRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 1; i <= 2; i++ {
-		if err := runShard(sp, o, i, 2, 0, dir, false); err != nil {
+		if err := runShard(sp, o, i, 2, 0, dir, false, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -341,7 +342,7 @@ func TestMergeReportsMissingCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := runShard(sp, o, 2, 2, 0, dir, false); err != nil { // shard 2 only
+	if err := runShard(sp, o, 2, 2, 0, dir, false, nil); err != nil { // shard 2 only
 		t.Fatal(err)
 	}
 	_, err = mergeShards(sp, o, dir)
@@ -366,10 +367,10 @@ func TestResumeFillsMissingCells(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := runShard(sp, o, 1, 2, 0, dir, false); err != nil { // half the grid
+	if err := runShard(sp, o, 1, 2, 0, dir, false, nil); err != nil { // half the grid
 		t.Fatal(err)
 	}
-	if err := runResume(sp, o, 0, dir); err != nil {
+	if err := runResume(sp, o, 0, dir, nil); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "13.shard-resume.json")); err != nil {
@@ -388,7 +389,7 @@ func TestResumeFillsMissingCells(t *testing.T) {
 	}
 	// A second resume over the now-complete partials is a no-op, not an
 	// error — and must not disturb the merge.
-	if err := runResume(sp, o, 0, dir); err != nil {
+	if err := runResume(sp, o, 0, dir, nil); err != nil {
 		t.Fatalf("resume over complete partials: %v", err)
 	}
 	if got2, err := mergeShards(sp, o, dir); err != nil || !reflect.DeepEqual(got2, want) {
@@ -463,4 +464,88 @@ func TestWorkerModeFaultMatrix(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestDrainedNextStep pins the post-drain hint: -resume is suggested only
+// when the drain actually left cells unevaluated; a drain that landed
+// after the last cell needs only the -merge.
+func TestDrainedNextStep(t *testing.T) {
+	withMissing := drainedNextStep(3, "parts")
+	if !strings.Contains(withMissing, "-resume") || !strings.Contains(withMissing, "3 cells") {
+		t.Fatalf("missing-cells hint lost the -resume pointer: %q", withMissing)
+	}
+	complete := drainedNextStep(0, "parts")
+	if strings.Contains(complete, "-resume") {
+		t.Fatalf("complete drain still suggests -resume: %q", complete)
+	}
+	if !strings.Contains(complete, "-merge") {
+		t.Fatalf("complete drain lost the -merge pointer: %q", complete)
+	}
+}
+
+// TestRunShardOnPoolMatchesLocal shards a quick figure across the worker
+// pool (-shard composed with -procs) and in-process, and checks the
+// partial files carry identical cell values.
+func TestRunShardOnPoolMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	o := experiments.Options{Quick: true, Seed: 1}
+	sp, err := experiments.NewSpec("3", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poolDir := t.TempDir()
+	localDir := t.TempDir()
+	pool := runner.NewPoolTransport(&runner.PipeTransport{N: 2, Command: testWorkerCmd(t, "3", o.Seed)}, runner.Config{})
+	defer pool.Close()
+	if err := runShard(sp, o, 1, 2, 0, poolDir, false, pool); err != nil {
+		t.Fatal(err)
+	}
+	if err := runShard(sp, o, 1, 2, 0, localDir, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := readPartialFile(t, filepath.Join(poolDir, shardFile("3", 1, 2)))
+	want := readPartialFile(t, filepath.Join(localDir, shardFile("3", 1, 2)))
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("pooled shard has %d cells, local has %d", len(got.Results), len(want.Results))
+	}
+	for i := range got.Results {
+		if got.Results[i].Idx != want.Results[i].Idx ||
+			!reflect.DeepEqual(got.Results[i].Values, want.Results[i].Values) {
+			t.Fatalf("cell %d differs between pooled and local shard", got.Results[i].Idx)
+		}
+	}
+}
+
+// testWorkerCmd re-invokes this test binary as a quick-mode pool worker
+// serving the named figure (via the TestMain hook).
+func testWorkerCmd(t *testing.T, name string, seed int64) func() (*exec.Cmd, error) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() (*exec.Cmd, error) {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			"FIGURES_TEST_WORKER="+name,
+			"FIGURES_TEST_SEED="+strconv.FormatInt(seed, 10))
+		cmd.Stderr = os.Stderr
+		return cmd, nil
+	}
+}
+
+func readPartialFile(t *testing.T, path string) *trace.Partial {
+	t.Helper()
+	fh, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fh.Close()
+	p, err := trace.ReadPartial(fh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }

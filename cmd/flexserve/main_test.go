@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -11,7 +12,7 @@ import (
 
 func TestBuildTopology(t *testing.T) {
 	for _, name := range []string{"er", "line", "grid", "pa", "rocketfuel"} {
-		g, err := buildTopology(name, 30, 1)
+		g, err := buildTopology(name, 30, rand.New(rand.NewSource(1)))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -22,13 +23,13 @@ func TestBuildTopology(t *testing.T) {
 			t.Fatalf("%s: disconnected", name)
 		}
 	}
-	if _, err := buildTopology("bogus", 10, 1); err == nil {
+	if _, err := buildTopology("bogus", 10, rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("unknown topology accepted")
 	}
 }
 
 func TestBuildTopologyGridCoversN(t *testing.T) {
-	g, err := buildTopology("grid", 10, 1)
+	g, err := buildTopology("grid", 10, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestBuildTopologyGridCoversN(t *testing.T) {
 
 func testEnv(t *testing.T) *sim.Env {
 	t.Helper()
-	g, err := buildTopology("er", 40, 1)
+	g, err := buildTopology("er", 40, seeds{1}.topo())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func testEnv(t *testing.T) *sim.Env {
 func TestBuildWorkload(t *testing.T) {
 	env := testEnv(t)
 	for _, name := range []string{"commuter-dynamic", "commuter-static", "timezones", "uniform", "flash-crowd", "diurnal", "weekly"} {
-		seq, err := buildWorkload(name, env, 6, 5, 20, 1)
+		seq, err := buildWorkload(name, env, 6, 5, 20, seeds{1}.workload())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -62,7 +63,7 @@ func TestBuildWorkload(t *testing.T) {
 			t.Fatalf("%s: %d rounds", name, seq.Len())
 		}
 	}
-	if _, err := buildWorkload("bogus", env, 6, 5, 20, 1); err == nil {
+	if _, err := buildWorkload("bogus", env, 6, 5, 20, seeds{1}.workload()); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
 }
@@ -70,7 +71,7 @@ func TestBuildWorkload(t *testing.T) {
 func TestBuildAlgorithm(t *testing.T) {
 	seq := workload.NewSequence("x", nil)
 	for _, name := range []string{"onth", "onbr", "onbr-dyn", "onbr-cluster", "onsamp", "wfa", "onconf", "opt", "offstat", "offbr", "offth", "ONTH"} {
-		alg, err := buildAlgorithm(name, seq, 1)
+		alg, err := buildAlgorithm(name, seq, seeds{1}.alg())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -78,7 +79,7 @@ func TestBuildAlgorithm(t *testing.T) {
 			t.Fatalf("%s: empty algorithm name", name)
 		}
 	}
-	if _, err := buildAlgorithm("bogus", seq, 1); err == nil {
+	if _, err := buildAlgorithm("bogus", seq, seeds{1}.alg()); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
@@ -86,11 +87,11 @@ func TestBuildAlgorithm(t *testing.T) {
 func TestEndToEndRun(t *testing.T) {
 	// A miniature of what main does, without the flag plumbing.
 	env := testEnv(t)
-	seq, err := buildWorkload("commuter-dynamic", env, workload.TForSize(40), 5, 60, 1)
+	seq, err := buildWorkload("commuter-dynamic", env, workload.TForSize(40), 5, 60, seeds{1}.workload())
 	if err != nil {
 		t.Fatal(err)
 	}
-	alg, err := buildAlgorithm("onth", seq, 1)
+	alg, err := buildAlgorithm("onth", seq, seeds{1}.alg())
 	if err != nil {
 		t.Fatal(err)
 	}

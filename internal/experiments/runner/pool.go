@@ -268,6 +268,35 @@ func (p *Pool) RunAll(specs []*Spec, emit func(i int, g *Grid) error) error {
 // grids hold every cell completed before the drain — persist them with
 // Grid.Partial; on other errors they are partial and best ignored.
 func (p *Pool) RunAllGrids(specs []*Spec, emit func(i int, g *Grid) error) ([]*Grid, error) {
+	return p.runAllCells(specs, make([][]int, len(specs)), emit)
+}
+
+// RunCells evaluates an explicit subset of one spec's cells on the pool —
+// the sharded path (ShardCells or a timing plan picks the subset), with
+// the pool's fault tolerance instead of a Local goroutine pool. The grid
+// is incomplete by design, like CellSet's; persist it with Grid.Partial.
+func (p *Pool) RunCells(s *Spec, idxs []int) (*Grid, error) {
+	seen := make(map[int]bool, len(idxs))
+	for _, idx := range idxs {
+		if idx < 0 || idx >= s.Cells() {
+			return nil, fmt.Errorf("runner: cell set index %d outside grid of %d cells", idx, s.Cells())
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("runner: cell set repeats index %d", idx)
+		}
+		seen[idx] = true
+	}
+	grids, err := p.runAllCells([]*Spec{s}, [][]int{idxs}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return grids[0], nil
+}
+
+// runAllCells is the engine under RunAllGrids and RunCells: for each spec
+// it evaluates either the whole grid (cells[i] == nil) or an explicit
+// index subset.
+func (p *Pool) runAllCells(specs []*Spec, cells [][]int, emit func(i int, g *Grid) error) ([]*Grid, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
@@ -294,8 +323,15 @@ func (p *Pool) RunAllGrids(specs []*Spec, emit func(i int, g *Grid) error) ([]*G
 	var pending []queued
 	for i, s := range specs {
 		grids[i] = NewGrid(s)
-		remaining[i] = s.Cells()
-		for c := 0; c < s.Cells(); c++ {
+		if cells[i] == nil {
+			remaining[i] = s.Cells()
+			for c := 0; c < s.Cells(); c++ {
+				pending = append(pending, queued{i, c, 0})
+			}
+			continue
+		}
+		remaining[i] = len(cells[i])
+		for _, c := range cells[i] {
 			pending = append(pending, queued{i, c, 0})
 		}
 	}

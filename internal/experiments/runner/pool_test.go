@@ -347,3 +347,90 @@ func BenchmarkPoolPerFigure(b *testing.B) {
 		}
 	}
 }
+
+// TestShardCellsMatchesShard pins the exported slicing helper to the Shard
+// backend's modulo rule, so the pooled shard path covers the same cells.
+func TestShardCellsMatchesShard(t *testing.T) {
+	for total := 1; total <= 4; total++ {
+		covered := map[int]bool{}
+		for idx := 1; idx <= total; idx++ {
+			cells, err := ShardCells(30, idx, total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range cells {
+				if covered[c] {
+					t.Fatalf("total=%d: cell %d covered twice", total, c)
+				}
+				covered[c] = true
+				if c%total != idx-1 {
+					t.Fatalf("total=%d shard %d: cell %d off the modulo slice", total, idx, c)
+				}
+			}
+		}
+		if len(covered) != 30 {
+			t.Fatalf("total=%d: %d of 30 cells covered", total, len(covered))
+		}
+	}
+	if _, err := ShardCells(10, 0, 2); err == nil {
+		t.Fatal("shard index 0 accepted")
+	}
+	if _, err := ShardCells(10, 3, 2); err == nil {
+		t.Fatal("shard index beyond total accepted")
+	}
+}
+
+// TestPoolRunCellsMatchesCellSet runs one shard's cells through the worker
+// pool and the other through the in-process CellSet backend, merges the
+// two partials, and checks the reduced table is bit-identical to a Local
+// run — the -shard/-procs composition contract.
+func TestPoolRunCellsMatchesCellSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	s := namedSpec(t, "grid-3x2x2")
+	pool := NewPool(2, 0, testWorkerCommand(t, nil))
+	defer pool.Close()
+	idxs1, err := ShardCells(s.Cells(), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idxs2, err := ShardCells(s.Cells(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled, err := pool.RunCells(s, idxs1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := CellSet{Idxs: idxs2}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := trace.MergePartials(
+		pooled.Partial(0, false, 1, 2), local.Partial(0, false, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := FromPartial(s, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Reduce(s, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(s, Local{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("pooled shard + local shard differ from the Local run")
+	}
+	if _, err := pool.RunCells(s, []int{-1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := pool.RunCells(s, []int{1, 1}); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+}

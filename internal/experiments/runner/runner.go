@@ -351,14 +351,25 @@ func (sh Shard) Run(s *Spec) (*Grid, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	if sh.Total <= 0 || sh.Index < 1 || sh.Index > sh.Total {
-		return nil, fmt.Errorf("runner: invalid shard %d/%d", sh.Index, sh.Total)
-	}
-	var idxs []int
-	for idx := sh.Index - 1; idx < s.Cells(); idx += sh.Total {
-		idxs = append(idxs, idx)
+	idxs, err := ShardCells(s.Cells(), sh.Index, sh.Total)
+	if err != nil {
+		return nil, err
 	}
 	return runCells(s, idxs, sh.Workers)
+}
+
+// ShardCells returns the flat cell indexes of the 1-based index-th of
+// total modulo shards over a grid of cells cells — the one slicing rule
+// Shard and the pooled shard path share, so both cover the same cells.
+func ShardCells(cells, index, total int) ([]int, error) {
+	if total <= 0 || index < 1 || index > total {
+		return nil, fmt.Errorf("runner: invalid shard %d/%d", index, total)
+	}
+	var idxs []int
+	for idx := index - 1; idx < cells; idx += total {
+		idxs = append(idxs, idx)
+	}
+	return idxs, nil
 }
 
 // CellSet evaluates an explicit set of cells on a Local pool — the

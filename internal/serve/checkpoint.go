@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/sim"
+)
+
+// Checkpoint is the periodic snapshot of the serving state: the stream
+// cursor (how many WAL entries were applied), the round counter, the
+// current placement, and the ledger totals as exact float bits. The
+// algorithm's internal state is not serialised — it is reconstructed by
+// replaying the WAL through the deterministic engine — so the checkpoint's
+// role on restart is validation: the replayed state at Cursor must match
+// the snapshot bit for bit, or the state directory is corrupt.
+type Checkpoint struct {
+	Fingerprint string    `json:"fingerprint"`
+	Cursor      int       `json:"cursor"`
+	Round       int       `json:"round"`
+	Quarantined int       `json:"quarantined"`
+	Placement   []int     `json:"placement"`
+	Inactive    int       `json:"inactive"`
+	TotalBits   [5]uint64 `json:"total_bits"` // latency, load, run, migration, creation
+	Total       float64   `json:"total"`      // human-readable; TotalBits is authoritative
+}
+
+// totalsToBits packs a breakdown into exact float bits.
+func totalsToBits(b sim.Breakdown) [5]uint64 {
+	return [5]uint64{
+		math.Float64bits(b.Latency),
+		math.Float64bits(b.Load),
+		math.Float64bits(b.Run),
+		math.Float64bits(b.Migration),
+		math.Float64bits(b.Creation),
+	}
+}
+
+// checkpointOf snapshots an engine.
+func checkpointOf(e *Engine, fingerprint string) *Checkpoint {
+	totals := e.Totals()
+	return &Checkpoint{
+		Fingerprint: fingerprint,
+		Cursor:      e.Cursor(),
+		Round:       e.Round(),
+		Quarantined: e.Quarantined(),
+		Placement:   e.Placement(),
+		Inactive:    e.stream.Algorithm().Inactive(),
+		TotalBits:   totalsToBits(totals),
+		Total:       totals.Total(),
+	}
+}
+
+// WriteCheckpoint persists the snapshot atomically: a temp file in the
+// destination directory is written, synced, and renamed into place, so a
+// crash mid-write (or an injected checkpoint-write failure) always leaves
+// the previous complete checkpoint behind, never a truncated one.
+func WriteCheckpoint(path string, c *Checkpoint) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	enc := json.NewEncoder(tmp)
+	if err := enc.Encode(c); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ReadCheckpoint loads a snapshot and validates its fingerprint.
+func ReadCheckpoint(path, fingerprint string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("serve: %s: bad checkpoint: %w", path, err)
+	}
+	if c.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("serve: %s was written under config %q, this server is %q — refusing to restore",
+			path, c.Fingerprint, fingerprint)
+	}
+	return &c, nil
+}
+
+// matches reports whether the engine's state equals the checkpoint, bit
+// for bit — the recovery validation run against the replayed WAL.
+func (c *Checkpoint) matches(e *Engine) error {
+	if e.Cursor() != c.Cursor {
+		return fmt.Errorf("cursor %d, checkpoint has %d", e.Cursor(), c.Cursor)
+	}
+	if e.Round() != c.Round {
+		return fmt.Errorf("round %d, checkpoint has %d", e.Round(), c.Round)
+	}
+	if e.Quarantined() != c.Quarantined {
+		return fmt.Errorf("quarantined %d, checkpoint has %d", e.Quarantined(), c.Quarantined)
+	}
+	p := e.Placement()
+	if len(p) != len(c.Placement) {
+		return fmt.Errorf("placement %v, checkpoint has %v", p, c.Placement)
+	}
+	for i := range p {
+		if p[i] != c.Placement[i] {
+			return fmt.Errorf("placement %v, checkpoint has %v", p, c.Placement)
+		}
+	}
+	if got := totalsToBits(e.Totals()); got != c.TotalBits {
+		return fmt.Errorf("ledger totals %v, checkpoint has %v", got, c.TotalBits)
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ingestBody is the POST /ingest wire shape; the endpoint accepts a single
+// object or an array of them.
+type ingestBody struct {
+	Node  int    `json:"node"`
+	Count int    `json:"count"`
+	Class string `json:"slo_class"`
+}
+
+// Handler builds the HTTP front for a server:
+//
+//	POST /ingest      admit requests: 202, 429 (shed) + Retry-After, 503 (draining)
+//	POST /tick        close the current demand window
+//	GET  /placement   current configuration
+//	GET  /metrics     rolling counters, per-class latency percentiles
+//	GET  /ledger      full-precision ledger (the recovery-parity artifact)
+//	GET  /healthz     liveness (200 while the process runs)
+//	GET  /readyz      readiness (503 once draining)
+//
+// Every request is bounded by cfg.RequestTimeout.
+func Handler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		var bodies []ingestBody
+		// Peek at the first token to accept one object or an array.
+		if t, err := dec.Token(); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		} else if delim, ok := t.(json.Delim); ok && delim == '[' {
+			for dec.More() {
+				var b ingestBody
+				if err := dec.Decode(&b); err != nil {
+					httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+					return
+				}
+				bodies = append(bodies, b)
+			}
+		} else if ok && delim == '{' {
+			// Re-decode the single object: the opening brace is consumed, so
+			// decode the fields manually into a map-backed body.
+			var b ingestBody
+			if err := decodeOpenObject(dec, &b); err != nil {
+				httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+				return
+			}
+			bodies = append(bodies, b)
+		} else {
+			httpError(w, http.StatusBadRequest, "bad JSON: want an object or array")
+			return
+		}
+		admitted := 0
+		for _, b := range bodies {
+			class, err := ParseClass(b.Class)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			err = s.Ingest(Request{Node: b.Node, Count: b.Count, Class: class})
+			switch {
+			case err == nil:
+				admitted++
+			case errors.Is(err, ErrDraining):
+				w.Header().Set("Retry-After", "10")
+				writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+					"error": "draining", "admitted": admitted,
+				})
+				return
+			default:
+				var over *OverloadError
+				if errors.As(err, &over) {
+					w.Header().Set("Retry-After", "1")
+					writeJSON(w, http.StatusTooManyRequests, map[string]interface{}{
+						"error": over.Error(), "class": over.Class.String(),
+						"full": over.Full, "admitted": admitted,
+					})
+					return
+				}
+				httpError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		writeJSON(w, http.StatusAccepted, map[string]interface{}{"admitted": admitted})
+	})
+	mux.HandleFunc("/tick", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		if err := s.Tick(); err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{"error": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusAccepted, map[string]interface{}{"tick": true})
+	})
+	mux.HandleFunc("/placement", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.PlacementSnapshot())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+	})
+	mux.HandleFunc("/ledger", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.LedgerSnapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	})
+	// The timeout wrapper enforces the per-request deadline; admission is
+	// non-blocking, so only a stalled client body can hit it.
+	return http.TimeoutHandler(mux, s.cfg.RequestTimeout, "request deadline exceeded\n")
+}
+
+// decodeOpenObject finishes decoding an object whose '{' token was already
+// consumed while sniffing single-vs-array.
+func decodeOpenObject(dec *json.Decoder, b *ingestBody) error {
+	for dec.More() {
+		t, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key, ok := t.(string)
+		if !ok {
+			return fmt.Errorf("bad object key %v", t)
+		}
+		switch key {
+		case "node":
+			if err := dec.Decode(&b.Node); err != nil {
+				return err
+			}
+		case "count":
+			if err := dec.Decode(&b.Count); err != nil {
+				return err
+			}
+		case "slo_class":
+			if err := dec.Decode(&b.Class); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown field %q", key)
+		}
+	}
+	_, err := dec.Token() // consume '}'
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]interface{}{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// latencyWindow is the sliding sample window per class for percentile
+// estimation.
+const latencyWindow = 2048
+
+// latRing is a fixed-size sliding window of sojourn-latency samples.
+type latRing struct {
+	buf  [latencyWindow]int64 // nanoseconds
+	next int
+	n    int
+}
+
+func (r *latRing) add(d time.Duration) {
+	r.buf[r.next] = int64(d)
+	r.next = (r.next + 1) % latencyWindow
+	if r.n < latencyWindow {
+		r.n++
+	}
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of the window via the
+// nearest-rank method, 0 with no samples.
+func (r *latRing) percentile(q float64) time.Duration {
+	if r.n == 0 {
+		return 0
+	}
+	s := make([]int64, r.n)
+	copy(s, r.buf[:r.n])
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := int(q*float64(r.n)+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= r.n {
+		rank = r.n - 1
+	}
+	return time.Duration(s[rank])
+}
+
+// Metrics aggregates the serving-side observables: per-class served
+// counters and sojourn-latency percentiles (admission to round-served,
+// the latency an SLO bounds), round/quarantine counts, and checkpoint
+// health. Admission and shed counters live in the IngestQueue; snapshots
+// merge both.
+type Metrics struct {
+	mu          sync.Mutex
+	served      [numClasses]uint64
+	quarantined [numClasses]uint64 // requests dropped with a quarantined round
+	lat         [numClasses]latRing
+
+	rounds          uint64
+	quarantineCount uint64
+	ticks           uint64
+	ckptOK          uint64
+	ckptFailed      uint64
+	replayed        uint64 // rounds reconstructed from the WAL on restart
+}
+
+// ObserveServed records one admitted batch served in a round.
+func (m *Metrics) ObserveServed(c Class, count int, sojourn time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.served[c] += uint64(count)
+	m.lat[c].add(sojourn)
+}
+
+// ObserveQuarantined records one admitted batch dropped by a quarantined
+// round.
+func (m *Metrics) ObserveQuarantined(c Class, count int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.quarantined[c] += uint64(count)
+}
+
+// ObserveRound records a round outcome.
+func (m *Metrics) ObserveRound(o RoundOutcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if o.Served {
+		m.rounds++
+	} else if o.Quarantined != nil {
+		m.quarantineCount++
+	}
+}
+
+// ObserveTick counts a round boundary tick.
+func (m *Metrics) ObserveTick() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ticks++
+}
+
+// ObserveCheckpoint records a checkpoint attempt.
+func (m *Metrics) ObserveCheckpoint(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.ckptOK++
+	} else {
+		m.ckptFailed++
+	}
+}
+
+// ObserveReplay records rounds reconstructed during recovery.
+func (m *Metrics) ObserveReplay(rounds int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.replayed += uint64(rounds)
+}
+
+// ClassStats is one class's slice of a metrics snapshot.
+type ClassStats struct {
+	Admitted    uint64  `json:"admitted"`
+	Shed        uint64  `json:"shed"`
+	Served      uint64  `json:"served"`
+	Quarantined uint64  `json:"quarantined"`
+	P50Millis   float64 `json:"p50_ms"`
+	P90Millis   float64 `json:"p90_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+}
+
+// Snapshot is the JSON shape of GET /metrics.
+type Snapshot struct {
+	Rounds             uint64                `json:"rounds"`
+	QuarantinedRound   uint64                `json:"quarantined_rounds"`
+	Ticks              uint64                `json:"ticks"`
+	ReplayedRounds     uint64                `json:"replayed_rounds"`
+	QueueDepth         int                   `json:"queue_depth"`
+	WindowFill         int                   `json:"window_fill"`
+	CheckpointsOK      uint64                `json:"checkpoints_ok"`
+	CheckpointsFail    uint64                `json:"checkpoints_failed"`
+	Totals             sim.Breakdown         `json:"totals"`
+	TotalCost          float64               `json:"total_cost"`
+	RecentCostPerRound float64               `json:"recent_cost_per_round"`
+	Placement          []int                 `json:"placement"`
+	Classes            map[string]ClassStats `json:"classes"`
+}
+
+// snapshot merges the metrics with queue counters and engine state.
+func (m *Metrics) snapshot(q *IngestQueue, e *Engine, windowFill int) Snapshot {
+	admitted, shed := q.Counters()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	classes := make(map[string]ClassStats, numClasses)
+	for _, c := range Classes() {
+		classes[c.String()] = ClassStats{
+			Admitted:    admitted[c],
+			Shed:        shed[c],
+			Served:      m.served[c],
+			Quarantined: m.quarantined[c],
+			P50Millis:   float64(m.lat[c].percentile(0.50)) / 1e6,
+			P90Millis:   float64(m.lat[c].percentile(0.90)) / 1e6,
+			P99Millis:   float64(m.lat[c].percentile(0.99)) / 1e6,
+		}
+	}
+	totals := e.Totals()
+	recent := e.RecentRounds()
+	perRound := 0.0
+	if len(recent) > 0 {
+		sum := 0.0
+		for _, rc := range recent {
+			sum += rc.Total()
+		}
+		perRound = sum / float64(len(recent))
+	}
+	return Snapshot{
+		Rounds:             m.rounds,
+		QuarantinedRound:   m.quarantineCount,
+		Ticks:              m.ticks,
+		ReplayedRounds:     m.replayed,
+		QueueDepth:         q.Depth(),
+		WindowFill:         windowFill,
+		CheckpointsOK:      m.ckptOK,
+		CheckpointsFail:    m.ckptFailed,
+		Totals:             totals,
+		TotalCost:          totals.Total(),
+		RecentCostPerRound: perRound,
+		Placement:          e.Placement(),
+		Classes:            classes,
+	}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestQueueShedsNonCriticalAboveThreshold(t *testing.T) {
+	q := NewIngestQueue(4, 0.5) // shed at 2
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		if err := q.Admit(Request{Node: i, Count: 1, Class: Standard}, now, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := q.Admit(Request{Node: 2, Count: 1, Class: Standard}, now, nil)
+	var over *OverloadError
+	if !errors.As(err, &over) || over.Full {
+		t.Fatalf("standard over threshold: %v", err)
+	}
+	if err := q.Admit(Request{Node: 2, Count: 1, Class: Batch}, now, nil); err == nil {
+		t.Fatal("batch admitted over the shed threshold")
+	}
+	// Critical rides through until the queue is hard-full.
+	for i := 0; i < 2; i++ {
+		if err := q.Admit(Request{Node: i, Count: 1, Class: Critical}, now, nil); err != nil {
+			t.Fatalf("critical at depth %d: %v", 2+i, err)
+		}
+	}
+	err = q.Admit(Request{Node: 0, Count: 1, Class: Critical}, now, nil)
+	if !errors.As(err, &over) || !over.Full {
+		t.Fatalf("critical on a full queue: %v", err)
+	}
+	admitted, shed := q.Counters()
+	if admitted[Standard] != 2 || admitted[Critical] != 2 {
+		t.Fatalf("admitted %v", admitted)
+	}
+	if shed[Standard] != 1 || shed[Batch] != 1 || shed[Critical] != 1 {
+		t.Fatalf("shed %v", shed)
+	}
+	if q.Depth() != 4 {
+		t.Fatalf("depth %d", q.Depth())
+	}
+}
+
+func TestQueueTickBypassesCapacity(t *testing.T) {
+	q := NewIngestQueue(1, 1)
+	now := time.Now()
+	if err := q.Admit(Request{Node: 0, Count: 1, Class: Critical}, now, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Tick(now, nil); err != nil {
+		t.Fatalf("tick refused on a full queue: %v", err)
+	}
+	if q.Depth() != 1 {
+		t.Fatalf("ticks counted against the request depth: %d", q.Depth())
+	}
+}
+
+func TestQueuePopOrderAndClose(t *testing.T) {
+	q := NewIngestQueue(8, 1)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := q.Admit(Request{Node: i, Count: 1, Class: Standard}, now, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	if err := q.Admit(Request{Node: 9, Count: 1, Class: Critical}, now, nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("admission on a closed queue: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		item, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue done with %d admitted entries unread", 3-i)
+		}
+		if item.e.Node != i {
+			t.Fatalf("entry %d popped out of order: node %d", i, item.e.Node)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop kept producing after the drain emptied the queue")
+	}
+}
+
+func TestQueuePopBlocksUntilAdmit(t *testing.T) {
+	q := NewIngestQueue(8, 1)
+	got := make(chan Entry, 1)
+	go func() {
+		item, ok := q.Pop()
+		if ok {
+			got <- item.e
+		}
+		close(got)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := q.Admit(Request{Node: 7, Count: 2, Class: Batch}, time.Now(), nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-got:
+		if e.Node != 7 || e.Count != 2 || e.Class != Batch {
+			t.Fatalf("popped %+v", e)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Pop never woke up")
+	}
+}
+
+func TestQueuePersistFailureRefusesAdmission(t *testing.T) {
+	q := NewIngestQueue(8, 1)
+	boom := fmt.Errorf("disk on fire")
+	err := q.Admit(Request{Node: 0, Count: 1, Class: Standard}, time.Now(), func(Entry) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("persist failure not propagated: %v", err)
+	}
+	admitted, _ := q.Counters()
+	if admitted[Standard] != 0 || q.Depth() != 0 {
+		t.Fatal("request admitted although the WAL append failed")
+	}
+}
+
+// TestQueueCompactsConsumedPrefix drives far more entries than the backing
+// array should ever hold and checks the live window stays bounded — the
+// always-busy-queue memory guard.
+func TestQueueCompactsConsumedPrefix(t *testing.T) {
+	q := NewIngestQueue(16, 1)
+	now := time.Now()
+	// Keep a resident backlog so the queue never empties (the cheap
+	// reset-on-empty path never fires) and the consumed prefix must be
+	// reclaimed by compaction alone.
+	const resident = 8
+	for i := 0; i < resident; i++ {
+		if err := q.Admit(Request{Node: i, Count: 1, Class: Critical}, now, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const total = 20000
+	for i := 0; i < total; i++ {
+		if err := q.Admit(Request{Node: 0, Count: 1, Class: Critical}, now, nil); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("pop %d failed on a live queue", i)
+		}
+	}
+	if q.Depth() != resident {
+		t.Fatalf("depth %d, want the resident backlog of %d", q.Depth(), resident)
+	}
+	q.mu.Lock()
+	backing := cap(q.items)
+	q.mu.Unlock()
+	if backing > 4096 {
+		t.Fatalf("queue backing array grew to %d entries over a bounded run", backing)
+	}
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/online"
+	"repro/internal/sim"
+)
+
+// recoveryConfig is the shared serving configuration of the crash-recovery
+// matrix: persistent state in dir, tick-closed rounds only (huge window),
+// aggressive checkpointing so the fault window is interesting.
+func recoveryConfig(t *testing.T, dir string, fault Fault) Config {
+	t.Helper()
+	return Config{
+		NewStream:       testFactory(t),
+		Fingerprint:     "recovery-test",
+		Window:          1 << 20, // only ticks close rounds
+		QueueCap:        4096,
+		CheckpointEvery: 2,
+		Dir:             dir,
+		Fault:           fault,
+		Kill:            func(string) {}, // overridden by the kill case
+	}
+}
+
+// waitCursor polls until the consumer has applied `target` WAL entries.
+func waitCursor(t *testing.T, s *Server, target int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if got := s.LedgerSnapshot().Cursor; got >= target {
+			if got > target {
+				t.Fatalf("cursor %d overran the WAL length %d", got, target)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("consumer stuck at cursor %d, want %d", s.LedgerSnapshot().Cursor, target)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// feedPhase ingests a deterministic mix: `rounds` groups of five arrivals
+// plus a tick, then three trailing arrivals. The trailing arrivals never
+// close a round (the window is huge), so once the cursor catches up the
+// consumer is provably past its last checkpoint write — abandoning the
+// server then cannot race a checkpoint against the restarted one.
+func feedPhase(t *testing.T, s *Server, rounds, base int) {
+	t.Helper()
+	n := s.n()
+	classes := Classes()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 5; i++ {
+			req := Request{Node: (base + r*5 + i) % n, Count: 1 + i%2, Class: classes[(r+i)%len(classes)]}
+			if err := s.Ingest(req); err != nil {
+				t.Fatalf("ingest round %d: %v", r, err)
+			}
+		}
+		if err := s.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Ingest(Request{Node: (base + i) % n, Count: 1, Class: Critical}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// runRecoveryMatrix is the crash-recovery parity check for one fault kind:
+// serve under the fault, abandon the process state mid-stream (no drain, no
+// final checkpoint — the WAL is ahead of the last checkpoint), restart
+// healthy from the same state directory, serve more, drain, and require the
+// final ledger to be bit-identical to an uninterrupted replay of the WAL.
+func runRecoveryMatrix(t *testing.T, fault Fault) {
+	dir := t.TempDir()
+
+	s1, err := New(recoveryConfig(t, dir, fault))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s1.queue.Close) // release the abandoned consumer goroutine
+	killed := make(chan struct{})
+	if fault.Kind == FaultKill {
+		s1.cfg.Kill = func(string) { close(killed) }
+	}
+	s1.Start()
+	feedPhase(t, s1, 8, 0)
+	if fault.Kind == FaultKill {
+		select {
+		case <-killed:
+			// The consumer died mid-stream: admitted WAL entries beyond the
+			// kill point were never applied — recovery must replay them.
+		case <-time.After(10 * time.Second):
+			t.Fatal("kill fault never fired")
+		}
+	} else {
+		waitCursor(t, s1, s1.wal.Count())
+	}
+	if fault.Kind == FaultCkptFail {
+		snap := s1.MetricsSnapshot()
+		if snap.CheckpointsFail == 0 {
+			t.Fatal("ckptfail fault injected no failures")
+		}
+		if snap.CheckpointsOK == 0 {
+			t.Fatal("want one pre-fault checkpoint for recovery to validate")
+		}
+	}
+	// Crash: abandon s1 — no Drain, no final checkpoint, WAL left open.
+
+	cfg2 := recoveryConfig(t, dir, Fault{}) // the restart is healthy
+	s2, err := New(cfg2)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if got, want := s2.LedgerSnapshot().Cursor, s1.wal.Count(); got != want {
+		t.Fatalf("recovered cursor %d, WAL has %d entries", got, want)
+	}
+	if fault.Kind == FaultKill && s2.MetricsSnapshot().ReplayedRounds == 0 {
+		t.Fatal("kill recovery replayed no rounds")
+	}
+	s2.Start()
+	feedPhase(t, s2, 4, 100)
+	waitCursor(t, s2, s2.wal.Count())
+	s2.Drain()
+
+	recovered := s2.LedgerSnapshot()
+	engine, err := Replay(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := DumpLedger(engine)
+	if !reflect.DeepEqual(recovered, baseline) {
+		t.Fatalf("recovered ledger diverges from the uninterrupted baseline:\n  recovered %+v\n  baseline  %+v", recovered, baseline)
+	}
+	got, err := json.Marshal(recovered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("ledger JSON not byte-identical:\n  %s\n  %s", got, want)
+	}
+	if recovered.Rounds == 0 || recovered.Total <= 0 {
+		t.Fatalf("degenerate ledger: %+v", recovered)
+	}
+}
+
+func TestRecoveryParity(t *testing.T) {
+	cases := []Fault{
+		{Kind: FaultKill, After: 5},
+		{Kind: FaultSlow, After: 2, Delay: time.Millisecond},
+		{Kind: FaultFlood, After: 10, Factor: 4},
+		{Kind: FaultCkptFail, After: 1},
+	}
+	for _, f := range cases {
+		f := f
+		t.Run(f.Kind.String(), func(t *testing.T) { runRecoveryMatrix(t, f) })
+	}
+}
+
+// TestRecoveryRejectsForeignState pins the fingerprint guard end to end: a
+// server must refuse a state directory written under another configuration.
+func TestRecoveryRejectsForeignState(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(recoveryConfig(t, dir, Fault{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	feedPhase(t, s1, 2, 0)
+	waitCursor(t, s1, s1.wal.Count())
+	s1.Drain()
+
+	cfg := recoveryConfig(t, dir, Fault{})
+	cfg.Fingerprint = "some-other-config"
+	if _, err := New(cfg); err == nil {
+		t.Fatal("foreign state directory accepted")
+	}
+}
+
+// TestDrainThenRestartIsCleanContinuation: a graceful drain writes a final
+// checkpoint at the WAL head; the restart validates it at the end of replay
+// and continues without re-serving anything.
+func TestDrainThenRestartIsCleanContinuation(t *testing.T) {
+	dir := t.TempDir()
+	cfg := recoveryConfig(t, dir, Fault{})
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	feedPhase(t, s1, 6, 0)
+	waitCursor(t, s1, s1.wal.Count())
+	s1.Drain()
+	before := s1.LedgerSnapshot()
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart after clean drain: %v", err)
+	}
+	after := s2.LedgerSnapshot()
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("clean restart changed the ledger:\n  before %+v\n  after  %+v", before, after)
+	}
+	s2.queue.Close()
+}
+
+// TestQuarantineSurvivesRecovery: a round quarantined live stays
+// quarantined on replay — the ledger (which skips the poisoned round) is
+// reproduced bit-identically, not "repaired". The factory's algorithm
+// panics deterministically after four healthy rounds, so live serving and
+// WAL replay agree on which rounds are poisoned.
+func TestQuarantineSurvivesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := recoveryConfig(t, dir, Fault{})
+	cfg.NewStream = testFactoryAlg(t, func() sim.Algorithm {
+		return &panicAfter{Algorithm: online.NewONTH(), healthy: 4}
+	})
+	cfg.Fingerprint = "quarantine-test"
+
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Start()
+	feedPhase(t, s1, 7, 0)
+	waitCursor(t, s1, s1.wal.Count())
+	live := s1.LedgerSnapshot()
+	if live.Quarantined == 0 {
+		t.Fatal("poisoned algorithm quarantined nothing")
+	}
+	// Crash without draining, restart, and compare against the replay.
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("recovery across quarantined rounds: %v", err)
+	}
+	t.Cleanup(s1.queue.Close)
+	recovered := s2.LedgerSnapshot()
+	if !reflect.DeepEqual(live, recovered) {
+		t.Fatalf("quarantine not reproduced on recovery:\n  live      %+v\n  recovered %+v", live, recovered)
+	}
+	if recovered.Quarantined != live.Quarantined {
+		t.Fatalf("quarantine count changed: %d -> %d", live.Quarantined, recovered.Quarantined)
+	}
+	s2.queue.Close()
+}

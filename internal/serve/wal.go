@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Entry is one write-ahead-log record: an admitted arrival (Count requests
+// at Node under Class) or a round tick (the timer or an explicit /tick
+// closing the current demand window). Entries are appended in admission
+// order — the single order the engine applies them in, live and on replay,
+// which is what makes recovery bit-identical.
+type Entry struct {
+	Node  int   `json:"n"`
+	Count int   `json:"c,omitempty"`
+	Class Class `json:"k,omitempty"`
+	Tick  bool  `json:"t,omitempty"`
+}
+
+// TickEntry is the record of one round boundary.
+func TickEntry() Entry { return Entry{Node: -1, Tick: true} }
+
+// ArrivalEntry is the record of one admitted request batch.
+func ArrivalEntry(r Request) Entry {
+	return Entry{Node: r.Node, Count: r.Count, Class: r.Class}
+}
+
+// Request converts an arrival entry back.
+func (e Entry) Request() Request { return Request{Node: e.Node, Count: e.Count, Class: e.Class} }
+
+// walHeader is the first line of every WAL file: a format version plus the
+// serving configuration's fingerprint, so a restart with a different
+// topology, algorithm, or window size refuses to replay a stale log
+// instead of silently producing a divergent ledger.
+type walHeader struct {
+	WAL         int    `json:"wal"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+const walVersion = 1
+
+// WAL is an append-only arrival log. Writes are buffered and flushed per
+// append; a crash can lose at most the torn final line, which Open
+// discards (and truncates) — every complete line is replayable.
+type WAL struct {
+	f     *os.File
+	w     *bufio.Writer
+	count int
+}
+
+// CreateWAL starts a fresh log at path, truncating any previous one.
+func CreateWAL(path, fingerprint string) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &WAL{f: f, w: bufio.NewWriter(f)}
+	hdr, err := json.Marshal(walHeader{WAL: walVersion, Fingerprint: fingerprint})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := w.w.Write(append(hdr, '\n')); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.w.Flush(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// OpenWAL reads an existing log back for recovery: it validates the header
+// fingerprint, returns every complete entry in append order, truncates a
+// torn final line (the one write a crash may have interrupted), and leaves
+// the file positioned for further appends.
+func OpenWAL(path, fingerprint string) (*WAL, []Entry, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Only complete (newline-terminated) lines are replayable; whatever
+	// follows the last newline is a torn append.
+	good := bytes.LastIndexByte(data, '\n') + 1
+	lines := bytes.Split(data[:good], []byte("\n"))
+	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) == 0 {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: %s: empty WAL (missing header)", path)
+	}
+	var hdr walHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.WAL != walVersion {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: %s: not a v%d WAL", path, walVersion)
+	}
+	if hdr.Fingerprint != fingerprint {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: %s was written under config %q, this server is %q — refusing to replay",
+			path, hdr.Fingerprint, fingerprint)
+	}
+	entries := make([]Entry, 0, len(lines)-1)
+	for i, line := range lines[1:] {
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("serve: %s: bad WAL entry %d: %w", path, i, err)
+		}
+		entries = append(entries, e)
+	}
+	if good < len(data) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &WAL{f: f, w: bufio.NewWriter(f), count: len(entries)}, entries, nil
+}
+
+// Append logs one entry and flushes it to the OS.
+func (w *WAL) Append(e Entry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of entries appended or read back.
+func (w *WAL) Count() int { return w.count }
+
+// Sync forces the log to stable storage.
+func (w *WAL) Sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -159,46 +159,120 @@ func (l *Ledger) MaxActive() int {
 	return max
 }
 
-// Run plays the whole sequence and returns the ledger. It fails if a round
-// with requests is served by a configuration without active servers.
-func Run(env *Env, alg Algorithm, seq *workload.Sequence) (*Ledger, error) {
+// Stream plays the synchronous game one round at a time, against demands
+// that arrive incrementally instead of as a prebuilt sequence — the core
+// the long-running placement service (internal/serve) is built on. Serve
+// performs exactly the per-round work the batch driver used to inline, so
+// Run, now a thin wrapper over a Stream, produces bit-identical ledgers.
+//
+// A Stream is not safe for concurrent use; the serving layer owns the
+// single goroutine that calls Serve.
+type Stream struct {
+	env    *Env
+	alg    Algorithm
+	reuser AccessReuser
+	ledger *Ledger
+	keep   bool // retain per-round entries in the ledger (batch mode)
+	t      int
+}
+
+// NewStream resets the algorithm against the environment and returns a
+// stream positioned at round 0. scenario names the demand source in the
+// ledger (a *workload.Sequence name in batch mode, a stream description in
+// serving mode). The ledger retains every RoundCost; long-running callers
+// that must not grow memory without bound call DiscardRounds.
+func NewStream(env *Env, alg Algorithm, scenario string) (*Stream, error) {
 	if err := alg.Reset(env); err != nil {
 		return nil, fmt.Errorf("sim: reset %s: %w", alg.Name(), err)
 	}
-	l := &Ledger{
-		Algorithm: alg.Name(),
-		Scenario:  seq.Name(),
-		Rounds:    make([]RoundCost, 0, seq.Len()),
-	}
 	reuser, _ := alg.(AccessReuser)
-	for t := 0; t < seq.Len(); t++ {
-		pre := alg.Prepare(t)
-		placement := alg.Placement()
-		d := seq.Demand(t)
-		access, reused := cost.AccessCost{}, false
-		if reuser != nil {
-			access, reused = reuser.ReuseAccess(t, placement, d)
-		}
-		if !reused {
-			access = env.Eval.Access(placement, d)
-		}
-		if access.Infinite() {
-			return nil, fmt.Errorf("sim: %s has no active server for %d requests in round %d", alg.Name(), d.Total(), t)
-		}
-		inactive := alg.Inactive()
-		post := alg.Observe(t, d, access)
-		delta := pre.Add(post)
-		rc := RoundCost{
-			Latency:   access.Latency,
-			Load:      access.Load,
-			Run:       env.Costs.Run(placement.Len(), inactive),
-			Migration: delta.Migration,
-			Creation:  delta.Creation,
-			Active:    placement.Len(),
-			Inactive:  inactive,
-		}
-		l.Rounds = append(l.Rounds, rc)
-		l.Totals = l.Totals.add(rc)
+	return &Stream{
+		env:    env,
+		alg:    alg,
+		reuser: reuser,
+		ledger: &Ledger{Algorithm: alg.Name(), Scenario: scenario},
+		keep:   true,
+	}, nil
+}
+
+// DiscardRounds stops the ledger from retaining per-round entries: Totals
+// keep accumulating (in the same order, so they stay bit-identical to a
+// retaining run), but Rounds stays empty. For unbounded streams.
+func (s *Stream) DiscardRounds() {
+	s.keep = false
+	s.ledger.Rounds = nil
+}
+
+// Round returns the index of the next round Serve will play.
+func (s *Stream) Round() int { return s.t }
+
+// Env returns the environment the stream plays in.
+func (s *Stream) Env() *Env { return s.env }
+
+// Algorithm returns the strategy under play.
+func (s *Stream) Algorithm() Algorithm { return s.alg }
+
+// Placement returns the current configuration.
+func (s *Stream) Placement() core.Placement { return s.alg.Placement() }
+
+// Ledger returns the stream's ledger so far. The stream keeps appending to
+// it; callers that need a stable snapshot copy what they read.
+func (s *Stream) Ledger() *Ledger { return s.ledger }
+
+// Serve plays one round against demand d: Prepare, access-cost evaluation
+// (through the AccessReuser hook when the algorithm already scored the
+// round), Observe, and the ledger entry. It fails — without advancing the
+// round counter or charging anything — if a round with requests is served
+// by a configuration without active servers.
+func (s *Stream) Serve(d cost.Demand) (RoundCost, error) {
+	t := s.t
+	pre := s.alg.Prepare(t)
+	placement := s.alg.Placement()
+	access, reused := cost.AccessCost{}, false
+	if s.reuser != nil {
+		access, reused = s.reuser.ReuseAccess(t, placement, d)
 	}
-	return l, nil
+	if !reused {
+		access = s.env.Eval.Access(placement, d)
+	}
+	if access.Infinite() {
+		return RoundCost{}, fmt.Errorf("sim: %s has no active server for %d requests in round %d", s.alg.Name(), d.Total(), t)
+	}
+	inactive := s.alg.Inactive()
+	post := s.alg.Observe(t, d, access)
+	delta := pre.Add(post)
+	rc := RoundCost{
+		Latency:   access.Latency,
+		Load:      access.Load,
+		Run:       s.env.Costs.Run(placement.Len(), inactive),
+		Migration: delta.Migration,
+		Creation:  delta.Creation,
+		Active:    placement.Len(),
+		Inactive:  inactive,
+	}
+	if s.keep {
+		s.ledger.Rounds = append(s.ledger.Rounds, rc)
+	}
+	s.ledger.Totals = s.ledger.Totals.add(rc)
+	s.t++
+	return rc, nil
+}
+
+// Run plays the whole sequence and returns the ledger. It is the batch
+// wrapper over Stream: every round of the prebuilt sequence is served in
+// order, so the ledger is bit-identical to what the pre-Stream driver
+// produced. It fails if a round with requests is served by a configuration
+// without active servers.
+func Run(env *Env, alg Algorithm, seq *workload.Sequence) (*Ledger, error) {
+	s, err := NewStream(env, alg, seq.Name())
+	if err != nil {
+		return nil, err
+	}
+	s.ledger.Rounds = make([]RoundCost, 0, seq.Len())
+	for t := 0; t < seq.Len(); t++ {
+		if _, err := s.Serve(seq.Demand(t)); err != nil {
+			return nil, err
+		}
+	}
+	return s.Ledger(), nil
 }

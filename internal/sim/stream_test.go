@@ -1,0 +1,130 @@
+package sim_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph/gen"
+	"repro/internal/online"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func streamEnv(t *testing.T) (*sim.Env, *workload.Sequence) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g, err := gen.ErdosRenyi(40, 0.1, gen.DefaultOptions(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.Params{Beta: 40, Create: 400, RunActive: 2.5, RunInactive: 0.5},
+		core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 8, Lambda: 5}, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, seq
+}
+
+// TestRunMatchesManualStream pins Run as a pure wrapper: serving the same
+// sequence round by round through a Stream yields a bit-identical ledger.
+func TestRunMatchesManualStream(t *testing.T) {
+	env, seq := streamEnv(t)
+	want, err := sim.Run(env, online.NewONTH(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewStream(env, online.NewONTH(), seq.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < seq.Len(); i++ {
+		if s.Round() != i {
+			t.Fatalf("round counter %d before serving round %d", s.Round(), i)
+		}
+		if _, err := s.Serve(seq.Demand(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Ledger()
+	if got.Algorithm != want.Algorithm || got.Scenario != want.Scenario {
+		t.Fatalf("header %q/%q, want %q/%q", got.Algorithm, got.Scenario, want.Algorithm, want.Scenario)
+	}
+	if len(got.Rounds) != len(want.Rounds) {
+		t.Fatalf("%d rounds, want %d", len(got.Rounds), len(want.Rounds))
+	}
+	for i := range want.Rounds {
+		if got.Rounds[i] != want.Rounds[i] {
+			t.Fatalf("round %d: %+v, want %+v", i, got.Rounds[i], want.Rounds[i])
+		}
+	}
+	if math.Float64bits(got.Totals.Total()) != math.Float64bits(want.Totals.Total()) {
+		t.Fatalf("totals %v, want %v", got.Totals.Total(), want.Totals.Total())
+	}
+}
+
+// TestStreamDiscardRounds pins that a non-retaining stream accumulates the
+// exact totals of a retaining one while keeping Rounds empty.
+func TestStreamDiscardRounds(t *testing.T) {
+	env, seq := streamEnv(t)
+	want, err := sim.Run(env, online.NewONTH(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.NewStream(env, online.NewONTH(), seq.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.DiscardRounds()
+	for i := 0; i < seq.Len(); i++ {
+		if _, err := s.Serve(seq.Demand(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(s.Ledger().Rounds); n != 0 {
+		t.Fatalf("discarding stream retained %d rounds", n)
+	}
+	got, wantT := s.Ledger().Totals, want.Totals
+	for _, pair := range [][2]float64{
+		{got.Latency, wantT.Latency}, {got.Load, wantT.Load}, {got.Run, wantT.Run},
+		{got.Migration, wantT.Migration}, {got.Creation, wantT.Creation},
+	} {
+		if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+			t.Fatalf("totals diverged: %+v vs %+v", got, wantT)
+		}
+	}
+}
+
+// emptyAlg is a stub strategy with no active servers, for exercising the
+// infinite-access failure path.
+type emptyAlg struct{}
+
+func (emptyAlg) Name() string                                         { return "empty" }
+func (emptyAlg) Reset(*sim.Env) error                                 { return nil }
+func (emptyAlg) Placement() core.Placement                            { return nil }
+func (emptyAlg) Inactive() int                                        { return 0 }
+func (emptyAlg) Prepare(int) core.Delta                               { return core.Delta{} }
+func (emptyAlg) Observe(int, cost.Demand, cost.AccessCost) core.Delta { return core.Delta{} }
+
+// TestStreamServeNoServers pins that a failing round does not advance the
+// stream.
+func TestStreamServeNoServers(t *testing.T) {
+	env, _ := streamEnv(t)
+	s, err := sim.NewStream(env, emptyAlg{}, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Serve(cost.DemandFromPairs(cost.NodeCount{Node: 1, Count: 2})); err == nil {
+		t.Fatal("serving without active servers succeeded")
+	}
+	if s.Round() != 0 {
+		t.Fatalf("failed round advanced the counter to %d", s.Round())
+	}
+}

@@ -1,0 +1,66 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/workload/scenario"
+)
+
+// Stream adapts a finite scenario into an unbounded arrival source for the
+// serving layer: each round's demand multiset is flattened into individual
+// request arrivals in deterministic order (the demand's sorted node pairs,
+// count copies each), and the sequence cycles when exhausted. Two streams
+// built from the same sequence emit identical arrival orders — which is
+// what makes a seeded load generator reproducible.
+type Stream struct {
+	seq   *Sequence
+	round int   // next round to flatten
+	buf   []int // flattened arrivals of the current round
+	pos   int
+	total int64 // arrivals emitted so far
+}
+
+// NewStream wraps a sequence. It fails on a sequence with no requests at
+// all (the stream could never emit an arrival).
+func NewStream(seq *Sequence) (*Stream, error) {
+	if seq.Len() == 0 || seq.TotalRequests() == 0 {
+		return nil, fmt.Errorf("workload: stream over %q: sequence has no requests", seq.Name())
+	}
+	return &Stream{seq: seq}, nil
+}
+
+// StreamGen adapts a raw scenario generator: the generator is materialised
+// once (scenario.Build) and streamed cyclically.
+func StreamGen(name string, g scenario.Gen) (*Stream, error) {
+	return NewStream(NewSequence(name, scenario.Build(g.Rounds(), g)))
+}
+
+// Name identifies the underlying scenario.
+func (s *Stream) Name() string { return s.seq.Name() }
+
+// Emitted returns the number of arrivals produced so far.
+func (s *Stream) Emitted() int64 { return s.total }
+
+// Round returns the sequence round the next arrival is drawn from.
+func (s *Stream) Round() int { return s.round % s.seq.Len() }
+
+// Next returns the access node of the next arrival. The sequence cycles,
+// so Next never runs out; empty rounds are skipped (they contribute no
+// arrivals — a serving-side tick is what represents idle rounds).
+func (s *Stream) Next() int {
+	for s.pos >= len(s.buf) {
+		d := s.seq.Demand(s.round % s.seq.Len())
+		s.round++
+		s.buf = s.buf[:0]
+		for _, p := range d.Pairs() {
+			for i := 0; i < p.Count; i++ {
+				s.buf = append(s.buf, p.Node)
+			}
+		}
+		s.pos = 0
+	}
+	node := s.buf[s.pos]
+	s.pos++
+	s.total++
+	return node
+}

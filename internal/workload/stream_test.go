@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// streamTestSequence is three rounds: {0×2, 3×1}, an empty round, {1×1}.
+func streamTestSequence(t *testing.T) *Sequence {
+	t.Helper()
+	return NewSequence("stream-test", []cost.Demand{
+		cost.DemandFromPairs(cost.NodeCount{Node: 0, Count: 2}, cost.NodeCount{Node: 3, Count: 1}),
+		{},
+		cost.DemandFromPairs(cost.NodeCount{Node: 1, Count: 1}),
+	})
+}
+
+func TestStreamFlattensAndCycles(t *testing.T) {
+	s, err := NewStream(streamTestSequence(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One cycle is 0,0,3 (round 0), nothing (round 1, empty), 1 (round 2).
+	cycle := []int{0, 0, 3, 1}
+	for rep := 0; rep < 3; rep++ {
+		for i, want := range cycle {
+			if got := s.Next(); got != want {
+				t.Fatalf("cycle %d arrival %d: node %d, want %d", rep, i, got, want)
+			}
+		}
+	}
+	if s.Emitted() != int64(3*len(cycle)) {
+		t.Fatalf("emitted %d", s.Emitted())
+	}
+}
+
+func TestStreamIsReproducible(t *testing.T) {
+	a, err := NewStream(streamTestSequence(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStream(streamTestSequence(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("arrival %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestStreamRejectsEmptySequence(t *testing.T) {
+	if _, err := NewStream(NewSequence("void", nil)); err == nil {
+		t.Fatal("stream over an empty sequence accepted")
+	}
+	if _, err := NewStream(NewSequence("idle", []cost.Demand{{}, {}})); err == nil {
+		t.Fatal("stream over an all-idle sequence accepted")
+	}
+}

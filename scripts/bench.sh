@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the hot-path micro-benchmarks and emits a JSON perf snapshot
-# (default BENCH_6.json) so later PRs have a trajectory to compare
-# against. When a previous snapshot exists (default BENCH_5.json), a
+# (default BENCH_7.json) so later PRs have a trajectory to compare
+# against. When a previous snapshot exists (default BENCH_6.json), a
 # delta table old/new is printed per benchmark. Usage:
 #
 #   scripts/bench.sh [output.json [baseline.json]]
@@ -13,15 +13,17 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-6}"
-OUT="${1:-BENCH_6.json}"
-BASE="${2:-BENCH_5.json}"
-BENCH='BenchmarkAccessLinear$|BenchmarkAccessQuadratic$|BenchmarkScorerSweep$|BenchmarkScorerSweepReuse$|BenchmarkScorerApplyMove$|BenchmarkBestResponse$|BenchmarkOPTLine5$|BenchmarkONBRCommuter$|BenchmarkONTHCommuter$|BenchmarkAllPairs500$|BenchmarkONCONF$|BenchmarkWFA$|BenchmarkLookaheadOFFBR$|BenchmarkLookaheadReuseOFFBR$|BenchmarkFlashCrowdGen$|BenchmarkDiurnalGen$|BenchmarkFigureRunnerLocal$|BenchmarkPoolPipelined$|BenchmarkPoolPerFigure$|BenchmarkPoolTCPLoopback$|BenchmarkDeadlineTracker$'
+OUT="${1:-BENCH_7.json}"
+BASE="${2:-BENCH_6.json}"
+BENCH='BenchmarkAccessLinear$|BenchmarkAccessQuadratic$|BenchmarkScorerSweep$|BenchmarkScorerSweepReuse$|BenchmarkScorerApplyMove$|BenchmarkBestResponse$|BenchmarkOPTLine5$|BenchmarkONBRCommuter$|BenchmarkONTHCommuter$|BenchmarkAllPairs500$|BenchmarkONCONF$|BenchmarkWFA$|BenchmarkLookaheadOFFBR$|BenchmarkLookaheadReuseOFFBR$|BenchmarkFlashCrowdGen$|BenchmarkDiurnalGen$|BenchmarkFigureRunnerLocal$|BenchmarkPoolPipelined$|BenchmarkPoolPerFigure$|BenchmarkPoolTCPLoopback$|BenchmarkDeadlineTracker$|BenchmarkServeIngest$|BenchmarkCheckpoint$|BenchmarkEngineRound$'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 # The pool benchmarks (shared subprocess pool vs one pool per figure) live
-# in the runner package; everything else is in the repo root.
-go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . ./internal/experiments/runner | tee "$RAW"
+# in the runner package, the serving-path benchmarks (ingest admission,
+# checkpoint write, engine round) in internal/serve; everything else is in
+# the repo root.
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" . ./internal/experiments/runner ./internal/serve | tee "$RAW"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version)" '
 /^Benchmark/ {
