@@ -14,6 +14,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/experiments"
 	"repro/internal/experiments/runner"
+	"repro/internal/graph"
 	"repro/internal/graph/gen"
 	"repro/internal/offline"
 	"repro/internal/online"
@@ -122,6 +123,65 @@ func BenchmarkAllPairs500(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		g.AllPairs()
+	}
+}
+
+// benchSubstrate is the shared small-world substrate of the metric-backend
+// benchmarks: large enough (5000 nodes) that one Dijkstra row is real work,
+// small enough that the cold-row benchmark stays fast.
+func benchSubstrate(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := gen.SmallWorld(5000, 1250, gen.DefaultOptions(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkSparseRowCold measures the cache-miss path of the sparse metric
+// backend: a capacity-1 cache with a rotating source makes every Row call
+// run a fresh Dijkstra plus the LRU bookkeeping.
+func BenchmarkSparseRowCold(b *testing.B) {
+	g := benchSubstrate(b)
+	s := graph.NewSparse(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Row(i % 64)
+	}
+}
+
+// BenchmarkSparseRowWarm measures the cache-hit path: the same source every
+// time, so the cost is the lock, the map lookup, and the LRU touch.
+func BenchmarkSparseRowWarm(b *testing.B) {
+	g := benchSubstrate(b)
+	s := graph.NewSparse(g, graph.DefaultSparseRows)
+	s.Row(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Row(0)
+	}
+}
+
+// BenchmarkLandmarkDist measures one triangle-bound query against a built
+// 16-landmark table (the build itself runs once, outside the timer).
+func BenchmarkLandmarkDist(b *testing.B) {
+	g := benchSubstrate(b)
+	l := graph.NewLandmark(g, graph.DefaultLandmarks)
+	l.Dist(0, 1) // force the table build
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Dist(i%5000, (i*7+13)%5000)
+	}
+}
+
+// BenchmarkSmallWorldConstruct100k measures building the 10⁵-node substrate
+// the sparse/landmark backends exist for — O(n + chords), no all-pairs
+// materialization anywhere.
+func BenchmarkSmallWorldConstruct100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.SmallWorld(100000, 25000, gen.DefaultOptions(), rand.New(rand.NewSource(1))); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -270,7 +330,7 @@ func BenchmarkONCONF(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 8}, 120)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 8}, 120)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -295,7 +355,7 @@ func BenchmarkWFA(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 8}, 120)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 8}, 120)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -312,7 +372,7 @@ func BenchmarkWFA(b *testing.B) {
 // rounds (the path the per-epoch round-cost memo accelerates).
 func BenchmarkLookaheadOFFBR(b *testing.B) {
 	env := benchGraph(b, 200)
-	seq, err := workload.CommuterDynamic(env.Matrix,
+	seq, err := workload.CommuterDynamic(env.Metric,
 		workload.CommuterConfig{T: workload.TForSize(200), Lambda: 10}, 300)
 	if err != nil {
 		b.Fatal(err)
@@ -332,7 +392,7 @@ func BenchmarkFlashCrowdGen(b *testing.B) {
 	env := benchGraph(b, 200)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := workload.FlashCrowd(env.Matrix, workload.FlashCrowdConfig{
+		_, err := workload.FlashCrowd(env.Metric, workload.FlashCrowdConfig{
 			BaseRequests: 8, Spikes: 4, Peak: 32, Tau: 20,
 		}, 300, rand.New(rand.NewSource(1)))
 		if err != nil {
@@ -347,7 +407,7 @@ func BenchmarkDiurnalGen(b *testing.B) {
 	env := benchGraph(b, 200)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := workload.DiurnalMultiRegion(env.Matrix, workload.DiurnalConfig{
+		_, err := workload.DiurnalMultiRegion(env.Metric, workload.DiurnalConfig{
 			Regions: 4, Period: 80, HotShare: 0.5,
 		}, 300, rand.New(rand.NewSource(1)))
 		if err != nil {
@@ -361,7 +421,7 @@ func BenchmarkDiurnalGen(b *testing.B) {
 // the sim.AccessReuser hook deduplicates.
 func BenchmarkLookaheadReuseOFFBR(b *testing.B) {
 	env := benchGraph(b, 200)
-	seq, err := workload.TimeZones(env.Matrix,
+	seq, err := workload.TimeZones(env.Metric,
 		workload.TimeZonesConfig{T: 5, P: 0.5, Lambda: 20}, 300, rand.New(rand.NewSource(1)))
 	if err != nil {
 		b.Fatal(err)
@@ -401,7 +461,7 @@ func BenchmarkOPTLine5(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 10}, 200)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 10}, 200)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -416,7 +476,7 @@ func BenchmarkOPTLine5(b *testing.B) {
 
 func BenchmarkONTHCommuter(b *testing.B) {
 	env := benchGraph(b, 200)
-	seq, err := workload.CommuterDynamic(env.Matrix,
+	seq, err := workload.CommuterDynamic(env.Metric,
 		workload.CommuterConfig{T: workload.TForSize(200), Lambda: 10}, 300)
 	if err != nil {
 		b.Fatal(err)
@@ -431,7 +491,7 @@ func BenchmarkONTHCommuter(b *testing.B) {
 
 func BenchmarkONBRCommuter(b *testing.B) {
 	env := benchGraph(b, 200)
-	seq, err := workload.CommuterDynamic(env.Matrix,
+	seq, err := workload.CommuterDynamic(env.Metric,
 		workload.CommuterConfig{T: workload.TForSize(200), Lambda: 10}, 300)
 	if err != nil {
 		b.Fatal(err)

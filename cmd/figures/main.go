@@ -71,6 +71,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated figure ids (e.g. 3,11,rocketfuel,ablations); empty = all figures")
 	csvDir := flag.String("csvdir", "", "also write one CSV per figure into this directory")
 	seed := flag.Int64("seed", 1, "base random seed")
+	metric := flag.String("metric", "dense", "distance backend: dense, sparse[:rows], or landmark[:k]; dense and sparse are exact and produce identical output")
 	procs := flag.Int("procs", 0, "fan the whole selection's cell grids out over this many shared worker subprocesses")
 	workers := flag.Int("workers", 0, "bound the in-process worker pool (0 = GOMAXPROCS)")
 	shard := flag.String("shard", "", "evaluate only slice i of m of each grid, as i/m, and write partial results")
@@ -92,7 +93,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := experiments.Options{Quick: *quickFlag, Seed: *seed}
+	opts := experiments.Options{Quick: *quickFlag, Seed: *seed, Metric: *metric}
 	if *workerFlag {
 		if *connect != "" {
 			if err := runner.ConnectWorker(*connect, func(name string) (*runner.Spec, error) {
@@ -423,6 +424,9 @@ func workerCommand(o experiments.Options, fault *runner.Fault) func() (*exec.Cmd
 		args := []string{"-worker", "-seed", strconv.FormatInt(o.Seed, 10)}
 		if o.Quick {
 			args = append(args, "-quick")
+		}
+		if o.Metric != "" {
+			args = append(args, "-metric", o.Metric)
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stderr = os.Stderr

@@ -56,8 +56,10 @@ func main() {
 	log.SetPrefix("flexserve: ")
 
 	var (
-		topoName = flag.String("topo", "er", "topology: er, line, grid, pa, rocketfuel")
-		n        = flag.Int("n", 200, "network size (er, line, grid, pa)")
+		topoName = flag.String("topo", "er", "topology: er, line, grid, pa, smallworld, rocketfuel")
+		n        = flag.Int("n", 200, "network size (er, line, grid, pa, smallworld)")
+		metric   = flag.String("metric", "dense", "distance backend: dense, sparse[:rows], or landmark[:k] (see PERFORMANCE.md); dense and sparse are exact")
+		start    = flag.String("start", "center", "initial server node: center (exact scan), approx (3-sweep estimate for huge substrates), or a node id")
 		scenario = flag.String("scenario", "commuter-dynamic", "workload: commuter-dynamic, commuter-static, timezones, uniform, flash-crowd, diurnal, weekly")
 		algName  = flag.String("alg", "onth", "strategy: onth, onbr, onbr-dyn, onbr-cluster, onsamp, wfa, onconf, opt, offstat, offbr, offth")
 		rounds   = flag.Int("rounds", 500, "simulated rounds")
@@ -81,6 +83,7 @@ func main() {
 		queueCap  = flag.Int("queuecap", serve.DefaultQueueCap, "ingest queue bound")
 		shedFrac  = flag.Float64("shed", serve.DefaultShedFraction, "queue occupancy above which non-critical classes are shed")
 		ckptEvery = flag.Int("ckpt-every", serve.DefaultCheckpointEvery, "rounds between checkpoints")
+		walSeg    = flag.Int("wal-segment", 0, "rotate the WAL every this many entries and truncate sealed segments behind checkpoints (0 = single ever-growing file)")
 		tickEvery = flag.Duration("tick", 0, "close the demand window on this period even without load (0 = count-only)")
 		faultSpec = flag.String("faultinject", "", "chaos fault: slow[:after[:delay]], flood[:after[:factor]], ckptfail[:after], kill[:after]")
 
@@ -105,7 +108,7 @@ func main() {
 		topo: *topoName, n: *n, scenario: *scenario, alg: *algName,
 		rounds: *rounds, lambda: *lambda, T: *T, k: *k,
 		beta: *beta, create: *createC, ra: *ra, ri: *ri,
-		load: *loadName, seeds: seeds{*seed},
+		load: *loadName, metric: *metric, start: *start, seeds: seeds{*seed},
 	}
 	switch {
 	case *serveAddr != "":
@@ -116,7 +119,7 @@ func main() {
 		runServe(cfg, serveOptions{
 			addr: *serveAddr, dir: *stateDir, window: *window,
 			queueCap: *queueCap, shed: *shedFrac, ckptEvery: *ckptEvery,
-			tickEvery: *tickEvery, fault: fault,
+			segEntries: *walSeg, tickEvery: *tickEvery, fault: fault,
 		})
 	case *replayDir != "":
 		runReplay(cfg, *replayDir, *window)
@@ -145,12 +148,16 @@ func (s seeds) fire() *rand.Rand     { return rand.New(rand.NewSource(s.base + 4
 // cmdConfig carries the parsed model flags into each mode.
 type cmdConfig struct {
 	topo, scenario, alg, load string
+	metric, start             string
 	n, rounds, lambda, T, k   int
 	beta, create, ra, ri      float64
 	seeds                     seeds
 }
 
-// buildEnv constructs the environment from the topology seed stream.
+// buildEnv constructs the environment from the topology seed stream, under
+// the distance backend -metric selects and the initial placement -start
+// selects. The defaults (dense, center) reproduce the historical batch
+// ledgers bit for bit; -metric sparse does too, since sparse is exact.
 func (c cmdConfig) buildEnv() (*sim.Env, error) {
 	g, err := buildTopology(c.topo, c.n, c.seeds.topo())
 	if err != nil {
@@ -165,9 +172,28 @@ func (c cmdConfig) buildEnv() (*sim.Env, error) {
 	default:
 		return nil, fmt.Errorf("unknown load function %q", c.load)
 	}
+	var m graph.Metric
+	if c.metric != "" && c.metric != "dense" {
+		if m, err = graph.NewMetric(g, c.metric); err != nil {
+			return nil, err
+		}
+	}
+	var startPlacement core.Placement
+	switch c.start {
+	case "", "center":
+		// nil: NewEnvMetric runs the exact center scan.
+	case "approx":
+		startPlacement = core.NewPlacement(g.ApproxCenter())
+	default:
+		node, err := strconv.Atoi(c.start)
+		if err != nil || node < 0 || node >= g.N() {
+			return nil, fmt.Errorf("bad -start %q: want center, approx, or a node id in [0,%d)", c.start, g.N())
+		}
+		startPlacement = core.NewPlacement(node)
+	}
 	params := cost.Params{Beta: c.beta, Create: c.create, RunActive: c.ra, RunInactive: c.ri}
-	return sim.NewEnv(g, load, cost.AssignMinCost, params,
-		core.Params{QueueCap: 3, Expiry: 20, MaxServers: c.k})
+	return sim.NewEnvMetric(g, m, load, cost.AssignMinCost, params,
+		core.Params{QueueCap: 3, Expiry: 20, MaxServers: c.k}, startPlacement)
 }
 
 // buildSequence constructs the scenario from the workload seed stream.
@@ -182,8 +208,19 @@ func (c cmdConfig) buildSequence(env *sim.Env) (*workload.Sequence, error) {
 // fingerprint names the serving configuration; the WAL and checkpoints
 // embed it, so a restart under different flags refuses to replay.
 func (c cmdConfig) fingerprint(window int) string {
-	return fmt.Sprintf("flexserve:%s:n=%d:alg=%s:load=%s:beta=%g:c=%g:ra=%g:ri=%g:k=%d:seed=%d:window=%d",
+	fp := fmt.Sprintf("flexserve:%s:n=%d:alg=%s:load=%s:beta=%g:c=%g:ra=%g:ri=%g:k=%d:seed=%d:window=%d",
 		c.topo, c.n, c.alg, c.load, c.beta, c.create, c.ra, c.ri, c.k, c.seeds.base, window)
+	// Non-default backend or start change the simulated trajectory (an
+	// approximate metric, a different initial server), so they join the
+	// fingerprint; the defaults stay out of it, keeping state directories
+	// written by earlier versions replayable.
+	if c.metric != "" && c.metric != "dense" {
+		fp += ":metric=" + c.metric
+	}
+	if c.start != "" && c.start != "center" {
+		fp += ":start=" + c.start
+	}
+	return fp
 }
 
 // newStream is the deterministic stream factory the serving layer replays
@@ -255,6 +292,7 @@ type serveOptions struct {
 	window, queueCap int
 	shed             float64
 	ckptEvery        int
+	segEntries       int
 	tickEvery        time.Duration
 	fault            serve.Fault
 }
@@ -267,6 +305,7 @@ func runServe(c cmdConfig, opts serveOptions) {
 		QueueCap:        opts.queueCap,
 		ShedFraction:    opts.shed,
 		CheckpointEvery: opts.ckptEvery,
+		SegmentEntries:  opts.segEntries,
 		Dir:             opts.dir,
 		Fault:           opts.fault,
 		Logf:            log.Printf,
@@ -485,6 +524,15 @@ func buildTopology(name string, n int, rng *rand.Rand) (*graph.Graph, error) {
 		return gen.Grid(side, side, gen.DefaultOptions(), rng)
 	case "pa":
 		return gen.PreferentialAttachment(n, 2, gen.DefaultOptions(), rng)
+	case "smallworld":
+		// Ring + n/4 random chords: O(n) construction for the huge
+		// substrates the sparse/landmark backends serve (see
+		// EXPERIMENTS.md for the 10⁵-node recipe).
+		chords := n / 4
+		if chords < 1 {
+			chords = 1
+		}
+		return gen.SmallWorld(n, chords, gen.DefaultOptions(), rng)
 	case "rocketfuel":
 		return topo.ASLike(topo.AS7018Config(), rng)
 	default:
@@ -512,7 +560,7 @@ func buildWorkload(name string, env *sim.Env, T, lambda, rounds int, rng *rand.R
 	// and the figure sweeps share one default derivation. Its errors pass
 	// through: "unknown scenario" for a bad name, the workload validation
 	// message otherwise.
-	return experiments.BuildNamedScenario(name, env.Matrix, T, lambda, rounds, 0, rng)
+	return experiments.BuildNamedScenario(name, env.Metric, T, lambda, rounds, 0, rng)
 }
 
 func buildAlgorithm(name string, seq *workload.Sequence, rng *rand.Rand) (sim.Algorithm, error) {

@@ -1,6 +1,11 @@
 // Command snapshot prints every figure and table of the evaluation with
 // full float precision, for byte-level parity checks across optimisation
 // work: run it before and after a change and diff the output.
+//
+// Usage: snapshot [seed [metric]] — the optional metric spec (dense,
+// sparse[:rows], landmark[:k]) selects the distance backend; exact
+// backends must produce byte-identical output, which CI pins for
+// dense vs sparse.
 package main
 
 import (
@@ -22,7 +27,11 @@ func main() {
 		}
 		seed = s
 	}
-	o := experiments.Options{Quick: true, Seed: seed}
+	metric := ""
+	if len(os.Args) > 2 {
+		metric = os.Args[2]
+	}
+	o := experiments.Options{Quick: true, Seed: seed, Metric: metric}
 	figs := []struct {
 		name string
 		fn   func(experiments.Options) (*trace.Table, error)

@@ -46,7 +46,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq, err := workload.TimeZones(env.Matrix, workload.TimeZonesConfig{
+	seq, err := workload.TimeZones(env.Metric, workload.TimeZonesConfig{
 		T: *zones, P: *p, Lambda: *lambda,
 	}, *rounds, rand.New(rand.NewSource(*seed+1)))
 	if err != nil {

@@ -63,7 +63,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		seq, err := workload.CommuterDynamic(env.Matrix,
+		seq, err := workload.CommuterDynamic(env.Metric,
 			workload.CommuterConfig{T: 4, Lambda: *lambda}, *rounds)
 		if err != nil {
 			log.Fatal(err)

@@ -45,7 +45,7 @@ func main() {
 		log.Fatal(err)
 	}
 	T := workload.TForSize(*n)
-	seq, err := workload.CommuterStatic(env.Matrix,
+	seq, err := workload.CommuterStatic(env.Metric,
 		workload.CommuterConfig{T: T, Lambda: *lambda}, *rounds)
 	if err != nil {
 		log.Fatal(err)

@@ -39,7 +39,7 @@ func main() {
 
 	// 3. A workload: commuters fan out from the center each morning and
 	//    return each evening (T=10 phases, λ=15 rounds per phase).
-	seq, err := workload.CommuterDynamic(env.Matrix,
+	seq, err := workload.CommuterDynamic(env.Metric,
 		workload.CommuterConfig{T: 10, Lambda: 15}, 600)
 	if err != nil {
 		log.Fatal(err)

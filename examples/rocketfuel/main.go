@@ -43,7 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	seq, err := workload.TimeZones(env.Matrix, workload.TimeZonesConfig{
+	seq, err := workload.TimeZones(env.Metric, workload.TimeZonesConfig{
 		T: 12, P: 0.5, Lambda: *lambda,
 	}, *rounds, rand.New(rand.NewSource(*seed+1)))
 	if err != nil {

@@ -281,3 +281,39 @@ func (p *Pool) cacheServer(node int) {
 func (p *Pool) RunCost() float64 {
 	return p.params.Costs.Run(len(p.active), len(p.inactive))
 }
+
+// ServerRef is one cached inactive server in a PoolState snapshot.
+type ServerRef struct {
+	Node int `json:"node"`
+	Born int `json:"born"`
+}
+
+// PoolState is an exact snapshot of a pool's mutable state: the active
+// placement, the inactive FIFO in queue order (oldest first, with birth
+// epochs so expiry resumes correctly), and the epoch counter. Params are
+// not captured — a snapshot is only meaningful restored into a pool built
+// with the identical Params.
+type PoolState struct {
+	Active   []int       `json:"active"`
+	Inactive []ServerRef `json:"inactive,omitempty"`
+	Epoch    int         `json:"epoch"`
+}
+
+// State snapshots the pool.
+func (p *Pool) State() PoolState {
+	s := PoolState{Active: append([]int(nil), p.active...), Epoch: p.epoch}
+	for _, e := range p.inactive {
+		s.Inactive = append(s.Inactive, ServerRef{Node: e.node, Born: e.born})
+	}
+	return s
+}
+
+// Restore reinstalls a snapshot taken from a pool with the same Params.
+func (p *Pool) Restore(s PoolState) {
+	p.active = append(Placement(nil), s.Active...)
+	p.inactive = nil
+	for _, e := range s.Inactive {
+		p.inactive = append(p.inactive, inactiveEntry{node: e.Node, born: e.Born})
+	}
+	p.epoch = s.Epoch
+}

@@ -57,7 +57,7 @@ func (p Policy) String() string {
 // scratch workspaces handed out by the internal pool are never shared.
 type Evaluator struct {
 	g      *graph.Graph
-	m      *graph.Matrix
+	m      graph.Metric
 	load   LoadFunc
 	policy Policy
 
@@ -65,9 +65,11 @@ type Evaluator struct {
 }
 
 // NewEvaluator builds an evaluator for the given substrate and load model.
-func NewEvaluator(g *graph.Graph, m *graph.Matrix, load LoadFunc, policy Policy) *Evaluator {
+// The metric may be any backend (dense matrix, sparse, landmark); the
+// kernels only borrow read-only distance rows from it.
+func NewEvaluator(g *graph.Graph, m graph.Metric, load LoadFunc, policy Policy) *Evaluator {
 	if g.N() != m.N() {
-		panic(fmt.Sprintf("cost: matrix size %d does not match graph size %d", m.N(), g.N()))
+		panic(fmt.Sprintf("cost: metric size %d does not match graph size %d", m.N(), g.N()))
 	}
 	e := &Evaluator{g: g, m: m, load: load, policy: policy}
 	e.sessions.New = func() any { return &Session{e: e} }
@@ -111,8 +113,8 @@ func (s *Session) Access(servers []int, d Demand) AccessCost {
 // Graph returns the substrate the evaluator was built for.
 func (e *Evaluator) Graph() *graph.Graph { return e.g }
 
-// Matrix returns the all-pairs latency matrix.
-func (e *Evaluator) Matrix() *graph.Matrix { return e.m }
+// Metric returns the latency metric backend.
+func (e *Evaluator) Metric() graph.Metric { return e.m }
 
 // Load returns the load function.
 func (e *Evaluator) Load() LoadFunc { return e.load }

@@ -194,7 +194,7 @@ func TestEvaluatorAccessors(t *testing.T) {
 	g := lineGraph(3)
 	m := g.AllPairs()
 	e := NewEvaluator(g, m, Linear{}, AssignNearest)
-	if e.Graph() != g || e.Matrix() != m {
+	if e.Graph() != g || e.Metric() != graph.Metric(m) {
 		t.Fatal("accessors do not round-trip")
 	}
 	if e.Load().Name() != "linear" || e.Policy() != AssignNearest {

@@ -28,11 +28,11 @@ func ablationInstance(o Options, pool core.Params, load cost.LoadFunc, policy co
 	if err != nil {
 		return nil, nil, err
 	}
-	env, err := sim.NewEnv(g, load, policy, cost.DefaultParams(), pool)
+	env, err := newMetricEnv(g, load, policy, cost.DefaultParams(), pool, o.Metric)
 	if err != nil {
 		return nil, nil, err
 	}
-	seq, err := workload.CommuterDynamic(env.Matrix,
+	seq, err := workload.CommuterDynamic(env.Metric,
 		workload.CommuterConfig{T: workload.TForSize(n), Lambda: 10}, rounds)
 	if err != nil {
 		return nil, nil, err

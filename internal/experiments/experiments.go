@@ -42,6 +42,11 @@ type Options struct {
 	Quick bool
 	// Seed is the base seed; 0 selects the default (1).
 	Seed int64
+	// Metric selects the distance backend every environment is built
+	// with — "dense" (default), "sparse[:rows]", or "landmark[:k]", see
+	// graph.NewMetric. Exact backends (dense, sparse) produce
+	// bit-identical figures; landmark is an upper-bound approximation.
+	Metric string
 }
 
 func (o Options) seed() int64 {
@@ -83,25 +88,40 @@ func erGraph(n int, seed int64) (*graph.Graph, error) {
 	return gen.ErdosRenyi(n, ErdosRenyiP, gen.DefaultOptions(), rng)
 }
 
+// newMetricEnv builds an environment with the backend the metric spec
+// selects. The empty spec (and "dense") takes the unmodified sim.NewEnv
+// path, so default runs stay byte-identical to the pre-backend code.
+func newMetricEnv(g *graph.Graph, load cost.LoadFunc, policy cost.Policy, params cost.Params, pool core.Params, spec string) (*sim.Env, error) {
+	if spec == "" || spec == "dense" {
+		return sim.NewEnv(g, load, policy, params, pool)
+	}
+	m, err := graph.NewMetric(g, spec)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewEnvMetric(g, m, load, policy, params, pool, nil)
+}
+
 // erEnv builds the paper's artificial substrate: an Erdős–Rényi graph with
-// 1% connection probability, T1/T2 bandwidths, and the default cost model.
-func erEnv(n int, load cost.LoadFunc, params cost.Params, seed int64) (*sim.Env, error) {
+// 1% connection probability, T1/T2 bandwidths, and the default cost model,
+// under the metric backend the spec selects.
+func erEnv(n int, load cost.LoadFunc, params cost.Params, seed int64, metric string) (*sim.Env, error) {
 	g, err := erGraph(n, seed)
 	if err != nil {
 		return nil, err
 	}
-	return sim.NewEnv(g, load, cost.AssignMinCost, params, poolDefaults())
+	return newMetricEnv(g, load, cost.AssignMinCost, params, poolDefaults(), metric)
 }
 
 // lineEnv builds the paper's OPT substrate: a line graph with random
 // latencies ("to simulate OPT, we constrain ourselves to line graphs").
-func lineEnv(n int, params cost.Params, seed int64) (*sim.Env, error) {
+func lineEnv(n int, params cost.Params, seed int64, metric string) (*sim.Env, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g, err := gen.Line(n, gen.DefaultOptions(), rng)
 	if err != nil {
 		return nil, err
 	}
-	return sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost, params, poolDefaults())
+	return newMetricEnv(g, cost.Linear{}, cost.AssignMinCost, params, poolDefaults(), metric)
 }
 
 // runSeed derives a deterministic per-run seed from the experiment seed, an
@@ -197,7 +217,7 @@ func allScenarios() []scenarioKind {
 // "weekday-weekend"). It is the single source of the per-family default
 // derivation, shared by the experiment sweeps and the cmd/flexserve CLI
 // so the two can never drift apart.
-func BuildNamedScenario(name string, m *graph.Matrix, T, lambda, rounds, reqPerRound int, rng *rand.Rand) (*workload.Sequence, error) {
+func BuildNamedScenario(name string, m graph.Metric, T, lambda, rounds, reqPerRound int, rng *rand.Rand) (*workload.Sequence, error) {
 	for _, kind := range allScenarios() {
 		if kind.String() == name {
 			return buildScenario(kind, m, T, lambda, rounds, reqPerRound, rng)
@@ -212,7 +232,7 @@ func BuildNamedScenario(name string, m *graph.Matrix, T, lambda, rounds, reqPerR
 // crowds), reqPerRound the volume (0 derives the commuter-comparable
 // default). All randomness comes from rng, so a (seed, x, run) triple
 // fully determines the sequence.
-func buildScenario(kind scenarioKind, m *graph.Matrix, T, lambda, rounds, reqPerRound int, rng *rand.Rand) (*workload.Sequence, error) {
+func buildScenario(kind scenarioKind, m graph.Metric, T, lambda, rounds, reqPerRound int, rng *rand.Rand) (*workload.Sequence, error) {
 	switch kind {
 	case commuterDynamic:
 		return workload.CommuterDynamic(m, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)

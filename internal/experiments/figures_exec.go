@@ -43,29 +43,35 @@ func figureExecSpec(o Options, name, title string, kind scenarioKind, n, T, lamb
 	var (
 		graphOnce sync.Once
 		sharedG   *graph.Graph
+		sharedM   graph.Metric
 		graphErr  error
 	)
-	substrate := func() (*graph.Graph, error) {
+	substrate := func() (*graph.Graph, graph.Metric, error) {
 		graphOnce.Do(func() {
-			if sharedG, graphErr = erGraph(n, seed); graphErr == nil {
-				sharedG.Metric()
+			if sharedG, graphErr = erGraph(n, seed); graphErr != nil {
+				return
 			}
+			spec := o.Metric
+			if spec == "" {
+				spec = "dense"
+			}
+			sharedM, graphErr = graph.NewMetric(sharedG, spec)
 		})
-		return sharedG, graphErr
+		return sharedG, sharedM, graphErr
 	}
 	return &runner.Spec{
 		Name: name,
 		Xs:   1, Variants: len(loads), Runs: 1,
 		Cell: func(_, vi, _ int) ([]float64, error) {
-			g, err := substrate()
+			g, m, err := substrate()
 			if err != nil {
 				return nil, err
 			}
-			env, err := sim.NewEnv(g, loads[vi], cost.AssignMinCost, cost.DefaultParams(), poolDefaults())
+			env, err := sim.NewEnvMetric(g, m, loads[vi], cost.AssignMinCost, cost.DefaultParams(), poolDefaults(), nil)
 			if err != nil {
 				return nil, err
 			}
-			seq, err := buildScenario(kind, env.Matrix, T, lambda, rounds, 0, nil)
+			seq, err := buildScenario(kind, env.Metric, T, lambda, rounds, 0, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -25,11 +25,11 @@ func figureLambdaSpec(o Options, name, title string, kind scenarioKind) *runner.
 		Xs:   len(lambdas), Variants: len(labels), Runs: runs,
 		Cell: func(xi, ai, run int) ([]float64, error) {
 			s := runSeed(seed, xi, run)
-			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s, o.Metric)
 			if err != nil {
 				return nil, err
 			}
-			seq, err := buildScenario(kind, env.Matrix, T, lambdas[xi], rounds, 0, rand.New(rand.NewSource(s+1)))
+			seq, err := buildScenario(kind, env.Metric, T, lambdas[xi], rounds, 0, rand.New(rand.NewSource(s+1)))
 			if err != nil {
 				return nil, err
 			}

@@ -15,12 +15,12 @@ import (
 
 // optInstance builds one small-instance run: the paper evaluates everything
 // involving OPT on line graphs of five nodes.
-func optInstance(kind scenarioKind, params cost.Params, n, T, lambda, rounds, reqPerRound int, seed int64) (*sim.Env, *workload.Sequence, error) {
-	env, err := lineEnv(n, params, seed)
+func optInstance(kind scenarioKind, params cost.Params, n, T, lambda, rounds, reqPerRound int, seed int64, metric string) (*sim.Env, *workload.Sequence, error) {
+	env, err := lineEnv(n, params, seed, metric)
 	if err != nil {
 		return nil, nil, err
 	}
-	seq, err := buildScenario(kind, env.Matrix, T, lambda, rounds, reqPerRound, rand.New(rand.NewSource(seed+1)))
+	seq, err := buildScenario(kind, env.Metric, T, lambda, rounds, reqPerRound, rand.New(rand.NewSource(seed+1)))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -64,7 +64,7 @@ func figure11Spec(o Options) *runner.Spec {
 		Xs:   len(lambdas), Variants: len(kinds), Runs: runs,
 		Cell: func(xi, ki, run int) ([]float64, error) {
 			s := runSeed(seed, xi*len(kinds)+ki, run)
-			env, seq, err := optInstance(kinds[ki], cost.DefaultParams(), n, T, lambdas[xi], rounds, 3, s)
+			env, seq, err := optInstance(kinds[ki], cost.DefaultParams(), n, T, lambdas[xi], rounds, 3, s, o.Metric)
 			if err != nil {
 				return nil, err
 			}
@@ -99,14 +99,14 @@ func figure12Spec(o Options) *runner.Spec {
 		Name: "12",
 		Xs:   1, Variants: 1, Runs: 1,
 		Cell: func(_, _, _ int) ([]float64, error) {
-			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), seed)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), seed, o.Metric)
 			if err != nil {
 				return nil, err
 			}
 			// Bound the curve length without constraining the other
 			// algorithms.
 			env.Pool.MaxServers = maxK
-			seq, err := workload.CommuterDynamic(env.Matrix,
+			seq, err := workload.CommuterDynamic(env.Metric,
 				workload.CommuterConfig{T: workload.TForSize(n), Lambda: 10}, rounds)
 			if err != nil {
 				return nil, err
@@ -155,7 +155,7 @@ func figureAbsoluteSpec(o Options, name, title string, params cost.Params) *runn
 		Xs:   len(lambdas), Variants: 1, Runs: runs,
 		Cell: func(xi, _, run int) ([]float64, error) {
 			s := runSeed(seed, xi, run)
-			env, seq, err := optInstance(commuterDynamic, params, n, T, lambdas[xi], rounds, 0, s)
+			env, seq, err := optInstance(commuterDynamic, params, n, T, lambdas[xi], rounds, 0, s, o.Metric)
 			if err != nil {
 				return nil, err
 			}
@@ -220,7 +220,7 @@ func figureRatioLambdaSpec(o Options, name, title string, kind scenarioKind, req
 		Xs:   len(lambdas), Variants: len(paramSets), Runs: runs,
 		Cell: func(xi, pi, run int) ([]float64, error) {
 			s := runSeed(seed, xi*len(paramSets)+pi, run)
-			env, seq, err := optInstance(kind, paramSets[pi].params, n, T, lambdas[xi], rounds, reqPerRound, s)
+			env, seq, err := optInstance(kind, paramSets[pi].params, n, T, lambdas[xi], rounds, reqPerRound, s, o.Metric)
 			if err != nil {
 				return nil, err
 			}
@@ -286,7 +286,7 @@ func figureRatioTSpec(o Options, name, title string, kind scenarioKind) *runner.
 		Xs:   len(Ts), Variants: len(paramSets), Runs: runs,
 		Cell: func(xi, pi, run int) ([]float64, error) {
 			s := runSeed(seed, xi*len(paramSets)+pi, run)
-			env, seq, err := optInstance(kind, paramSets[pi].params, n, Ts[xi], lambda, rounds, 0, s)
+			env, seq, err := optInstance(kind, paramSets[pi].params, n, Ts[xi], lambda, rounds, 0, s, o.Metric)
 			if err != nil {
 				return nil, err
 			}

@@ -41,11 +41,11 @@ func compareScenariosSpec(o Options) *runner.Spec {
 		Xs:   len(kinds), Variants: len(labels), Runs: runs,
 		Cell: func(xi, ai, run int) ([]float64, error) {
 			s := runSeed(seed, xi, run)
-			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s, o.Metric)
 			if err != nil {
 				return nil, err
 			}
-			seq, err := buildScenario(kinds[xi], env.Matrix, T, lambda, rounds, 0, rand.New(rand.NewSource(s+1)))
+			seq, err := buildScenario(kinds[xi], env.Metric, T, lambda, rounds, 0, rand.New(rand.NewSource(s+1)))
 			if err != nil {
 				return nil, err
 			}
@@ -92,11 +92,11 @@ func scenarioFlashCrowdSpec(o Options) *runner.Spec {
 		Xs:   len(peaks), Variants: len(labels), Runs: runs,
 		Cell: func(xi, ai, run int) ([]float64, error) {
 			s := runSeed(seed, xi, run)
-			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s, o.Metric)
 			if err != nil {
 				return nil, err
 			}
-			seq, err := workload.FlashCrowd(env.Matrix, workload.FlashCrowdConfig{
+			seq, err := workload.FlashCrowd(env.Metric, workload.FlashCrowdConfig{
 				BaseRequests: base, Spikes: 4, Peak: float64(peaks[xi] * base), Tau: tau,
 			}, rounds, rand.New(rand.NewSource(s+1)))
 			if err != nil {
@@ -135,11 +135,11 @@ func scenarioDiurnalSpec(o Options) *runner.Spec {
 		Xs:   len(regionCounts), Variants: len(labels), Runs: runs,
 		Cell: func(xi, ai, run int) ([]float64, error) {
 			s := runSeed(seed, xi, run)
-			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s, o.Metric)
 			if err != nil {
 				return nil, err
 			}
-			seq, err := workload.DiurnalMultiRegion(env.Matrix, workload.DiurnalConfig{
+			seq, err := workload.DiurnalMultiRegion(env.Metric, workload.DiurnalConfig{
 				Regions: regionCounts[xi], Period: period, HotShare: 0.5,
 			}, rounds, rand.New(rand.NewSource(s+1)))
 			if err != nil {

@@ -10,12 +10,12 @@ import (
 // TestBuildScenarioAllKinds drives every workload family through the
 // shared builder, including the composable scenarios.
 func TestBuildScenarioAllKinds(t *testing.T) {
-	env, err := erEnv(40, cost.Linear{}, cost.DefaultParams(), 1)
+	env, err := erEnv(40, cost.Linear{}, cost.DefaultParams(), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, kind := range allScenarios() {
-		seq, err := buildScenario(kind, env.Matrix, 6, 5, 30, 0, rand.New(rand.NewSource(2)))
+		seq, err := buildScenario(kind, env.Metric, 6, 5, 30, 0, rand.New(rand.NewSource(2)))
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -26,7 +26,7 @@ func TestBuildScenarioAllKinds(t *testing.T) {
 			t.Fatalf("%v: empty workload", kind)
 		}
 	}
-	if _, err := buildScenario(scenarioKind(99), env.Matrix, 6, 5, 30, 0, rand.New(rand.NewSource(2))); err == nil {
+	if _, err := buildScenario(scenarioKind(99), env.Metric, 6, 5, 30, 0, rand.New(rand.NewSource(2))); err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
 }
@@ -34,17 +34,17 @@ func TestBuildScenarioAllKinds(t *testing.T) {
 // TestBuildScenarioDeterministic: the same (seed, x, run) derivation must
 // yield byte-identical sequences, the property all sweeps rely on.
 func TestBuildScenarioDeterministic(t *testing.T) {
-	env, err := erEnv(40, cost.Linear{}, cost.DefaultParams(), 1)
+	env, err := erEnv(40, cost.Linear{}, cost.DefaultParams(), 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, kind := range allScenarios() {
 		s := runSeed(7, 2, 3)
-		a, err := buildScenario(kind, env.Matrix, 6, 5, 40, 0, rand.New(rand.NewSource(s+1)))
+		a, err := buildScenario(kind, env.Metric, 6, 5, 40, 0, rand.New(rand.NewSource(s+1)))
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := buildScenario(kind, env.Matrix, 6, 5, 40, 0, rand.New(rand.NewSource(s+1)))
+		b, err := buildScenario(kind, env.Metric, 6, 5, 40, 0, rand.New(rand.NewSource(s+1)))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -37,11 +37,11 @@ func figureSizeSpec(o Options, name, title string, kind scenarioKind) *runner.Sp
 		Cell: func(xi, ai, run int) ([]float64, error) {
 			n := sizes[xi]
 			s := runSeed(seed, xi, run)
-			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s, o.Metric)
 			if err != nil {
 				return nil, err
 			}
-			seq, err := buildScenario(kind, env.Matrix, workload.TForSize(n), lambda, rounds, 0,
+			seq, err := buildScenario(kind, env.Metric, workload.TForSize(n), lambda, rounds, 0,
 				rand.New(rand.NewSource(s+1)))
 			if err != nil {
 				return nil, err
@@ -96,11 +96,11 @@ func figure6Spec(o Options) *runner.Spec {
 		Cell: func(xi, _, run int) ([]float64, error) {
 			n := sizes[xi]
 			s := runSeed(seed, xi, run)
-			env, err := erEnv(n, cost.Linear{}, cost.InvertedParams(), s)
+			env, err := erEnv(n, cost.Linear{}, cost.InvertedParams(), s, o.Metric)
 			if err != nil {
 				return nil, err
 			}
-			seq, err := workload.CommuterDynamic(env.Matrix,
+			seq, err := workload.CommuterDynamic(env.Metric,
 				workload.CommuterConfig{T: workload.TForSize(n), Lambda: lambda}, rounds)
 			if err != nil {
 				return nil, err
@@ -154,11 +154,11 @@ func figure7Spec(o Options) *runner.Spec {
 		Xs:   len(Ts), Variants: len(labels), Runs: runs,
 		Cell: func(xi, ai, run int) ([]float64, error) {
 			s := runSeed(seed, xi, run)
-			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s)
+			env, err := erEnv(n, cost.Linear{}, cost.DefaultParams(), s, o.Metric)
 			if err != nil {
 				return nil, err
 			}
-			seq, err := workload.CommuterStatic(env.Matrix,
+			seq, err := workload.CommuterStatic(env.Metric,
 				workload.CommuterConfig{T: Ts[xi], Lambda: lambda}, rounds)
 			if err != nil {
 				return nil, err

@@ -7,7 +7,6 @@ import (
 	"repro/internal/experiments/runner"
 	"repro/internal/offline"
 	"repro/internal/online"
-	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -63,11 +62,11 @@ func rocketfuelSpec(o Options) *runner.Spec {
 			if err != nil {
 				return nil, err
 			}
-			env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost, cost.DefaultParams(), poolDefaults())
+			env, err := newMetricEnv(g, cost.Linear{}, cost.AssignMinCost, cost.DefaultParams(), poolDefaults(), o.Metric)
 			if err != nil {
 				return nil, err
 			}
-			seq, err := workload.TimeZones(env.Matrix, workload.TimeZonesConfig{
+			seq, err := workload.TimeZones(env.Metric, workload.TimeZonesConfig{
 				T: 12, P: 0.5, Lambda: 20,
 			}, rounds, rand.New(rand.NewSource(seed+1)))
 			if err != nil {

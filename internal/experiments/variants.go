@@ -48,12 +48,12 @@ func variantsSpec(o Options) *runner.Spec {
 		Xs:   1, Variants: 1, Runs: runs,
 		Cell: func(_, _, run int) ([]float64, error) {
 			s := runSeed(seed, 0, run)
-			env, err := lineEnv(n, cost.DefaultParams(), s)
+			env, err := lineEnv(n, cost.DefaultParams(), s, o.Metric)
 			if err != nil {
 				return nil, err
 			}
 			env.Pool.MaxServers = k
-			seq, err := workload.CommuterDynamic(env.Matrix,
+			seq, err := workload.CommuterDynamic(env.Metric,
 				workload.CommuterConfig{T: 6, Lambda: 8}, rounds)
 			if err != nil {
 				return nil, err

@@ -36,8 +36,11 @@ func (c *Clustering) Members(i int) []int {
 // KCenters computes a K-clustering with the classical farthest-point
 // (Gonzalez) 2-approximation of the k-centers objective: the first center
 // is the network center, each further center is the node farthest from all
-// chosen centers, and every node joins its nearest center.
-func KCenters(m *graph.Matrix, k int) (*Clustering, error) {
+// chosen centers, and every node joins its nearest center. Any Metric
+// backend works; exact backends (dense, sparse) yield the identical
+// clustering because every distance is read with the same orientation the
+// dense matrix uses.
+func KCenters(m graph.Metric, k int) (*Clustering, error) {
 	n := m.N()
 	if k < 1 {
 		return nil, fmt.Errorf("cluster: need k >= 1, got %d", k)
@@ -48,7 +51,7 @@ func KCenters(m *graph.Matrix, k int) (*Clustering, error) {
 	if k > n {
 		k = n
 	}
-	centers := []int{m.Center()}
+	centers := []int{graph.CenterOf(m)}
 	// minDist[v] = distance from v to its nearest chosen center.
 	minDist := make([]float64, n)
 	copy(minDist, m.Row(centers[0]))
@@ -84,8 +87,9 @@ func KCenters(m *graph.Matrix, k int) (*Clustering, error) {
 }
 
 // Radius returns the k-centers objective value: the largest distance from
-// any node to its cluster center.
-func (c *Clustering) Radius(m *graph.Matrix) float64 {
+// any node to its cluster center (Infinity when some node cannot reach
+// its center at all).
+func (c *Clustering) Radius(m graph.Metric) float64 {
 	r := 0.0
 	for v, ci := range c.Assign {
 		if d := m.Dist(v, c.Centers[ci]); d > r {

@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+// randomSubstrate is a connected random graph for backend-parity checks.
+func randomSubstrate(t *testing.T, n int, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := gen.ErdosRenyi(n, 0.12, gen.DefaultOptions(), rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestKCentersSparseParity: KCenters over the sparse backend — even one
+// whose row cache is far smaller than the center count, so rows are
+// evicted and recomputed mid-run — produces the identical clustering and
+// radius as the dense matrix.
+func TestKCentersSparseParity(t *testing.T) {
+	g := randomSubstrate(t, 40, 21)
+	dense := g.AllPairs()
+	sparse := graph.NewSparse(g, 3)
+	for _, k := range []int{1, 2, 5, 9} {
+		cd, err := KCenters(dense, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := KCenters(sparse, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cd, cs) {
+			t.Fatalf("k=%d: sparse clustering diverges:\n  dense  %+v\n  sparse %+v", k, cd, cs)
+		}
+		if rd, rs := cd.Radius(dense), cs.Radius(sparse); rd != rs {
+			t.Fatalf("k=%d: radius %v (dense) vs %v (sparse)", k, rd, rs)
+		}
+	}
+}
+
+// disconnectedPair builds two separate line components.
+func disconnectedPair() *graph.Graph {
+	g := graph.New(8)
+	for v := 0; v+1 < 4; v++ {
+		g.MustAddEdge(v, v+1, 1, 1)
+	}
+	for v := 4; v+1 < 8; v++ {
+		g.MustAddEdge(v, v+1, 1, 1)
+	}
+	return g
+}
+
+// TestKCentersDisconnected: on a disconnected substrate the farthest node
+// from any chosen set sits at Infinity, so k=2 must place the second
+// center in the other component and the radius collapses from Infinity
+// to a finite value. Dense and sparse must agree on all of it.
+func TestKCentersDisconnected(t *testing.T) {
+	g := disconnectedPair()
+	for _, m := range []graph.Metric{g.AllPairs(), graph.NewSparse(g, 2)} {
+		c1, err := KCenters(m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := c1.Radius(m); r != graph.Infinity {
+			t.Fatalf("%T: radius with one center on two islands = %v, want Infinity", m, r)
+		}
+		c2, err := KCenters(m, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameIsland := (c2.Centers[0] < 4) == (c2.Centers[1] < 4)
+		if sameIsland {
+			t.Fatalf("%T: both centers %v on one island", m, c2.Centers)
+		}
+		if r := c2.Radius(m); r == graph.Infinity || r <= 0 {
+			t.Fatalf("%T: radius with a center per island = %v, want finite positive", m, r)
+		}
+	}
+
+	// And the two backends agree exactly.
+	cd, _ := KCenters(g.AllPairs(), 3)
+	cs, _ := KCenters(graph.NewSparse(g, 2), 3)
+	if !reflect.DeepEqual(cd, cs) {
+		t.Fatalf("disconnected clustering diverges:\n  dense  %+v\n  sparse %+v", cd, cs)
+	}
+}
+
+// TestKCentersLandmarkExactParity: the landmark backend in exact mode is
+// a drop-in for dense here too.
+func TestKCentersLandmarkExactParity(t *testing.T) {
+	g := randomSubstrate(t, 20, 22)
+	cd, err := KCenters(g.AllPairs(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := KCenters(graph.NewLandmark(g, 20), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cd, cl) {
+		t.Fatalf("landmark-exact clustering diverges:\n  dense    %+v\n  landmark %+v", cd, cl)
+	}
+}

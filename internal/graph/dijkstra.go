@@ -141,3 +141,46 @@ func (g *Graph) Center() int {
 	}
 	return best
 }
+
+// ApproxCenter estimates a low-eccentricity node with three Dijkstra
+// sweeps instead of n: find the farthest node a from node 0, the farthest
+// node b from a (a–b approximates a diameter), and return the node
+// minimizing max(d(a,x), d(b,x)) — a midpoint of the pseudo-diameter. Ties
+// break toward the smaller node id. Intended for the huge connected
+// substrates of the sparse/landmark backends, where the exact center scan
+// is the bottleneck; on disconnected graphs it only considers node 0's
+// component.
+func (g *Graph) ApproxCenter() int {
+	n := g.N()
+	if n == 0 {
+		return -1
+	}
+	farthest := func(dist []float64) int {
+		far, farDist := 0, -1.0
+		for v, d := range dist {
+			if d != Infinity && d > farDist {
+				far, farDist = v, d
+			}
+		}
+		return far
+	}
+	d0 := g.ShortestFrom(0)
+	a := farthest(d0)
+	da := g.ShortestFrom(a)
+	b := farthest(da)
+	db := g.ShortestFrom(b)
+	best, bestEcc := -1, Infinity
+	for v := 0; v < n; v++ {
+		if da[v] == Infinity || db[v] == Infinity {
+			continue
+		}
+		ecc := da[v]
+		if db[v] > ecc {
+			ecc = db[v]
+		}
+		if best == -1 || ecc < bestEcc {
+			best, bestEcc = v, ecc
+		}
+	}
+	return best
+}

@@ -239,3 +239,60 @@ func TestLatencyRangeRespected(t *testing.T) {
 		}
 	}
 }
+
+func TestSmallWorld(t *testing.T) {
+	for _, tc := range []struct{ n, chords int }{{3, 0}, {50, 12}, {1000, 250}} {
+		rng := rand.New(rand.NewSource(int64(tc.n)))
+		g, err := SmallWorld(tc.n, tc.chords, opts(), rng)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		if g.N() != tc.n {
+			t.Fatalf("n=%d: got %d nodes", tc.n, g.N())
+		}
+		if !g.Connected() {
+			t.Fatalf("n=%d: ring overlay must be connected", tc.n)
+		}
+		// The ring contributes exactly n edges; duplicate/self-loop chord
+		// draws are skipped, so the total sits in [n, n+chords].
+		if m := g.M(); m < tc.n || m > tc.n+tc.chords {
+			t.Fatalf("n=%d chords=%d: %d edges, want within [%d, %d]", tc.n, tc.chords, m, tc.n, tc.n+tc.chords)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+	}
+}
+
+func TestSmallWorldDeterministic(t *testing.T) {
+	a, err := SmallWorld(60, 15, opts(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SmallWorld(60, 15, opts(), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed produced different small-world graphs")
+	}
+	am, bm := a.AllPairs(), graph.Metric(b.AllPairs())
+	if graph.CenterOf(am) != graph.CenterOf(bm) {
+		t.Fatal("same seed produced different centers")
+	}
+}
+
+func TestSmallWorldErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SmallWorld(2, 0, opts(), rng); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+	if _, err := SmallWorld(10, -1, opts(), rng); err == nil {
+		t.Fatal("negative chord count accepted")
+	}
+	bad := opts()
+	bad.MinLatency = -1
+	if _, err := SmallWorld(10, 2, bad, rng); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}

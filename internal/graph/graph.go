@@ -46,6 +46,13 @@ type Graph struct {
 	// metric caches the all-pairs shortest-path matrix. AddEdge
 	// invalidates it; strength changes do not affect distances.
 	metric atomic.Pointer[Matrix]
+
+	// version counts distance-affecting mutations (AddEdge). Metric
+	// backends that hold derived state (Sparse row caches, Landmark
+	// tables) compare it against the version they were built from and
+	// rebuild lazily when it moved — the same invalidation contract the
+	// dense matrix cache gets from metric.Store(nil) above.
+	version atomic.Uint64
 }
 
 // New returns a graph with n isolated nodes, each with DefaultStrength.
@@ -112,8 +119,15 @@ func (g *Graph) AddEdge(u, v int, lat, bw float64) error {
 	g.adj[v] = append(g.adj[v], Edge{To: u, Latency: lat, Bandwidth: bw})
 	g.edges++
 	g.metric.Store(nil)
+	g.version.Add(1)
 	return nil
 }
+
+// Version returns a counter incremented by every distance-affecting
+// mutation. Equal versions across two reads guarantee all shortest-path
+// distances are unchanged between them; metric backends use it to detect
+// that their cached rows or tables are stale.
+func (g *Graph) Version() uint64 { return g.version.Load() }
 
 // MustAddEdge is AddEdge but panics on error. It is intended for generators
 // and tests where the arguments are known to be valid.

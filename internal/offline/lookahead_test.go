@@ -139,7 +139,7 @@ func TestOFFSTATQuadraticLoadPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 3}, 40)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 3}, 40)
 	if err != nil {
 		t.Fatal(err)
 	}

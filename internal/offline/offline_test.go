@@ -11,7 +11,7 @@ import (
 
 func commuterSeq(t *testing.T, env *sim.Env, T, lambda, rounds int) *workload.Sequence {
 	t.Helper()
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: T, Lambda: lambda}, rounds)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -200,7 +200,7 @@ func TestOPTStepAllocationFree(t *testing.T) {
 		t.Skip("race instrumentation allocates in the step kernel")
 	}
 	env := lineEnv(t, 5, 3, cost.DefaultParams())
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 10}, 50)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 10}, 50)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,7 +87,7 @@ func TestOPTMatchesBruteForce(t *testing.T) {
 
 func TestOPTLedgerMatchesPlannedCost(t *testing.T) {
 	env := lineEnv(t, 5, 3, cost.DefaultParams())
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 3}, 30)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 3}, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestOPTLedgerMatchesPlannedCost(t *testing.T) {
 func TestOPTNeverWorseThanAnyStatic(t *testing.T) {
 	// Optimality sanity: OPT must cost at most any fixed configuration.
 	env := lineEnv(t, 4, 2, cost.DefaultParams())
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 2}, 16)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 2}, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +148,7 @@ func TestOPTConstantDemandConverges(t *testing.T) {
 
 func TestOPTRespectsServerBound(t *testing.T) {
 	env := lineEnv(t, 5, 2, cost.DefaultParams())
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 2}, 20)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 2}, 20)
 	if err != nil {
 		t.Fatal(err)
 	}

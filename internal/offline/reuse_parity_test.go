@@ -48,16 +48,16 @@ func reuseScenarios(t *testing.T, n int, seed int64) (*sim.Env, []*workload.Sequ
 	if err != nil {
 		t.Fatal(err)
 	}
-	commuter, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 8, Lambda: 5}, 160)
+	commuter, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 8, Lambda: 5}, 160)
 	if err != nil {
 		t.Fatal(err)
 	}
-	zones, err := workload.TimeZones(env.Matrix, workload.TimeZonesConfig{T: 5, P: 0.5, Lambda: 8}, 160,
+	zones, err := workload.TimeZones(env.Metric, workload.TimeZonesConfig{T: 5, P: 0.5, Lambda: 8}, 160,
 		rand.New(rand.NewSource(seed+1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	crowd, err := workload.FlashCrowd(env.Matrix, workload.FlashCrowdConfig{BaseRequests: 6, Spikes: 3, Peak: 40, Tau: 10}, 160,
+	crowd, err := workload.FlashCrowd(env.Metric, workload.FlashCrowdConfig{BaseRequests: 6, Spikes: 3, Peak: 40, Tau: 10}, 160,
 		rand.New(rand.NewSource(seed+2)))
 	if err != nil {
 		t.Fatal(err)

@@ -80,7 +80,7 @@ func (a *ONBR) Reset(env *sim.Env) error {
 	a.epochAgg = cost.NewAccumulator(env.Graph.N())
 	a.targets = nil
 	if a.Clusters > 0 {
-		cl, err := cluster.KCenters(env.Matrix, a.Clusters)
+		cl, err := cluster.KCenters(env.Metric, a.Clusters)
 		if err != nil {
 			return fmt.Errorf("onbr: %w", err)
 		}

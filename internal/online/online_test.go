@@ -209,7 +209,7 @@ func TestONTHQuadraticAllocatesMoreServers(t *testing.T) {
 
 func TestONCONFSmallInstance(t *testing.T) {
 	env := lineEnv(t, 5, 2, cost.Params{Beta: 10, Create: 30, RunActive: 1, RunInactive: 0.2})
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 3}, 100)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 3}, 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +244,7 @@ func TestOnlineAlgorithmsOnCommuterScenario(t *testing.T) {
 	// Integration: all online strategies survive the paper's commuter
 	// scenario on an ER graph with sane ledgers.
 	env := erEnv(t, 80, 6, 13)
-	seq, err := workload.CommuterStatic(env.Matrix,
+	seq, err := workload.CommuterStatic(env.Metric,
 		workload.CommuterConfig{T: workload.TForSize(80), Lambda: 5}, 200)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,123 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/graph/gen"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// snapshotEnv builds a deterministic environment and workload for the
+// state-snapshot round-trip checks.
+func snapshotEnv(t *testing.T, rounds int) (*sim.Env, *workload.Sequence) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	g, err := gen.ErdosRenyi(30, 0.12, gen.DefaultOptions(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.Params{Beta: 40, Create: 400, RunActive: 2.5, RunInactive: 0.5},
+		core.Params{QueueCap: 3, Expiry: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 6, Lambda: 6}, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, seq
+}
+
+// TestStateSnapshotRoundTrip pins the sim.StateSnapshotter contract for
+// ONTH and ONBR: run k rounds, snapshot, restore the snapshot into a
+// fresh Reset instance, play the remaining rounds on both — every
+// subsequent round cost must be bit-identical. The split is chosen so it
+// lands mid-epoch (non-zero accumulators and thresholds in flight).
+func TestStateSnapshotRoundTrip(t *testing.T) {
+	const rounds, split = 120, 47
+	algs := []struct {
+		name string
+		mk   func() sim.Algorithm
+	}{
+		{"ONTH", func() sim.Algorithm { return NewONTH() }},
+		{"ONBR", func() sim.Algorithm { return NewONBR() }},
+		{"ONBR-dyn", func() sim.Algorithm { return NewONBRDynamic() }},
+	}
+	for _, tc := range algs {
+		t.Run(tc.name, func(t *testing.T) {
+			env, seq := snapshotEnv(t, rounds)
+
+			orig, err := sim.NewStream(env, tc.mk(), "orig")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < split; i++ {
+				if _, err := orig.Serve(seq.Demand(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snap, ok := orig.Algorithm().(sim.StateSnapshotter)
+			if !ok {
+				t.Fatalf("%s does not implement sim.StateSnapshotter", tc.name)
+			}
+			state, err := snap.SnapshotState()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			restored, err := sim.NewStream(env, tc.mk(), "restored")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Algorithm().(sim.StateSnapshotter).RestoreState(state); err != nil {
+				t.Fatal(err)
+			}
+			restored.RestoreTotals(orig.Round(), orig.Ledger().Totals)
+
+			if !restored.Placement().Equal(orig.Placement()) {
+				t.Fatalf("restored placement %v, original %v", restored.Placement(), orig.Placement())
+			}
+			for i := split; i < rounds; i++ {
+				a, err := orig.Serve(seq.Demand(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := restored.Serve(seq.Demand(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a != b {
+					t.Fatalf("round %d diverged after restore:\n  orig     %+v\n  restored %+v", i, a, b)
+				}
+			}
+			ta, tb := orig.Ledger().Totals, restored.Ledger().Totals
+			if math.Float64bits(ta.Total()) != math.Float64bits(tb.Total()) {
+				t.Fatalf("totals diverged: %v vs %v", ta, tb)
+			}
+		})
+	}
+}
+
+// TestRestoreRejectsGarbage: a corrupt snapshot is reported, not applied.
+func TestRestoreRejectsGarbage(t *testing.T) {
+	env, _ := snapshotEnv(t, 1)
+	a := NewONTH()
+	if err := a.Reset(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RestoreState([]byte("not json")); err == nil {
+		t.Fatal("garbage snapshot accepted")
+	}
+	if err := NewONBR().RestoreState([]byte("{}")); err == nil {
+		t.Fatal("restore before Reset accepted")
+	}
+	if _, err := NewONTH().SnapshotState(); err == nil {
+		t.Fatal("snapshot before Reset accepted")
+	}
+}

@@ -172,7 +172,7 @@ func parityEnv(t *testing.T, rng *rand.Rand, load cost.LoadFunc) (*sim.Env, *wor
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := workload.CommuterDynamic(env.Matrix,
+	seq, err := workload.CommuterDynamic(env.Metric,
 		workload.CommuterConfig{T: 4, Lambda: 4}, 60)
 	if err != nil {
 		t.Fatal(err)
@@ -267,7 +267,7 @@ func TestSweepAlgorithmsParallelParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := workload.CommuterDynamic(env.Matrix,
+	seq, err := workload.CommuterDynamic(env.Metric,
 		workload.CommuterConfig{T: 4, Lambda: 30}, 40)
 	if err != nil {
 		t.Fatal(err)
@@ -318,7 +318,7 @@ func TestWFADisconnectedSubstrateParity(t *testing.T) {
 	costs := cost.Params{Beta: 5, Create: 20, RunActive: 1, RunInactive: 0.2}
 	env := &sim.Env{
 		Graph:  g,
-		Matrix: m,
+		Metric: m,
 		Eval:   cost.NewEvaluator(g, m, cost.Linear{}, cost.AssignMinCost),
 		Costs:  costs,
 		Pool:   core.Params{Costs: costs, QueueCap: 3, Expiry: 15, MaxServers: 2},

@@ -70,7 +70,7 @@ func TestONSAMPDefaultSampleBound(t *testing.T) {
 
 func TestONSAMPOnCommuter(t *testing.T) {
 	env := erEnv(t, 60, 6, 15)
-	seq, err := workload.CommuterDynamic(env.Matrix,
+	seq, err := workload.CommuterDynamic(env.Metric,
 		workload.CommuterConfig{T: workload.TForSize(60), Lambda: 5}, 200)
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +84,7 @@ func TestONSAMPOnCommuter(t *testing.T) {
 
 func TestWFASmallInstance(t *testing.T) {
 	env := lineEnv(t, 5, 2, cost.Params{Beta: 5, Create: 20, RunActive: 1, RunInactive: 0.2})
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 4}, 80)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 4}, 80)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestWFARejectsHugeInstance(t *testing.T) {
 
 func TestONBRClusteredRestrictsTargets(t *testing.T) {
 	env := erEnv(t, 80, 6, 21)
-	seq, err := workload.CommuterDynamic(env.Matrix,
+	seq, err := workload.CommuterDynamic(env.Metric,
 		workload.CommuterConfig{T: workload.TForSize(80), Lambda: 5}, 150)
 	if err != nil {
 		t.Fatal(err)
@@ -200,7 +200,7 @@ func TestWFANeverWorseThanFactorOverOPT(t *testing.T) {
 	// Loose sanity bound: on a tiny instance WFA should stay within a
 	// single-digit factor of the offline optimum.
 	env := lineEnv(t, 4, 2, cost.Params{Beta: 4, Create: 12, RunActive: 0.5, RunInactive: 0.1})
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 4, Lambda: 3}, 60)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 3}, 60)
 	if err != nil {
 		t.Fatal(err)
 	}

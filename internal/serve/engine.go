@@ -150,6 +150,10 @@ func (e *Engine) LastQuarantine() *QuarantineError { return e.lastQuar }
 // WindowCount returns the requests folded into the open window.
 func (e *Engine) WindowCount() int { return e.windowCount }
 
+// WindowDemand returns the demand folded into the open window so far —
+// checkpoint state, so restoration can reopen a half-filled window.
+func (e *Engine) WindowDemand() cost.Demand { return e.window.Demand() }
+
 // Placement returns a copy of the current configuration as a plain node
 // list (the algorithm keeps mutating its own).
 func (e *Engine) Placement() []int {

@@ -55,7 +55,7 @@ func testSequence(t testing.TB, rounds int) (*sim.Env, *workload.Sequence) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 6, Lambda: 4}, rounds)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 6, Lambda: 4}, rounds)
 	if err != nil {
 		t.Fatal(err)
 	}

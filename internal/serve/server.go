@@ -11,7 +11,9 @@ import (
 	"repro/internal/sim"
 )
 
-// State-directory file names.
+// State-directory file names. WALName is the legacy single-file log;
+// current logs are segment chains (wal-000001.log, …) managed by Log, and
+// an existing wal.log is adopted as segment 1 on open.
 const (
 	WALName        = "wal.log"
 	CheckpointName = "checkpoint.json"
@@ -35,6 +37,15 @@ type Config struct {
 	QueueCap        int     // ingest queue bound (DefaultQueueCap)
 	ShedFraction    float64 // non-critical shed threshold (DefaultShedFraction)
 	CheckpointEvery int     // closed rounds between checkpoints (DefaultCheckpointEvery)
+
+	// SegmentEntries rotates the WAL to a fresh segment file every that
+	// many appends; sealed segments wholly below a restorable checkpoint's
+	// cursor are then deleted, keeping a long run's state directory
+	// bounded. Zero (the default) keeps a single ever-growing segment.
+	// Truncation requires the algorithm to implement sim.StateSnapshotter
+	// (ONTH and ONBR do); for other algorithms segments rotate but are all
+	// retained, since recovery must replay the log from entry zero.
+	SegmentEntries int
 
 	// Dir is the state directory for the WAL and checkpoints; empty runs
 	// ephemeral (no persistence, no recovery).
@@ -71,7 +82,7 @@ type Server struct {
 	cfg     Config
 	queue   *IngestQueue
 	metrics *Metrics
-	wal     *WAL
+	wal     *Log
 
 	mu     sync.Mutex // guards engine between the consumer and snapshots
 	engine *Engine
@@ -89,10 +100,13 @@ type Server struct {
 }
 
 // New builds a server and, when the state directory already holds a WAL,
-// recovers: the full WAL is replayed through a fresh deterministic engine,
-// and the last checkpoint (if any) is validated bit-for-bit against the
-// replayed state at its cursor. After recovery the ledger is exactly what
-// an uninterrupted run over the same admitted stream would hold.
+// recovers. With the full log on disk it is replayed through a fresh
+// deterministic engine, and the last checkpoint (if any) is validated
+// bit-for-bit against the replayed state at its cursor. When truncation
+// has deleted the log's prefix, the checkpoint is restored directly and
+// only the retained tail is replayed. Either way, after recovery the
+// ledger is exactly what an uninterrupted run over the same admitted
+// stream would hold.
 func New(cfg Config) (*Server, error) {
 	if cfg.NewStream == nil {
 		return nil, fmt.Errorf("serve: Config.NewStream is required")
@@ -126,60 +140,92 @@ func New(cfg Config) (*Server, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	walPath := filepath.Join(cfg.Dir, WALName)
-	if _, err := os.Stat(walPath); err != nil {
-		if !os.IsNotExist(err) {
-			return nil, err
-		}
-		wal, err := CreateWAL(walPath, cfg.Fingerprint)
+	exists, err := LogExists(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if !exists {
+		wal, err := CreateLog(cfg.Dir, cfg.Fingerprint, cfg.SegmentEntries)
 		if err != nil {
 			return nil, err
 		}
 		s.wal = wal
 		return s, nil
 	}
-	wal, entries, err := OpenWAL(walPath, cfg.Fingerprint)
+	wal, base, entries, err := OpenLog(cfg.Dir, cfg.Fingerprint, cfg.SegmentEntries)
 	if err != nil {
 		return nil, err
 	}
+	replayed, err := recoverEngine(s.engine, cfg, base, entries)
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	s.metrics.ObserveReplay(replayed)
+	if replayed > 0 || len(entries) > 0 || base > 0 {
+		s.logf("recovered: replayed %d WAL entries (%d rounds) from base %d, resuming at round %d cursor %d",
+			len(entries), replayed, base, s.engine.Round(), s.engine.Cursor())
+	}
+	s.wal = wal
+	return s, nil
+}
+
+// recoverEngine rebuilds a fresh engine from the state directory's
+// checkpoint and retained WAL entries (whose first global index is base),
+// returning how many rounds the replay closed. base == 0 is the original
+// full-replay path: every entry is applied and the checkpoint, if any,
+// validates bit-for-bit at its cursor. base > 0 means truncation deleted
+// the log's prefix; then a restorable checkpoint inside the retained
+// range is mandatory, the engine resumes from it, and only the entries
+// past its cursor are replayed.
+func recoverEngine(engine *Engine, cfg Config, base int, entries []Entry) (int, error) {
 	var ckpt *Checkpoint
 	ckptPath := filepath.Join(cfg.Dir, CheckpointName)
 	if _, statErr := os.Stat(ckptPath); statErr == nil {
-		ckpt, err = ReadCheckpoint(ckptPath, cfg.Fingerprint)
+		c, err := ReadCheckpoint(ckptPath, cfg.Fingerprint)
 		if err != nil {
-			wal.Close()
-			return nil, err
+			return 0, err
 		}
-		if ckpt.Cursor > len(entries) {
-			wal.Close()
-			return nil, fmt.Errorf("serve: checkpoint cursor %d beyond WAL length %d — log lost entries", ckpt.Cursor, len(entries))
+		ckpt = c
+		if ckpt.Cursor > base+len(entries) {
+			return 0, fmt.Errorf("serve: checkpoint cursor %d beyond WAL length %d — log lost entries", ckpt.Cursor, base+len(entries))
 		}
+	}
+	if base > 0 {
+		if ckpt == nil {
+			return 0, fmt.Errorf("serve: WAL truncated to base %d but no checkpoint to restore from — state directory corrupt", base)
+		}
+		if ckpt.Cursor < base {
+			return 0, fmt.Errorf("serve: checkpoint cursor %d below WAL base %d — log lost entries", ckpt.Cursor, base)
+		}
+		if err := ckpt.restore(engine); err != nil {
+			return 0, err
+		}
+		replayed := 0
+		for _, e := range entries[ckpt.Cursor-base:] {
+			if engine.Apply(e).Closed() {
+				replayed++
+			}
+		}
+		return replayed, nil
 	}
 	replayed := 0
 	for i, e := range entries {
 		if ckpt != nil && i == ckpt.Cursor {
-			if err := ckpt.matches(s.engine); err != nil {
-				wal.Close()
-				return nil, fmt.Errorf("serve: replayed state diverges from checkpoint at cursor %d: %w", ckpt.Cursor, err)
+			if err := ckpt.matches(engine); err != nil {
+				return 0, fmt.Errorf("serve: replayed state diverges from checkpoint at cursor %d: %w", ckpt.Cursor, err)
 			}
 		}
-		if s.engine.Apply(e).Closed() {
+		if engine.Apply(e).Closed() {
 			replayed++
 		}
 	}
 	if ckpt != nil && ckpt.Cursor == len(entries) {
-		if err := ckpt.matches(s.engine); err != nil {
-			wal.Close()
-			return nil, fmt.Errorf("serve: replayed state diverges from checkpoint at cursor %d: %w", ckpt.Cursor, err)
+		if err := ckpt.matches(engine); err != nil {
+			return 0, fmt.Errorf("serve: replayed state diverges from checkpoint at cursor %d: %w", ckpt.Cursor, err)
 		}
 	}
-	s.metrics.ObserveReplay(replayed)
-	if replayed > 0 || len(entries) > 0 {
-		s.logf("recovered: replayed %d WAL entries (%d rounds), resuming at round %d cursor %d",
-			len(entries), replayed, s.engine.Round(), s.engine.Cursor())
-	}
-	s.wal = wal
-	return s, nil
+	return replayed, nil
 }
 
 // Start launches the consumer goroutine. It is idempotent.
@@ -323,6 +369,19 @@ func (s *Server) checkpoint() {
 	}
 	s.ckptOK++
 	s.metrics.ObserveCheckpoint(true)
+	// The durable checkpoint anchors truncation: sealed segments wholly
+	// below its cursor are no longer needed for recovery (restore covers
+	// them), so a long run's state directory stays bounded. Non-restorable
+	// checkpoints (algorithm without state snapshots) anchor nothing —
+	// recovery would still need the full log.
+	if c.Restorable() {
+		removed, err := s.wal.TruncateBefore(c.Cursor)
+		if err != nil {
+			s.logf("WAL truncation: %v", err)
+		} else if removed > 0 {
+			s.logf("WAL truncated: removed %d sealed segments below cursor %d (%d on disk)", removed, c.Cursor, s.wal.Segments())
+		}
+	}
 }
 
 // Drain is the graceful shutdown: stop admitting (readyz turns 503, ingest
@@ -434,7 +493,8 @@ func (s *Server) LedgerSnapshot() LedgerDump {
 }
 
 // Replay rebuilds the ledger offline: the WAL in dir is replayed through a
-// fresh engine built from the same configuration. This is the
+// fresh engine built from the same configuration (restoring the
+// checkpoint first when truncation removed the log's prefix). This is the
 // "uninterrupted baseline" the recovery guarantee is stated against — a
 // restarted server's /ledger must byte-match Replay of its own WAL.
 func Replay(cfg Config) (*Engine, error) {
@@ -449,11 +509,17 @@ func Replay(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	engine := NewEngine(stream, cfg.Window, cfg.KeepRounds)
-	wal, entries, err := OpenWAL(filepath.Join(cfg.Dir, WALName), cfg.Fingerprint)
+	wal, base, entries, err := OpenLog(cfg.Dir, cfg.Fingerprint, cfg.SegmentEntries)
 	if err != nil {
 		return nil, err
 	}
 	wal.Close()
+	if base > 0 {
+		if _, err := recoverEngine(engine, cfg, base, entries); err != nil {
+			return nil, err
+		}
+		return engine, nil
+	}
 	for _, e := range entries {
 		engine.Apply(e)
 	}

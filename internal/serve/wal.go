@@ -35,16 +35,22 @@ func (e Entry) Request() Request { return Request{Node: e.Node, Count: e.Count, 
 // walHeader is the first line of every WAL file: a format version plus the
 // serving configuration's fingerprint, so a restart with a different
 // topology, algorithm, or window size refuses to replay a stale log
-// instead of silently producing a divergent ledger.
+// instead of silently producing a divergent ledger. Segmented logs add
+// Seq (the segment's position in the chain) and Base (the global index of
+// the segment's first entry); both are omitted from single-file logs, so
+// a pre-segmentation wal.log parses as {Seq: 0, Base: 0}.
 type walHeader struct {
 	WAL         int    `json:"wal"`
 	Fingerprint string `json:"fingerprint"`
+	Seq         int    `json:"seq,omitempty"`
+	Base        int    `json:"base,omitempty"`
 }
 
 const walVersion = 1
 
-// WAL is an append-only arrival log. Writes are buffered and flushed per
-// append; a crash can lose at most the torn final line, which Open
+// WAL is one append-only arrival log file — a whole log in single-file
+// mode, or one segment of a rotated Log. Writes are buffered and flushed
+// per append; a crash can lose at most the torn final line, which Open
 // discards (and truncates) — every complete line is replayable.
 type WAL struct {
 	f     *os.File
@@ -54,12 +60,17 @@ type WAL struct {
 
 // CreateWAL starts a fresh log at path, truncating any previous one.
 func CreateWAL(path, fingerprint string) (*WAL, error) {
+	return createSegment(path, walHeader{WAL: walVersion, Fingerprint: fingerprint})
+}
+
+// createSegment starts a fresh log file with an explicit header.
+func createSegment(path string, h walHeader) (*WAL, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	w := &WAL{f: f, w: bufio.NewWriter(f)}
-	hdr, err := json.Marshal(walHeader{WAL: walVersion, Fingerprint: fingerprint})
+	hdr, err := json.Marshal(h)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -75,19 +86,27 @@ func CreateWAL(path, fingerprint string) (*WAL, error) {
 	return w, nil
 }
 
-// OpenWAL reads an existing log back for recovery: it validates the header
-// fingerprint, returns every complete entry in append order, truncates a
-// torn final line (the one write a crash may have interrupted), and leaves
-// the file positioned for further appends.
+// OpenWAL reads an existing single-file log back for recovery: it
+// validates the header fingerprint, returns every complete entry in append
+// order, truncates a torn final line (the one write a crash may have
+// interrupted), and leaves the file positioned for further appends.
 func OpenWAL(path, fingerprint string) (*WAL, []Entry, error) {
+	w, _, entries, err := openSegment(path, fingerprint)
+	return w, entries, err
+}
+
+// openSegment is OpenWAL returning the parsed header too, for the
+// segmented Log to validate sequence numbers and bases.
+func openSegment(path, fingerprint string) (*WAL, walHeader, []Entry, error) {
+	var hdr walHeader
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
-		return nil, nil, err
+		return nil, hdr, nil, err
 	}
 	data, err := io.ReadAll(f)
 	if err != nil {
 		f.Close()
-		return nil, nil, err
+		return nil, hdr, nil, err
 	}
 	// Only complete (newline-terminated) lines are replayable; whatever
 	// follows the last newline is a torn append.
@@ -98,16 +117,15 @@ func OpenWAL(path, fingerprint string) (*WAL, []Entry, error) {
 	}
 	if len(lines) == 0 {
 		f.Close()
-		return nil, nil, fmt.Errorf("serve: %s: empty WAL (missing header)", path)
+		return nil, hdr, nil, fmt.Errorf("serve: %s: empty WAL (missing header)", path)
 	}
-	var hdr walHeader
 	if err := json.Unmarshal(lines[0], &hdr); err != nil || hdr.WAL != walVersion {
 		f.Close()
-		return nil, nil, fmt.Errorf("serve: %s: not a v%d WAL", path, walVersion)
+		return nil, hdr, nil, fmt.Errorf("serve: %s: not a v%d WAL", path, walVersion)
 	}
 	if hdr.Fingerprint != fingerprint {
 		f.Close()
-		return nil, nil, fmt.Errorf("serve: %s was written under config %q, this server is %q — refusing to replay",
+		return nil, hdr, nil, fmt.Errorf("serve: %s was written under config %q, this server is %q — refusing to replay",
 			path, hdr.Fingerprint, fingerprint)
 	}
 	entries := make([]Entry, 0, len(lines)-1)
@@ -115,21 +133,21 @@ func OpenWAL(path, fingerprint string) (*WAL, []Entry, error) {
 		var e Entry
 		if err := json.Unmarshal(line, &e); err != nil {
 			f.Close()
-			return nil, nil, fmt.Errorf("serve: %s: bad WAL entry %d: %w", path, i, err)
+			return nil, hdr, nil, fmt.Errorf("serve: %s: bad WAL entry %d: %w", path, i, err)
 		}
 		entries = append(entries, e)
 	}
 	if good < len(data) {
 		if err := f.Truncate(int64(good)); err != nil {
 			f.Close()
-			return nil, nil, err
+			return nil, hdr, nil, err
 		}
 	}
 	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
 		f.Close()
-		return nil, nil, err
+		return nil, hdr, nil, err
 	}
-	return &WAL{f: f, w: bufio.NewWriter(f), count: len(entries)}, entries, nil
+	return &WAL{f: f, w: bufio.NewWriter(f), count: len(entries)}, hdr, entries, nil
 }
 
 // Append logs one entry and flushes it to the OS.

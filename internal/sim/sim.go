@@ -24,31 +24,51 @@ import (
 // Env is the immutable world one simulation runs in.
 type Env struct {
 	Graph  *graph.Graph
-	Matrix *graph.Matrix
+	Metric graph.Metric // latency oracle (dense matrix by default)
 	Eval   *cost.Evaluator
 	Costs  cost.Params
 	Pool   core.Params    // queue capacity, expiry, server bound k
 	Start  core.Placement // initial configuration γ0 shared by all algorithms
 }
 
-// NewEnv assembles an environment: all-pairs distances, evaluator, and the
-// paper's default initial configuration (one server at the network center).
+// NewEnv assembles an environment with the default dense metric backend:
+// all-pairs distances, evaluator, and the paper's default initial
+// configuration (one server at the network center).
 func NewEnv(g *graph.Graph, load cost.LoadFunc, policy cost.Policy, costs cost.Params, pool core.Params) (*Env, error) {
+	return NewEnvMetric(g, nil, load, policy, costs, pool, nil)
+}
+
+// NewEnvMetric is NewEnv with an explicit metric backend and optional
+// start configuration. A nil metric selects the dense matrix; a nil start
+// selects the paper's default, one server at the network center — note the
+// exact center scan runs one Row per node, so huge-substrate callers on
+// sparse backends pass an explicit start (e.g. core.NewPlacement of
+// graph.ApproxCenter) instead. Exact backends (dense, sparse, landmark in
+// exact mode) produce identical environments for identical graphs.
+func NewEnvMetric(g *graph.Graph, m graph.Metric, load cost.LoadFunc, policy cost.Policy, costs cost.Params, pool core.Params, start core.Placement) (*Env, error) {
 	if err := costs.Validate(); err != nil {
 		return nil, err
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	m := g.Metric()
+	if m == nil {
+		m = g.Metric()
+	}
+	if m.N() != g.N() {
+		return nil, fmt.Errorf("sim: metric size %d does not match graph size %d", m.N(), g.N())
+	}
+	if start == nil {
+		start = core.NewPlacement(graph.CenterOf(m))
+	}
 	pool.Costs = costs
 	return &Env{
 		Graph:  g,
-		Matrix: m,
+		Metric: m,
 		Eval:   cost.NewEvaluator(g, m, load, policy),
 		Costs:  costs,
 		Pool:   pool,
-		Start:  core.NewPlacement(m.Center()),
+		Start:  start,
 	}, nil
 }
 
@@ -75,6 +95,26 @@ type Algorithm interface {
 	// Observe runs after round t was served under the current placement
 	// and charged; online strategies reconfigure here.
 	Observe(t int, d cost.Demand, access cost.AccessCost) core.Delta
+}
+
+// StateSnapshotter is implemented by algorithms whose run state can be
+// serialised exactly and restored later: SnapshotState captures every
+// mutable bit of the strategy (pool, epoch accumulators, thresholds —
+// floats as exact bits, not decimal), and RestoreState, called on a
+// freshly Reset algorithm over the identical environment, reinstalls it
+// so that the subsequent rounds are bit-identical to a run that never
+// stopped. The serving layer uses this to anchor WAL truncation: a
+// checkpoint carrying a state snapshot can be restored directly, so the
+// log entries before its cursor no longer need to be replayed and their
+// segments can be deleted. Strategies with unserialisable state (e.g. an
+// embedded RNG mid-sequence) simply do not implement the interface, and
+// the serving layer keeps the full log instead.
+type StateSnapshotter interface {
+	// SnapshotState serialises the algorithm's mutable run state.
+	SnapshotState() ([]byte, error)
+	// RestoreState reinstalls a snapshot taken by the same strategy under
+	// the same environment. The receiver must already be Reset.
+	RestoreState(data []byte) error
 }
 
 // AccessReuser is implemented by algorithms whose own bookkeeping already
@@ -218,6 +258,16 @@ func (s *Stream) Placement() core.Placement { return s.alg.Placement() }
 // Ledger returns the stream's ledger so far. The stream keeps appending to
 // it; callers that need a stable snapshot copy what they read.
 func (s *Stream) Ledger() *Ledger { return s.ledger }
+
+// RestoreTotals rewinds the stream to a checkpointed position: the next
+// Serve plays round `round`, and the running totals continue from the
+// given breakdown. It is the stream half of checkpoint restoration — the
+// algorithm half goes through StateSnapshotter — and must only be applied
+// to a fresh stream over the identical environment.
+func (s *Stream) RestoreTotals(round int, totals Breakdown) {
+	s.t = round
+	s.ledger.Totals = totals
+}
 
 // Serve plays one round against demand d: Prepare, access-cost evaluation
 // (through the AccessReuser hook when the algorithm already scored the

@@ -26,7 +26,7 @@ func streamEnv(t *testing.T) (*sim.Env, *workload.Sequence) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq, err := workload.CommuterDynamic(env.Matrix, workload.CommuterConfig{T: 8, Lambda: 5}, 120)
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 8, Lambda: 5}, 120)
 	if err != nil {
 		t.Fatal(err)
 	}

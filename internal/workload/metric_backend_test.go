@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/graph/gen"
+)
+
+// TestCenterOrderingSparseParity: the commuter fan draws access points
+// from centerOrdering, so the ordering must be identical under every
+// exact backend or the generated workloads diverge between backends.
+func TestCenterOrderingSparseParity(t *testing.T) {
+	g, err := gen.ErdosRenyi(36, 0.12, gen.DefaultOptions(), rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := centerOrdering(g.AllPairs())
+	sparse := centerOrdering(graph.NewSparse(g, 2))
+	if !reflect.DeepEqual(dense, sparse) {
+		t.Fatalf("center ordering diverges:\n  dense  %v\n  sparse %v", dense, sparse)
+	}
+	exact := centerOrdering(graph.NewLandmark(g, 36))
+	if !reflect.DeepEqual(dense, exact) {
+		t.Fatalf("center ordering diverges under landmark-exact:\n  dense    %v\n  landmark %v", dense, exact)
+	}
+}
+
+// TestCenterOrderingDisconnected: nodes unreachable from the center sit
+// at Infinity and sort last (ties by id), identically under dense and
+// sparse — the workload generators stay well-defined on disconnected
+// substrates.
+func TestCenterOrderingDisconnected(t *testing.T) {
+	g := graph.New(6)
+	g.MustAddEdge(0, 1, 1, 1)
+	g.MustAddEdge(1, 2, 1, 1)
+	g.MustAddEdge(3, 4, 1, 1)
+	g.MustAddEdge(4, 5, 1, 1)
+	dense := centerOrdering(g.AllPairs())
+	sparse := centerOrdering(graph.NewSparse(g, 2))
+	if !reflect.DeepEqual(dense, sparse) {
+		t.Fatalf("disconnected ordering diverges:\n  dense  %v\n  sparse %v", dense, sparse)
+	}
+	if len(dense) != 6 {
+		t.Fatalf("ordering dropped nodes: %v", dense)
+	}
+	// The center's own island comes first; the unreachable island follows
+	// in id order.
+	center := graph.CenterOf(g.AllPairs())
+	island := map[bool][]int{true: {0, 1, 2}, false: {3, 4, 5}}[center < 3]
+	other := map[bool][]int{true: {3, 4, 5}, false: {0, 1, 2}}[center < 3]
+	got := append([]int(nil), dense[:3]...)
+	for _, v := range got {
+		if v != island[0] && v != island[1] && v != island[2] {
+			t.Fatalf("node %d from the unreachable island ordered before the center's island: %v", v, dense)
+		}
+	}
+	if !reflect.DeepEqual(dense[3:], other) {
+		t.Fatalf("unreachable island not ordered by id: %v", dense[3:])
+	}
+}
+
+// TestCommuterSparseParity: the full commuter generator — fan, phases,
+// randomness-free static variant — emits identical demand sequences over
+// dense and sparse backends.
+func TestCommuterSparseParity(t *testing.T) {
+	g, err := gen.ErdosRenyi(30, 0.15, gen.DefaultOptions(), rand.New(rand.NewSource(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 40
+	cfg := CommuterConfig{T: 6, Lambda: 3}
+	sd, err := CommuterStatic(g.AllPairs(), cfg, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := CommuterStatic(graph.NewSparse(g, 2), cfg, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rounds; i++ {
+		if !reflect.DeepEqual(sd.Demand(i).Pairs(), ss.Demand(i).Pairs()) {
+			t.Fatalf("round %d demand diverges between dense and sparse backends", i)
+		}
+	}
+}

@@ -55,7 +55,7 @@ func (c FlashCrowdConfig) validate() error {
 // Spike onsets are drawn uniformly over the horizon, so crowds may
 // overlap; each tests how fast the allocation reacts to demand appearing
 // where no server is.
-func FlashCrowd(m *graph.Matrix, cfg FlashCrowdConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
+func FlashCrowd(m graph.Metric, cfg FlashCrowdConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -151,7 +151,7 @@ func (c DiurnalConfig) validate() error {
 // Cycle(Pad(Shift(Hotspot(center_i), i·day/k), day)). Unlike the paper's
 // time-zones scenario the background is regionally correlated, so good
 // placements track the sun instead of hugging the global center.
-func DiurnalMultiRegion(m *graph.Matrix, cfg DiurnalConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
+func DiurnalMultiRegion(m graph.Metric, cfg DiurnalConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -253,7 +253,7 @@ func (c WeeklyConfig) validate() error {
 // while on the two weekend days only a thin uniform noise floor remains.
 // Gate carves the week structure out of the two component generators, so
 // the weekend noise is freshly drawn every week rather than replayed.
-func WeekdayWeekend(m *graph.Matrix, cfg WeeklyConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
+func WeekdayWeekend(m graph.Metric, cfg WeeklyConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}

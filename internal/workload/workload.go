@@ -95,8 +95,8 @@ func (s *Sequence) Aggregate(from, to int) cost.Demand {
 // network center (the center itself first; ties broken by node id). The
 // commuter scenario draws its access points "around the center" from the
 // prefix of this ordering.
-func centerOrdering(m *graph.Matrix) []int {
-	center := m.Center()
+func centerOrdering(m graph.Metric) []int {
+	center := graph.CenterOf(m)
 	order := make([]int, m.N())
 	for i := range order {
 		order[i] = i
@@ -156,7 +156,7 @@ func TForSize(n int) int {
 // 2^i access points around the center (2^(T/2−i) requests each), fanning
 // out to single requests from 2^(T/2) points and back in to one point, the
 // network center. It is the scenario.Fan primitive with static load.
-func CommuterStatic(m *graph.Matrix, cfg CommuterConfig, rounds int) (*Sequence, error) {
+func CommuterStatic(m graph.Metric, cfg CommuterConfig, rounds int) (*Sequence, error) {
 	return commuter(m, cfg, rounds, false)
 }
 
@@ -164,11 +164,11 @@ func CommuterStatic(m *graph.Matrix, cfg CommuterConfig, rounds int) (*Sequence,
 // single request originates from each of 2^i access points around the
 // center, so the total demand itself swings between 1 and 2^(T/2) requests
 // per round. It is the scenario.Fan primitive with dynamic load.
-func CommuterDynamic(m *graph.Matrix, cfg CommuterConfig, rounds int) (*Sequence, error) {
+func CommuterDynamic(m graph.Metric, cfg CommuterConfig, rounds int) (*Sequence, error) {
 	return commuter(m, cfg, rounds, true)
 }
 
-func commuter(m *graph.Matrix, cfg CommuterConfig, rounds int, dynamic bool) (*Sequence, error) {
+func commuter(m graph.Metric, cfg CommuterConfig, rounds int, dynamic bool) (*Sequence, error) {
 	if err := cfg.validate(m.N()); err != nil {
 		return nil, err
 	}
@@ -217,7 +217,7 @@ func (c TimeZonesConfig) validate() error {
 // same each day") from which p% of the round's requests originate, while
 // the remaining background requests come from access points drawn
 // uniformly at random each round.
-func TimeZones(m *graph.Matrix, cfg TimeZonesConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
+func TimeZones(m graph.Metric, cfg TimeZonesConfig, rounds int, rng *rand.Rand) (*Sequence, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
