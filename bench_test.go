@@ -367,6 +367,64 @@ func BenchmarkWFA(b *testing.B) {
 	}
 }
 
+// largeSpaceEnv is the shared set-up of the large-space benchmarks: n=64,
+// k≤4 is a 679120-state configuration space — more than 10× the default
+// MaxONCONFConfigs bound, and intractable for the removed dense O(C²)
+// path (whose distance matrix alone would have needed ≈3.4 TiB).
+func largeSpaceEnv(b *testing.B) (*sim.Env, *workload.Sequence) {
+	b.Helper()
+	g, err := gen.ErdosRenyi(64, 0.1, gen.DefaultOptions(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env, err := sim.NewEnv(g, cost.Linear{}, cost.AssignMinCost,
+		cost.DefaultParams(), core.Params{QueueCap: 3, Expiry: 20, MaxServers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seq, err := workload.CommuterDynamic(env.Metric, workload.CommuterConfig{T: 4, Lambda: 8}, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return env, seq
+}
+
+// BenchmarkWFALargeSpace measures one work-function round on the
+// 679120-state space: the batched task-cost sweep plus the hierarchically
+// pruned move rule and work-function update. Enumeration, clustering, and
+// the sweep layout happen once outside the timer.
+func BenchmarkWFALargeSpace(b *testing.B) {
+	env, seq := largeSpaceEnv(b)
+	a := online.NewWFA()
+	a.MaxConfigs = 1 << 20
+	if err := a.Reset(env); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Observe(i, seq.Demand(i%seq.Len()), cost.AccessCost{})
+	}
+	configs, clusters, _ := a.Stats()
+	b.ReportMetric(float64(configs), "configs")
+	b.ReportMetric(float64(clusters), "clusters")
+}
+
+// BenchmarkONCONFLargeSpace measures one counter round on the same
+// 679120-state space: the batched sweep plus the cluster-fanned charge
+// pass.
+func BenchmarkONCONFLargeSpace(b *testing.B) {
+	env, seq := largeSpaceEnv(b)
+	a := online.NewONCONF(rand.New(rand.NewSource(2)))
+	a.MaxConfigs = 1 << 20
+	if err := a.Reset(env); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Observe(i, seq.Demand(i%seq.Len()), cost.AccessCost{})
+	}
+}
+
 // BenchmarkLookaheadOFFBR runs the offline best-response strategy whose
 // epoch boundaries trigger lookahead window scans over the upcoming
 // rounds (the path the per-epoch round-cost memo accelerates).

@@ -72,6 +72,7 @@ func main() {
 	csvDir := flag.String("csvdir", "", "also write one CSV per figure into this directory")
 	seed := flag.Int64("seed", 1, "base random seed")
 	metric := flag.String("metric", "dense", "distance backend: dense, sparse[:rows], or landmark[:k]; dense and sparse are exact and produce identical output")
+	maxConfigs := flag.Int("maxconfigs", 0, "configuration-space bound for the enumeration-based algorithms (WFA/ONCONF); 0 keeps each experiment's default")
 	procs := flag.Int("procs", 0, "fan the whole selection's cell grids out over this many shared worker subprocesses")
 	workers := flag.Int("workers", 0, "bound the in-process worker pool (0 = GOMAXPROCS)")
 	shard := flag.String("shard", "", "evaluate only slice i of m of each grid, as i/m, and write partial results")
@@ -93,7 +94,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := experiments.Options{Quick: *quickFlag, Seed: *seed, Metric: *metric}
+	opts := experiments.Options{Quick: *quickFlag, Seed: *seed, Metric: *metric, MaxConfigs: *maxConfigs}
 	if *workerFlag {
 		if *connect != "" {
 			if err := runner.ConnectWorker(*connect, func(name string) (*runner.Spec, error) {
@@ -427,6 +428,9 @@ func workerCommand(o experiments.Options, fault *runner.Fault) func() (*exec.Cmd
 		}
 		if o.Metric != "" {
 			args = append(args, "-metric", o.Metric)
+		}
+		if o.MaxConfigs != 0 {
+			args = append(args, "-maxconfigs", strconv.Itoa(o.MaxConfigs))
 		}
 		cmd := exec.Command(exe, args...)
 		cmd.Stderr = os.Stderr

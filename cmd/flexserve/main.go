@@ -66,6 +66,7 @@ func main() {
 		lambda   = flag.Int("lambda", 10, "rounds per workload phase (λ)")
 		T        = flag.Int("T", 0, "day phases / time periods (0 = derive from network size)")
 		k        = flag.Int("k", 0, "server bound k (0 = unbounded)")
+		maxConf  = flag.Int("maxconfigs", 0, "configuration-space bound for wfa/onconf (0 = the default 2^16); state is O(C·2^k), the Reset error reports the memory a larger space implies")
 		beta     = flag.Float64("beta", 40, "migration cost β")
 		createC  = flag.Float64("c", 400, "creation cost c")
 		ra       = flag.Float64("ra", 2.5, "running cost of an active server")
@@ -106,7 +107,7 @@ func main() {
 
 	cfg := cmdConfig{
 		topo: *topoName, n: *n, scenario: *scenario, alg: *algName,
-		rounds: *rounds, lambda: *lambda, T: *T, k: *k,
+		rounds: *rounds, lambda: *lambda, T: *T, k: *k, maxConfigs: *maxConf,
 		beta: *beta, create: *createC, ra: *ra, ri: *ri,
 		load: *loadName, metric: *metric, start: *start, seeds: seeds{*seed},
 	}
@@ -150,6 +151,7 @@ type cmdConfig struct {
 	topo, scenario, alg, load string
 	metric, start             string
 	n, rounds, lambda, T, k   int
+	maxConfigs                int
 	beta, create, ra, ri      float64
 	seeds                     seeds
 }
@@ -236,7 +238,7 @@ func (c cmdConfig) newStream() (*sim.Stream, error) {
 	case "opt", "offstat", "offbr", "offth":
 		return nil, fmt.Errorf("offline strategy %q needs the full request sequence; -serve and -replay are online-only", c.alg)
 	}
-	alg, err := buildAlgorithm(c.alg, nil, c.seeds.alg())
+	alg, err := buildAlgorithm(c.alg, nil, c.seeds.alg(), c.maxConfigs)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +254,7 @@ func runBatch(c cmdConfig, csvPath string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	alg, err := buildAlgorithm(c.alg, seq, c.seeds.alg())
+	alg, err := buildAlgorithm(c.alg, seq, c.seeds.alg(), c.maxConfigs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -563,7 +565,7 @@ func buildWorkload(name string, env *sim.Env, T, lambda, rounds int, rng *rand.R
 	return experiments.BuildNamedScenario(name, env.Metric, T, lambda, rounds, 0, rng)
 }
 
-func buildAlgorithm(name string, seq *workload.Sequence, rng *rand.Rand) (sim.Algorithm, error) {
+func buildAlgorithm(name string, seq *workload.Sequence, rng *rand.Rand, maxConfigs int) (sim.Algorithm, error) {
 	switch strings.ToLower(name) {
 	case "onth":
 		return online.NewONTH(), nil
@@ -576,9 +578,13 @@ func buildAlgorithm(name string, seq *workload.Sequence, rng *rand.Rand) (sim.Al
 	case "onsamp":
 		return online.NewONSAMP(), nil
 	case "wfa":
-		return online.NewWFA(), nil
+		a := online.NewWFA()
+		a.MaxConfigs = maxConfigs
+		return a, nil
 	case "onconf":
-		return online.NewONCONF(rng), nil
+		a := online.NewONCONF(rng)
+		a.MaxConfigs = maxConfigs
+		return a, nil
 	case "opt":
 		return offline.NewOPT(seq), nil
 	case "offstat":

@@ -71,7 +71,7 @@ func TestBuildWorkload(t *testing.T) {
 func TestBuildAlgorithm(t *testing.T) {
 	seq := workload.NewSequence("x", nil)
 	for _, name := range []string{"onth", "onbr", "onbr-dyn", "onbr-cluster", "onsamp", "wfa", "onconf", "opt", "offstat", "offbr", "offth", "ONTH"} {
-		alg, err := buildAlgorithm(name, seq, seeds{1}.alg())
+		alg, err := buildAlgorithm(name, seq, seeds{1}.alg(), 0)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -79,7 +79,7 @@ func TestBuildAlgorithm(t *testing.T) {
 			t.Fatalf("%s: empty algorithm name", name)
 		}
 	}
-	if _, err := buildAlgorithm("bogus", seq, seeds{1}.alg()); err == nil {
+	if _, err := buildAlgorithm("bogus", seq, seeds{1}.alg(), 0); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
 }
@@ -91,7 +91,7 @@ func TestEndToEndRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	alg, err := buildAlgorithm("onth", seq, seeds{1}.alg())
+	alg, err := buildAlgorithm("onth", seq, seeds{1}.alg(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestCountPlacementsBoundaries pins the guard arithmetic of
+// CountPlacements at the edges the online algorithms' Reset guards depend
+// on: a limit that is exactly hit must pass (the clamp triggers strictly
+// above the limit), k = n and k = 0 (unbounded) must count every
+// non-empty subset, and a single-node substrate has exactly one placement.
+func TestCountPlacementsBoundaries(t *testing.T) {
+	const big = 1 << 40
+	for n := 1; n <= 10; n++ {
+		for k := 0; k <= n; k++ {
+			want := len(EnumeratePlacements(n, k))
+			if got := CountPlacements(n, k, big); got != want {
+				t.Fatalf("CountPlacements(%d, %d) = %d, want %d", n, k, got, want)
+			}
+			// Limit exactly equal to the count: no clamp.
+			if got := CountPlacements(n, k, want); got != want {
+				t.Fatalf("CountPlacements(%d, %d, limit=count) = %d, want %d", n, k, got, want)
+			}
+			// One below: clamped to limit+1 == count.
+			if want > 1 {
+				if got := CountPlacements(n, k, want-1); got != want {
+					t.Fatalf("CountPlacements(%d, %d, limit=count-1) = %d, want clamp %d", n, k, got, want)
+				}
+			}
+		}
+	}
+	if got := CountPlacements(1, 1, big); got != 1 {
+		t.Fatalf("single-node count = %d, want 1", got)
+	}
+	// k = n and unbounded k agree: all 2^n − 1 non-empty subsets.
+	if a, b := CountPlacements(12, 12, big), CountPlacements(12, 0, big); a != b || a != 1<<12-1 {
+		t.Fatalf("k=n count %d, unbounded %d, want %d", a, b, 1<<12-1)
+	}
+	// A clamp on a space far over the limit must not overflow.
+	if got := CountPlacements(500, 250, 1<<16); got != 1<<16+1 {
+		t.Fatalf("huge-space clamp = %d, want %d", got, 1<<16+1)
+	}
+}
+
+// TestPlacementSubtreeEnds pins the structural property the hierarchical
+// config-space pruning is built on: EnumeratePlacements emits placements
+// in DFS preorder over the parent-prefix tree, so for every index i the
+// placements with configs[i] as a prefix are exactly the contiguous range
+// [i, ends[i]).
+func TestPlacementSubtreeEnds(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{1, 1}, {3, 2}, {5, 5}, {6, 0}, {7, 3}, {9, 4},
+	}
+	for _, tc := range cases {
+		configs := EnumeratePlacements(tc.n, tc.k)
+		ends := PlacementSubtreeEnds(configs)
+		if len(ends) != len(configs) {
+			t.Fatalf("n=%d k=%d: %d ends for %d configs", tc.n, tc.k, len(ends), len(configs))
+		}
+		for i, c := range configs {
+			if ends[i] <= i || ends[i] > len(configs) {
+				t.Fatalf("n=%d k=%d: ends[%d] = %d out of range", tc.n, tc.k, i, ends[i])
+			}
+			for j := range configs {
+				inRange := j >= i && j < ends[i]
+				if hasPrefix(configs[j], c) != inRange {
+					t.Fatalf("n=%d k=%d: config %v (index %d) vs prefix %v (index %d, end %d): contiguity violated",
+						tc.n, tc.k, configs[j], j, c, i, ends[i])
+				}
+			}
+		}
+		// The preorder is also lexicographic on the node sequences, which
+		// the pruning's cluster grouping relies on implicitly.
+		if !sort.SliceIsSorted(configs, func(a, b int) bool {
+			return lexLess(configs[a], configs[b])
+		}) {
+			t.Fatalf("n=%d k=%d: enumeration is not in lexicographic DFS order", tc.n, tc.k)
+		}
+	}
+}
+
+func hasPrefix(c, p Placement) bool {
+	if len(c) < len(p) {
+		return false
+	}
+	for i := range p {
+		if c[i] != p[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func lexLess(a, b Placement) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

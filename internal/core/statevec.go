@@ -247,6 +247,33 @@ func CountPlacements(n, maxServers, limit int) int {
 	return total
 }
 
+// PlacementSubtreeEnds returns, for each index i into a placement list in
+// EnumeratePlacements' DFS preorder, the index one past the last placement
+// that has configs[i] as a prefix. Because the enumeration emits a
+// placement immediately before recursing into its extensions, every
+// prefix's subtree is a contiguous index range [i, ends[i]) — the
+// structural fact the hierarchical config-space pruning in internal/online
+// is built on (see TestPlacementSubtreeEnds for the property pin).
+func PlacementSubtreeEnds(configs []Placement) []int {
+	ends := make([]int, len(configs))
+	stack := make([]int, 0, 16)
+	for i, c := range configs {
+		// The stack holds the open prefixes, one per depth: entry at stack
+		// position p has length p+1. A placement of length L closes every
+		// open prefix of length ≥ L.
+		for len(stack) >= len(c) {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ends[top] = i
+		}
+		stack = append(stack, i)
+	}
+	for _, top := range stack {
+		ends[top] = len(configs)
+	}
+	return ends
+}
+
 // EnumeratePlacements lists every non-empty active placement with at most
 // maxServers servers, the configuration space tracked by ONCONF (which
 // keeps its inactive servers out of the configurations, in the FIFO cache).

@@ -47,6 +47,13 @@ type Options struct {
 	// graph.NewMetric. Exact backends (dense, sparse) produce
 	// bit-identical figures; landmark is an upper-bound approximation.
 	Metric string
+	// MaxConfigs overrides the configuration-space bound of the
+	// enumeration-based algorithms (WFA, ONCONF) in the experiments that
+	// run them beyond the default online.MaxONCONFConfigs; 0 keeps each
+	// experiment's own default. The bound is a memory knob, not a
+	// semantic one — it never changes results, only whether Reset admits
+	// the space.
+	MaxConfigs int
 }
 
 func (o Options) seed() int64 {
@@ -336,6 +343,7 @@ func specRegistry() []specEntry {
 		{"18", figure18Spec},
 		{"19", figure19Spec},
 		{"rocketfuel", rocketfuelSpec},
+		{"wfa-rocketfuel", wfaRocketfuelSpec},
 		{"ablation-queue", ablationQueueSpec},
 		{"ablation-expiry", ablationExpirySpec},
 		{"ablation-y", ablationYSpec},

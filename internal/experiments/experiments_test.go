@@ -317,8 +317,8 @@ func TestOptionsDeterministic(t *testing.T) {
 
 func TestSpecRegistry(t *testing.T) {
 	names := SpecNames()
-	if len(names) != 30 {
-		t.Fatalf("%d specs registered, want 30", len(names))
+	if len(names) != 31 {
+		t.Fatalf("%d specs registered, want 31", len(names))
 	}
 	seen := map[string]bool{}
 	for _, name := range names {

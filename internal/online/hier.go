@@ -1,0 +1,221 @@
+package online
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// This file holds the machinery that breaks the configuration-space
+// asymptotics for WFA and ONCONF:
+//
+//   - shapeTable buckets transition costs by set-difference shape, so the
+//     dense C×C distance matrix (8·C² bytes, 32 GB at the nominal
+//     MaxONCONFConfigs) collapses into a (k+1)×(k+1) table plus an
+//     overlap-aware lookup per pair actually scored.
+//   - configCluster partitions the DFS-ordered configuration list into
+//     coarse cells by server-set prefix (the same parent-prefix order
+//     cost.ConfSweep exploits), giving O(k)-time lower bounds on the
+//     transition shape between whole groups of configurations.
+//   - checkConfigSpace is the shared Reset guard, now reporting the memory
+//     a space implies instead of a bare count, with the bound overridable
+//     per algorithm (MaxConfigs / -maxconfigs).
+//
+// Every pruned scan built on these stays bit-identical to the naive full
+// scan: the only candidates skipped are ones a sound lower bound proves
+// cannot strictly improve the running minimum, and round-to-nearest float
+// addition is monotone, so fl(a+lb) ≥ best with lb ≤ d and a ≤ scratch
+// implies fl(scratch+d) ≥ best.
+
+// shapeTable buckets reconfiguration costs by set-difference shape. The
+// transition cost between two placements depends only on how many nodes
+// enter and how many leave — at most (k+1)² distinct values.
+type shapeTable struct {
+	k1   int       // k+1, the table stride
+	cost []float64 // cost[e*k1+l] = Transition(e entering, l leaving)
+	// sufMin[e*k1+l] = min over e'≥e, l'≥l of cost[e'*k1+l']. Transition is
+	// not monotone in the leaving count (when β < c an extra vacated server
+	// turns a creation into a cheaper migration), so a sound bound for "at
+	// least e enter and at least l leave" is the rectangle suffix minimum,
+	// not the corner value.
+	sufMin []float64
+	// classMin[a*k1+b] = min over overlaps of the cost from any placement
+	// of size a to any of size b, the coarsest per-pair lower bound.
+	classMin []float64
+}
+
+func newShapeTable(p cost.Params, k int) *shapeTable {
+	k1 := k + 1
+	t := &shapeTable{
+		k1:       k1,
+		cost:     make([]float64, k1*k1),
+		sufMin:   make([]float64, k1*k1),
+		classMin: make([]float64, k1*k1),
+	}
+	for e := 0; e <= k; e++ {
+		for l := 0; l <= k; l++ {
+			t.cost[e*k1+l] = p.Transition(e, l)
+		}
+	}
+	for e := k; e >= 0; e-- {
+		for l := k; l >= 0; l-- {
+			m := t.cost[e*k1+l]
+			if e < k && t.sufMin[(e+1)*k1+l] < m {
+				m = t.sufMin[(e+1)*k1+l]
+			}
+			if l < k && t.sufMin[e*k1+l+1] < m {
+				m = t.sufMin[e*k1+l+1]
+			}
+			t.sufMin[e*k1+l] = m
+		}
+	}
+	for a := 0; a <= k; a++ {
+		for b := 0; b <= k; b++ {
+			m := math.Inf(1)
+			for o := 0; o <= a && o <= b; o++ {
+				if c := t.cost[(b-o)*k1+(a-o)]; c < m {
+					m = c
+				}
+			}
+			t.classMin[a*k1+b] = m
+		}
+	}
+	return t
+}
+
+// configCluster is one cell of the hierarchical decomposition of the
+// configuration space. core.EnumeratePlacements emits placements in DFS
+// preorder over the parent-prefix tree, so every subtree is a contiguous
+// index range; a cluster covers one subtree, a run of consecutive sibling
+// subtrees, or a single split root. Every member γ satisfies
+//
+//	prefix ⊆ γ ⊆ prefix ∪ [minExtra, n)
+//
+// which yields O(k)-time lower bounds on the (entering, leaving) shape of
+// any transition into or out of the cluster without touching members.
+type configCluster struct {
+	lo, hi   int            // member index range [lo, hi)
+	prefix   core.Placement // nodes shared by every member (nil for top-level groups)
+	minExtra int            // smallest node id a member may hold beyond the prefix
+}
+
+// wfaClusterCap bounds the cluster count so per-cluster state and the
+// serial merge over cluster results stay cheap relative to the members.
+const wfaClusterCap = 4096
+
+// buildClusters decomposes the DFS-ordered configuration list into at most
+// wfaClusterCap clusters, each covering roughly C/1024 configurations.
+// Clusters are emitted in ascending index order and tile [0, C) exactly.
+func buildClusters(configs []core.Placement, n int) []configCluster {
+	ends := core.PlacementSubtreeEnds(configs)
+	target := len(configs) / 1024
+	if target < 64 {
+		target = 64
+	}
+	cl := clusterConfigs(configs, ends, n, target)
+	for len(cl) > wfaClusterCap {
+		target *= 2
+		cl = clusterConfigs(configs, ends, n, target)
+	}
+	return cl
+}
+
+func clusterConfigs(configs []core.Placement, ends []int, n, target int) []configCluster {
+	var out []configCluster
+	var pack func(prefix core.Placement, lo, hi int)
+	pack = func(prefix core.Placement, lo, hi int) {
+		for i := lo; i < hi; {
+			if sz := ends[i] - i; sz > target {
+				// Subtree too big for one cell: its root becomes an exact
+				// singleton cluster (it has no nodes beyond its own prefix,
+				// so minExtra = n makes the bounds exact) and the children
+				// are packed under the root's longer prefix.
+				out = append(out, configCluster{lo: i, hi: i + 1, prefix: configs[i], minExtra: n})
+				pack(configs[i], i+1, ends[i])
+				i = ends[i]
+				continue
+			}
+			// Group consecutive small sibling subtrees under the shared
+			// parent prefix. Members beyond that prefix use only nodes ≥
+			// the first sibling's own node (later siblings and their
+			// extensions have strictly larger node ids).
+			glo, total := i, 0
+			for i < hi {
+				sz := ends[i] - i
+				if sz > target || (total > 0 && total+sz > target) {
+					break
+				}
+				total += sz
+				i = ends[i]
+			}
+			first := configs[glo]
+			out = append(out, configCluster{lo: glo, hi: i, prefix: prefix, minExtra: first[len(first)-1]})
+		}
+	}
+	pack(nil, 0, len(configs))
+	return out
+}
+
+// prefixBounds returns lower bounds on the set differences between any
+// member of the cluster and the placement c: uncovered counts the nodes of
+// c no member can hold (outside the prefix and below minExtra), missing
+// counts the prefix nodes absent from c (held by every member). For a
+// transition member → c this bounds (entering, leaving) by (uncovered,
+// missing); for c → member it bounds them by (missing, uncovered).
+func (cl *configCluster) prefixBounds(c core.Placement) (uncovered, missing int) {
+	p := cl.prefix
+	pi := 0
+	for _, v := range c {
+		for pi < len(p) && p[pi] < v {
+			missing++
+			pi++
+		}
+		if pi < len(p) && p[pi] == v {
+			pi++
+			continue
+		}
+		if v < cl.minExtra {
+			uncovered++
+		}
+	}
+	missing += len(p) - pi
+	return uncovered, missing
+}
+
+// checkConfigSpace guards a Reset against enumerating an intractable
+// configuration space. Unlike the old guard, which named only the count,
+// the error reports the memory the space implies: the rewritten algorithms
+// hold O(C) state (the dense O(C²) transition matrix is gone — it needed
+// 32 GB at the nominal 2¹⁶-config bound before the old guard even
+// tripped), so the caller can judge whether raising the bound fits.
+func checkConfigSpace(alg, hint string, n, k, bound int) error {
+	if core.CountPlacements(n, k, bound) <= bound {
+		return nil
+	}
+	const probe = 1 << 40
+	full := core.CountPlacements(n, k, probe)
+	count := fmt.Sprintf("%d", full)
+	if full > probe {
+		count = "over 2^40"
+	}
+	// ≈(130 + 40k + 4·2^k) bytes per configuration: the placement itself,
+	// the per-config float slices (work/scratch/counters, WFA's per-size
+	// superset minima), and WFA's subset lattice (up to 2^k int32 entries
+	// per configuration).
+	linear := float64(full) * (130 + 40*float64(k) + 4*math.Pow(2, float64(k)))
+	dense := 8 * float64(full) * float64(full)
+	return fmt.Errorf("%s: configuration space of %s placements (n=%d, k=%d) exceeds the bound %d: tracking it takes ≈%s of O(C) state (a dense C² transition matrix would need %s)%s — raise MaxConfigs (figures/flexserve -maxconfigs) if the O(C) footprint fits",
+		alg, count, n, k, bound, humanBytes(linear), humanBytes(dense), hint)
+}
+
+func humanBytes(b float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"}
+	i := 0
+	for b >= 1024 && i < len(units)-1 {
+		b /= 1024
+		i++
+	}
+	return fmt.Sprintf("%.1f %s", b, units[i])
+}

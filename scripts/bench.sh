@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the hot-path micro-benchmarks and emits a JSON perf snapshot
-# (default BENCH_8.json) so later PRs have a trajectory to compare
-# against. When a previous snapshot exists (default BENCH_7.json), a
+# (default BENCH_9.json) so later PRs have a trajectory to compare
+# against. When a previous snapshot exists (default BENCH_8.json), a
 # delta table old/new is printed per benchmark. Usage:
 #
 #   scripts/bench.sh [output.json [baseline.json]]
@@ -13,9 +13,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-6}"
-OUT="${1:-BENCH_8.json}"
-BASE="${2:-BENCH_7.json}"
-BENCH='BenchmarkAccessLinear$|BenchmarkAccessQuadratic$|BenchmarkScorerSweep$|BenchmarkScorerSweepReuse$|BenchmarkScorerApplyMove$|BenchmarkBestResponse$|BenchmarkOPTLine5$|BenchmarkONBRCommuter$|BenchmarkONTHCommuter$|BenchmarkAllPairs500$|BenchmarkSparseRowCold$|BenchmarkSparseRowWarm$|BenchmarkLandmarkDist$|BenchmarkSmallWorldConstruct100k$|BenchmarkONCONF$|BenchmarkWFA$|BenchmarkLookaheadOFFBR$|BenchmarkLookaheadReuseOFFBR$|BenchmarkFlashCrowdGen$|BenchmarkDiurnalGen$|BenchmarkFigureRunnerLocal$|BenchmarkPoolPipelined$|BenchmarkPoolPerFigure$|BenchmarkPoolTCPLoopback$|BenchmarkDeadlineTracker$|BenchmarkServeIngest$|BenchmarkCheckpoint$|BenchmarkEngineRound$'
+OUT="${1:-BENCH_9.json}"
+BASE="${2:-BENCH_8.json}"
+BENCH='BenchmarkAccessLinear$|BenchmarkAccessQuadratic$|BenchmarkScorerSweep$|BenchmarkScorerSweepReuse$|BenchmarkScorerApplyMove$|BenchmarkBestResponse$|BenchmarkOPTLine5$|BenchmarkONBRCommuter$|BenchmarkONTHCommuter$|BenchmarkAllPairs500$|BenchmarkSparseRowCold$|BenchmarkSparseRowWarm$|BenchmarkLandmarkDist$|BenchmarkSmallWorldConstruct100k$|BenchmarkONCONF$|BenchmarkWFA$|BenchmarkWFALargeSpace$|BenchmarkONCONFLargeSpace$|BenchmarkLookaheadOFFBR$|BenchmarkLookaheadReuseOFFBR$|BenchmarkFlashCrowdGen$|BenchmarkDiurnalGen$|BenchmarkFigureRunnerLocal$|BenchmarkPoolPipelined$|BenchmarkPoolPerFigure$|BenchmarkPoolTCPLoopback$|BenchmarkDeadlineTracker$|BenchmarkServeIngest$|BenchmarkCheckpoint$|BenchmarkEngineRound$'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
@@ -30,9 +30,13 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v goversion="$(go version)" '
     name = $1
     sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
     if (!(name in ns)) { order[++m] = name }
-    ns[name]     += $3;
-    bytes[name]  += $5;
-    allocs[name] += $7;
+    # Locate values by their unit so benchmarks that b.ReportMetric extra
+    # columns (e.g. "configs", "clusters") do not shift the standard ones.
+    for (f = 3; f < NF; f++) {
+        if ($(f+1) == "ns/op")          ns[name]     += $f
+        else if ($(f+1) == "B/op")      bytes[name]  += $f
+        else if ($(f+1) == "allocs/op") allocs[name] += $f
+    }
     count[name]++
 }
 END {
