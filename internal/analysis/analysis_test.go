@@ -1,0 +1,82 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Spacer statements separate the cases: a directive attaches to its own
+// line and the next, so adjacent findings would bleed into each other.
+const src = `package p
+
+func target() {}
+
+func f() {
+	target() //repcheck:allow-fake fixture: justified, so the finding is suppressed
+	_ = 1
+	target()
+	_ = 2
+	target() //repcheck:allow-fake
+	_ = 3
+	//repcheck:allow-fake fixture: a standalone directive covers the next line
+	target()
+}
+`
+
+// fake flags every call to target; the directive machinery under test
+// is analyzer-independent.
+var fake = &analysis.Analyzer{
+	Name: "fake",
+	Run: func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "target" {
+						pass.Reportf(call.Pos(), "call to target")
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+// TestDirectiveSuppression pins the three directive behaviours: a
+// justified directive (trailing or on the line above) suppresses the
+// finding, and a bare directive becomes a finding of its own.
+func TestDirectiveSuppression(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(fake, fset, []*ast.File{f}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2: %+v", len(diags), diags)
+	}
+	if d := diags[0]; d.Pos.Line != 8 || d.Message != "call to target" {
+		t.Errorf("diag 0 = line %d %q, want the unsuppressed finding on line 8", d.Pos.Line, d.Message)
+	}
+	if d := diags[1]; d.Pos.Line != 10 || !strings.Contains(d.Message, "needs a justification") {
+		t.Errorf("diag 1 = line %d %q, want the bare directive on line 10 converted to a finding", d.Pos.Line, d.Message)
+	}
+}
+
+func TestDirectiveNameDefaultsToName(t *testing.T) {
+	if got := fake.DirectiveName(); got != "fake" {
+		t.Fatalf("DirectiveName() = %q, want the analyzer name", got)
+	}
+	named := &analysis.Analyzer{Name: "detrand", Directive: "wallclock"}
+	if got := named.DirectiveName(); got != "wallclock" {
+		t.Fatalf("DirectiveName() = %q, want the explicit directive", got)
+	}
+}

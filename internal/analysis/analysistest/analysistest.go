@@ -1,0 +1,276 @@
+// Package analysistest runs one repcheck analyzer over a small fixture
+// package and compares its diagnostics against `// want "regexp"`
+// comments in the fixture sources — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the stdlib
+// because the repo builds offline.
+//
+// Fixtures live under <analyzer>/testdata/src/<pkg>/. A fixture file
+// may import other fixture packages by bare path (testdata/src/graph
+// resolves as import "graph") and anything from the standard library;
+// stdlib packages are imported from the compiler export data that
+// `go list -export` produces, exactly like the cmd/repcheck driver.
+//
+// A want comment names every diagnostic expected on its line:
+//
+//	rows = append(rows, m.Row(u)) // want "escapes"
+//
+// The regexp must match the diagnostic message. Diagnostics with no
+// matching want, and wants with no matching diagnostic, fail the test.
+// Suppression directives (//repcheck:allow-...) are honoured before
+// matching, so fixtures also exercise the allowlist path.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run type-checks testdata/src/<pkg> (relative to the calling test's
+// directory), applies the analyzer, and matches diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	srcRoot, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	h := &harness{
+		fset:    token.NewFileSet(),
+		srcRoot: srcRoot,
+		typed:   make(map[string]*fixturePkg),
+		exports: make(map[string]string),
+	}
+	h.gc = importer.ForCompiler(h.fset, "gc", h.lookupExport)
+
+	fp, err := h.load(pkg, nil)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	diags, err := analysis.Run(a, h.fset, fp.files, fp.types, fp.info)
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	match(t, h.fset, fp.files, diags)
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type harness struct {
+	fset    *token.FileSet
+	srcRoot string
+	typed   map[string]*fixturePkg
+	exports map[string]string // stdlib import path → export data file
+	gc      types.Importer
+}
+
+// load parses and type-checks one fixture package by import path.
+func (h *harness) load(path string, stack []string) (*fixturePkg, error) {
+	if fp, ok := h.typed[path]; ok {
+		return fp, nil
+	}
+	for _, s := range stack {
+		if s == path {
+			return nil, fmt.Errorf("fixture import cycle: %s", strings.Join(append(stack, path), " → "))
+		}
+	}
+	dir := filepath.Join(h.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("fixture package %q: %v", path, err)
+	}
+	var files []*ast.File
+	var stdlib []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(h.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			if !h.isFixture(p) {
+				stdlib = append(stdlib, p)
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no .go files", path)
+	}
+	if err := h.resolveExports(stdlib); err != nil {
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: &fixtureImporter{h: h, stack: append(stack, path)}}
+	tpkg, err := conf.Check(path, h.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %q: %v", path, err)
+	}
+	fp := &fixturePkg{files: files, types: tpkg, info: info}
+	h.typed[path] = fp
+	return fp, nil
+}
+
+func (h *harness) isFixture(path string) bool {
+	st, err := os.Stat(filepath.Join(h.srcRoot, filepath.FromSlash(path)))
+	return err == nil && st.IsDir()
+}
+
+// resolveExports asks go list for the export data of the fixture's
+// stdlib imports (and, via -deps, everything they pull in).
+func (h *harness) resolveExports(paths []string) error {
+	var missing []string
+	for _, p := range paths {
+		if _, ok := h.exports[p]; !ok && p != "unsafe" {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp struct{ ImportPath, Export string }
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if lp.Export != "" {
+			h.exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return nil
+}
+
+func (h *harness) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := h.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+type fixtureImporter struct {
+	h     *harness
+	stack []string
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if fi.h.isFixture(path) {
+		fp, err := fi.h.load(path, fi.stack)
+		if err != nil {
+			return nil, err
+		}
+		return fp.types, nil
+	}
+	return fi.h.gc.Import(path)
+}
+
+// wantRE extracts the quoted regexps of a want comment.
+var wantRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+type expectation struct {
+	re    *regexp.Regexp
+	raw   string
+	line  int
+	found bool
+}
+
+// match pairs diagnostics with want comments, failing the test on any
+// unmatched diagnostic or unsatisfied want.
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // filename → expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(text[len("want "):], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants[pos.Filename] = append(wants[pos.Filename], &expectation{re: re, raw: pat, line: pos.Line})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants[d.Pos.Filename] {
+			if !w.found && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.found = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	var names []string
+	for name := range wants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, w := range wants[name] {
+			if !w.found {
+				t.Errorf("%s:%d: want %q: no matching diagnostic", name, w.line, w.raw)
+			}
+		}
+	}
+}

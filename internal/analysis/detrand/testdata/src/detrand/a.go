@@ -1,0 +1,44 @@
+// Fixture for the detrand analyzer: wall-clock reads and ambiently
+// seeded randomness are findings; seeded generators and suppressed
+// wall-clock-by-design lines are not.
+package detrand
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "time.Now is nondeterministic"
+	return time.Since(start) // want "time.Since is nondeterministic"
+}
+
+func globalRand(n int) int {
+	rand.Shuffle(n, func(i, j int) {}) // want "math/rand.Shuffle is nondeterministic"
+	return rand.Intn(n)                // want "math/rand.Intn is nondeterministic"
+}
+
+func cryptoRand(buf []byte) {
+	_ = crand.Reader // want "crypto/rand.Reader is nondeterministic"
+}
+
+// Seeded generators are deterministic by construction: methods on a
+// *rand.Rand are never flagged, only the package-level functions.
+func seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) {})
+	return rng.Intn(n)
+}
+
+// Monotonic arithmetic on time values is fine; only the clock reads are
+// banned.
+func durations(d time.Duration) time.Duration {
+	return d + 5*time.Millisecond
+}
+
+// A justified suppression keeps the wall-clock read without a finding.
+func suppressed() time.Duration {
+	deadline := time.Now()      //repcheck:allow-wallclock fixture: this layer owns real deadlines
+	return time.Until(deadline) //repcheck:allow-wallclock fixture: this layer owns real deadlines
+}

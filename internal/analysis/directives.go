@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression comment. The full form is
+//
+//	//repcheck:allow-<directive> <justification>
+//
+// placed either on the offending line or on the line immediately above
+// it. The justification is mandatory: Run turns a bare directive into a
+// finding of its own.
+const allowPrefix = "//repcheck:allow-"
+
+type directive struct {
+	name   string
+	reason string
+	pos    token.Position
+}
+
+// directiveIndex maps file → line → directives attached to that line. A
+// directive on its own line also attaches to the next line, so it can
+// sit above the statement it justifies.
+type directiveIndex map[string]map[int][]directive
+
+func (idx directiveIndex) lookup(name string, pos token.Position) (directive, bool) {
+	for _, d := range idx[pos.Filename][pos.Line] {
+		if d.name == name {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
+// collectDirectives scans every comment in files for allow directives.
+func collectDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := make(directiveIndex)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := text[len(allowPrefix):]
+				name := rest
+				reason := ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name, reason = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				pos := fset.Position(c.Pos())
+				d := directive{name: name, reason: reason, pos: pos}
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]directive)
+					idx[pos.Filename] = byLine
+				}
+				// Attach to the directive's own line and to the next
+				// line, covering both trailing and standalone comments.
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+				byLine[pos.Line+1] = append(byLine[pos.Line+1], d)
+			}
+		}
+	}
+	return idx
+}

@@ -1,0 +1,178 @@
+// Package floatfmt flags fmt-verb formatting of floating-point values
+// (%v, %f, %g, %e and the Print/Sprint default format) on the repo's
+// output paths. The figure tables, partials, ledgers and WAL/ledger
+// comparisons are all pinned byte-identical across backends, shards and
+// crash recovery; that contract requires every float to be encoded
+// either with the shortest round-trip form strconv.FormatFloat(x, 'g',
+// -1, 64) or as exact bits (math.Float64bits). A default-precision %f
+// silently truncates, and an ad-hoc verb choice makes the encoding a
+// per-call accident instead of a contract.
+//
+// Deliberate fixed-precision rendering (the human-facing figure table
+// columns, whose exact bytes are themselves pinned by the stdout parity
+// tests) suppresses with //repcheck:allow-floatfmt <reason>.
+package floatfmt
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the floatfmt pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatfmt",
+	Doc: "flags fmt verbs applied to floats on output paths; use strconv.FormatFloat(x, 'g', -1, 64) " +
+		"or math.Float64bits for anything a parity contract depends on",
+	Run: run,
+}
+
+// formatFuncs maps fmt function name → index of the format-string
+// argument, or -1 for the Print family (no format string: every operand
+// is rendered as %v).
+var formatFuncs = map[string]int{
+	"Printf": 0, "Sprintf": 0, "Fprintf": 1, "Errorf": 0, "Appendf": 1,
+	"Print": -1, "Println": -1, "Sprint": -1, "Sprintln": -1,
+	"Fprint": -2, "Fprintln": -2, "Append": -2, "Appendln": -2,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "fmt" {
+				return true
+			}
+			fmtIdx, ok := formatFuncs[sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			switch {
+			case fmtIdx >= 0:
+				checkFormatted(pass, call, sel.Sel.Name, fmtIdx)
+			case fmtIdx == -1:
+				checkOperands(pass, call, sel.Sel.Name, call.Args)
+			default: // -2: first arg is the writer
+				if len(call.Args) > 1 {
+					checkOperands(pass, call, sel.Sel.Name, call.Args[1:])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFormatted matches verbs to operands for the *f functions.
+func checkFormatted(pass *analysis.Pass, call *ast.CallExpr, fn string, fmtIdx int) {
+	if len(call.Args) <= fmtIdx {
+		return
+	}
+	lit, ok := call.Args[fmtIdx].(*ast.BasicLit)
+	if !ok {
+		return // dynamic format string: nothing to match
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := parseVerbs(format)
+	args := call.Args[fmtIdx+1:]
+	for i, v := range verbs {
+		if i >= len(args) {
+			break
+		}
+		switch v {
+		case 'v', 'f', 'g', 'e', 'E', 'G':
+			if kind := floatKind(pass.TypeOf(args[i])); kind != "" {
+				pass.Reportf(args[i].Pos(),
+					"fmt.%s formats %s with %%%c; on an output path floats must use "+
+						"strconv.FormatFloat(x, 'g', -1, 64) (shortest round trip) or math.Float64bits",
+					fn, kind, v)
+			}
+		}
+	}
+}
+
+// checkOperands handles the Print family (implicit %v on every operand).
+func checkOperands(pass *analysis.Pass, call *ast.CallExpr, fn string, args []ast.Expr) {
+	for _, a := range args {
+		if kind := floatKind(pass.TypeOf(a)); kind != "" {
+			pass.Reportf(a.Pos(),
+				"fmt.%s renders %s with the default %%v; on an output path floats must use "+
+					"strconv.FormatFloat(x, 'g', -1, 64) (shortest round trip) or math.Float64bits",
+				fn, kind)
+		}
+	}
+}
+
+// parseVerbs extracts the verb letters of a printf format string in
+// operand order. Width/precision stars consume operands too.
+func parseVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags, width, precision (a * consumes an int operand)
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, rune(format[i]))
+		}
+	}
+	return verbs
+}
+
+// floatKind describes t if formatting it with a default verb renders
+// floating-point digits: a float, or a slice/array of floats.
+func floatKind(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&types.IsFloat != 0 {
+			return t.String()
+		}
+	case *types.Slice:
+		if b, ok := u.Elem().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			return t.String()
+		}
+	case *types.Array:
+		if b, ok := u.Elem().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			return t.String()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package floatfmt_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/floatfmt"
+)
+
+func TestFloatfmt(t *testing.T) {
+	analysistest.Run(t, floatfmt.Analyzer, "floatfmt")
+}

@@ -1,0 +1,37 @@
+// Fixture for the floatfmt analyzer: fmt verbs applied to float values
+// are findings; integer/string formatting, pre-encoded floats, and
+// justified fixed-precision rendering are not.
+package floatfmt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+func bad(w io.Writer, x float64, xs []float64) {
+	fmt.Printf("%v\n", x)          // want "formats float64 with %v"
+	fmt.Printf("cost=%f\n", x)     // want "formats float64 with %f"
+	fmt.Fprintf(w, "ratio %g", x)  // want "formats float64 with %g"
+	fmt.Printf("%e\n", float32(1)) // want "formats float32 with %e"
+	fmt.Printf("%v\n", xs)         // want "formats .*float64 with %v"
+	fmt.Println("x =", x)          // want "renders float64 with the default %v"
+	fmt.Fprint(w, x)               // want "renders float64 with the default %v"
+	_ = fmt.Sprintf("%g", x)       // want "formats float64 with %g"
+}
+
+// The contract-conforming encodings: shortest round trip or exact bits.
+func good(w io.Writer, x float64, n int) {
+	fmt.Printf("%s\n", strconv.FormatFloat(x, 'g', -1, 64))
+	fmt.Printf("%016x\n", math.Float64bits(x))
+	fmt.Printf("%d cells\n", n)
+	fmt.Printf("50%% done\n")
+	fmt.Printf("%*d\n", 8, n) // the star consumes an int operand
+	fmt.Fprintln(w, "header")
+}
+
+// A justified suppression keeps deliberate fixed-precision rendering.
+func table(w io.Writer, x float64) {
+	fmt.Fprintf(w, "%12.4f\n", x) //repcheck:allow-floatfmt fixture: fixed-width column pinned by a stdout parity test
+}

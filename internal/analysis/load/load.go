@@ -1,0 +1,268 @@
+// Package load type-checks the module's packages for the repcheck
+// analyzers without depending on golang.org/x/tools/go/packages (the
+// repo builds offline). It shells out to `go list -test -export -deps
+// -json` for the package graph, type-checks every module package from
+// source with go/parser + go/types, and imports out-of-module
+// dependencies (the standard library) from the compiler export data the
+// go command already produced — the same mechanism `go vet` drivers
+// use.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module.
+type Package struct {
+	// ImportPath as go list reports it; test variants keep their
+	// bracketed form, e.g. "repro/internal/trace [repro/internal/trace.test]".
+	ImportPath string
+	// BasePath is ImportPath with any test-variant bracket stripped.
+	BasePath string
+	Name     string
+	Dir      string
+	Files    []*ast.File
+	Types    *types.Package
+	Info     *types.Info
+}
+
+// listPackage mirrors the subset of `go list -json` fields we consume.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	ForTest    string
+	Standard   bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Export     string
+	Module     *struct{ Path, Dir string }
+	Error      *struct{ Err string }
+}
+
+// Result is the loaded module: the packages to analyze (in dependency
+// order) plus the shared FileSet.
+type Result struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Load lists patterns (plus their test variants and dependencies) in
+// dir and type-checks every package that belongs to the enclosing
+// module. Generated test mains (*.test) are skipped; when a package has
+// an in-package test variant, the variant is analyzed instead of the
+// plain compile so _test.go files are covered without duplicating
+// diagnostics for the shared sources.
+func Load(dir string, patterns ...string) (*Result, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := golist(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string) // import path → export data file
+	inModule := make(map[string]*listPackage)
+	var modulePaths []string
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module == nil || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if strings.HasSuffix(p.ImportPath, ".test") {
+			continue // generated test main
+		}
+		if _, dup := inModule[p.ImportPath]; !dup {
+			inModule[p.ImportPath] = p
+			modulePaths = append(modulePaths, p.ImportPath)
+		}
+	}
+
+	// Prefer the test variant over the plain compile of the same package.
+	shadowed := make(map[string]bool)
+	for _, path := range modulePaths {
+		if ft := inModule[path].ForTest; ft != "" && strings.Contains(path, " [") {
+			shadowed[ft] = true
+		}
+	}
+
+	ld := &loader{
+		fset:     token.NewFileSet(),
+		exports:  exports,
+		inModule: inModule,
+		typed:    make(map[string]*Package),
+	}
+	ld.gc = importer.ForCompiler(ld.fset, "gc", ld.lookupExport)
+
+	sort.Strings(modulePaths)
+	res := &Result{Fset: ld.fset}
+	for _, path := range modulePaths {
+		if shadowed[path] {
+			continue
+		}
+		pkg, err := ld.typecheck(path, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.Packages = append(res.Packages, pkg)
+	}
+	return res, nil
+}
+
+type loader struct {
+	fset     *token.FileSet
+	exports  map[string]string
+	inModule map[string]*listPackage
+	typed    map[string]*Package
+	gc       types.Importer
+}
+
+// lookupExport feeds compiler export data to the gc importer.
+func (ld *loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := ld.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("load: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// typecheck parses and checks one module package from source. The stack
+// tracks the in-progress chain for cycle reporting.
+func (ld *loader) typecheck(path string, stack []string) (*Package, error) {
+	if pkg, ok := ld.typed[path]; ok {
+		return pkg, nil
+	}
+	for _, s := range stack {
+		if s == path {
+			return nil, fmt.Errorf("load: import cycle: %s", strings.Join(append(stack, path), " → "))
+		}
+	}
+	lp, ok := ld.inModule[path]
+	if !ok {
+		return nil, fmt.Errorf("load: %q is not a module package", path)
+	}
+
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		fn := name
+		if !filepath.IsAbs(fn) {
+			fn = filepath.Join(lp.Dir, fn)
+		}
+		f, err := parser.ParseFile(ld.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: &pkgImporter{ld: ld, importMap: lp.ImportMap, stack: append(stack, path)},
+	}
+	tpkg, err := conf.Check(lp.ImportPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %v", path, err)
+	}
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		BasePath:   basePath(lp.ImportPath),
+		Name:       lp.Name,
+		Dir:        lp.Dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	ld.typed[path] = pkg
+	return pkg, nil
+}
+
+// pkgImporter resolves one package's imports: module packages are
+// type-checked from source (so test variants resolve to the variant we
+// analyzed, via go list's ImportMap), everything else comes from export
+// data.
+type pkgImporter struct {
+	ld        *loader
+	importMap map[string]string
+	stack     []string
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := pi.importMap[path]; ok {
+		path = mapped
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := pi.ld.inModule[path]; ok {
+		pkg, err := pi.ld.typecheck(path, pi.stack)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return pi.ld.gc.Import(path)
+}
+
+// basePath strips the test-variant bracket from an import path.
+func basePath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// golist runs `go list -test -export -deps -json` over patterns in dir.
+func golist(dir string, patterns []string) ([]*listPackage, error) {
+	args := []string{
+		"list", "-e", "-test", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,ForTest,Standard,GoFiles,Imports,ImportMap,Export,Module,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listPackage
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,292 @@
+// Package maprange flags `for range` loops over maps whose bodies are
+// sensitive to iteration order. Go randomizes map iteration, so a map
+// range that appends to a slice, accumulates floats (or concatenates
+// strings), or writes to an output sink produces a different result on
+// a different run — exactly the silent nondeterminism that would break
+// this repo's byte-identical-stdout and bit-identical-ledger contracts.
+//
+// Order-insensitive bodies (integer counters, min/max, writes into
+// another map, per-key work with no shared accumulator) are not
+// flagged. Two accumulation escapes are recognized:
+//
+//   - ranging over a sorted key slice instead of the map (the canonical
+//     fix) is never flagged — only direct map ranges are inspected;
+//   - appending into a slice that is visibly sorted after the loop in
+//     the same block (sort.Slice(x, …), slices.Sort(x), …) is allowed,
+//     since the sort erases the arrival order.
+//
+// Anything else that is order-safe for reasons the analyzer cannot see
+// takes //repcheck:allow-maprange <reason>.
+package maprange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maprange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maprange",
+	Doc: "flags map ranges whose body depends on iteration order " +
+		"(slice appends, float sums, output writes); range over sorted keys instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// Walk blocks so each range statement knows what follows it in
+		// its enclosing block (for the sorted-after escape).
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmts := blockStmts(n)
+			if stmts == nil {
+				return true
+			}
+			for i, s := range stmts {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					continue
+				}
+				checkBody(pass, rs, stmts[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// blockStmts returns the statement list of a block-like node.
+func blockStmts(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// checkBody inspects one map-range body; rest is what follows the loop
+// in its enclosing block.
+func checkBody(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	sinkReported := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, n, rest)
+		case *ast.CallExpr:
+			if name, ok := sinkCall(pass, n); ok && !sinkReported {
+				sinkReported = true
+				pass.Reportf(rs.For,
+					"range over map writes to %s inside the loop; iteration order is random — "+
+						"range over sorted keys first", name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags order-sensitive accumulation in one assignment.
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, as *ast.AssignStmt, rest []ast.Stmt) {
+	// x op= v with a float or string target declared outside the loop.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			t := pass.TypeOf(lhs)
+			if t == nil || declaredInside(pass, rs, lhs) {
+				continue
+			}
+			switch b := t.Underlying().(type) {
+			case *types.Basic:
+				if b.Info()&types.IsFloat != 0 {
+					pass.Reportf(rs.For,
+						"range over map accumulates %s into a float; float addition is not associative, "+
+							"so the sum depends on random iteration order — range over sorted keys",
+						types.ExprString(lhs))
+				} else if b.Info()&types.IsString != 0 && as.Tok == token.ADD_ASSIGN {
+					pass.Reportf(rs.For,
+						"range over map concatenates into string %s; iteration order is random — "+
+							"range over sorted keys", types.ExprString(lhs))
+				}
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		// x = append(x, …) growing a slice declared outside the loop.
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			lhs := as.Lhs[i]
+			if declaredInside(pass, rs, lhs) {
+				continue
+			}
+			if sortedAfter(pass, lhs, rest) {
+				continue
+			}
+			pass.Reportf(rs.For,
+				"range over map appends to %s; element order follows random map iteration — "+
+					"range over sorted keys (or sort %s after the loop)",
+				types.ExprString(lhs), types.ExprString(lhs))
+		}
+	}
+}
+
+// declaredInside reports whether the root object of expr is declared
+// within the range statement (a per-iteration local is order-safe).
+func declaredInside(pass *analysis.Pass, rs *ast.RangeStmt, expr ast.Expr) bool {
+	id, ok := rootIdent(expr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()
+}
+
+// rootIdent digs the base identifier out of selector/index chains.
+// Selector chains (s.f) resolve to the root variable so storage reached
+// through a receiver still counts as outside the loop.
+func rootIdent(expr ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e, true
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sinkCall reports whether call writes to an ordered output: fmt
+// printing, Write/Encode-style methods, or testing log/fail methods
+// (test output order is part of the byte-identical-stdout story for
+// verbose runs, and t.Fatalf in a map range fails on a random entry).
+func sinkCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	// Package function: fmt.Printf / fmt.Fprintln / …
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && strings.HasPrefix(name, "Print") ||
+				pn.Imported().Path() == "fmt" && strings.HasPrefix(name, "Fprint") {
+				return "fmt." + name, true
+			}
+			return "", false
+		}
+	}
+	// Method sinks by name: encoders, writers, and testing.T/B logging.
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode", "EncodeToken":
+		return "(…)." + name, true
+	case "Error", "Errorf", "Fatal", "Fatalf", "Log", "Logf", "Skip", "Skipf":
+		if recvFromTesting(pass, sel) {
+			return "t." + name, true
+		}
+	case "Run":
+		if recvFromTesting(pass, sel) {
+			return "t.Run", true
+		}
+	}
+	return "", false
+}
+
+// recvFromTesting reports whether sel's receiver comes from package
+// testing (*testing.T, *testing.B, *testing.F).
+func recvFromTesting(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	t := pass.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "testing"
+}
+
+// sortedAfter reports whether a sort call over expr follows the loop in
+// the same block.
+func sortedAfter(pass *analysis.Pass, expr ast.Expr, rest []ast.Stmt) bool {
+	want := types.ExprString(expr)
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Sort", "Stable", "Slice", "SliceStable",
+				"SortFunc", "SortStableFunc", "Ints", "Strings", "Float64s":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				if types.ExprString(arg) == want {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

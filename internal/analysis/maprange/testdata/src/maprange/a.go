@@ -1,0 +1,117 @@
+// Fixture for the maprange analyzer: map ranges that append, accumulate
+// floats/strings, or write to a sink are findings; order-insensitive
+// bodies and the two recognized escapes (sorted key slices, sort after
+// the loop) are not.
+package maprange
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func appendsKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "appends to keys"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sumsFloats(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "accumulates total into a float"
+		total += v
+	}
+	return total
+}
+
+func concatenates(m map[string]int) string {
+	s := ""
+	for k := range m { // want "concatenates into string s"
+		s += k
+	}
+	return s
+}
+
+func printsEntries(m map[string]int) {
+	for k, v := range m { // want "writes to fmt.Println inside the loop"
+		fmt.Println(k, v)
+	}
+}
+
+func failsOnRandomEntry(t *testing.T, m map[string]int) {
+	for k, v := range m { // want "writes to t.Errorf inside the loop"
+		if v < 0 {
+			t.Errorf("negative count for %s", k)
+		}
+	}
+}
+
+// The canonical fix: collect keys (sorted after the loop — the escape),
+// then range the sorted slice. Only direct map ranges are inspected, so
+// neither loop is flagged.
+func valuesInKeyOrder(m map[string]int) []int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var vals []int
+	for _, k := range keys {
+		vals = append(vals, m[k])
+	}
+	return vals
+}
+
+// sort.Slice with a comparator is recognized too.
+func sortSliceAfter(m map[int]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// Integer accumulation commutes exactly: order-insensitive, no finding.
+func countsInts(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Writing into another map is order-insensitive.
+func inverts(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// A per-iteration local never carries order across iterations.
+func perIterationLocal(m map[string]int) int {
+	longest := 0
+	for k := range m {
+		var parts []byte
+		parts = append(parts, k...)
+		if len(parts) > longest {
+			longest = len(parts)
+		}
+	}
+	return longest
+}
+
+// A justified suppression keeps an accumulation the analyzer cannot see
+// is safe.
+func suppressed(m map[string]float64) float64 {
+	total := 0.0
+	//repcheck:allow-maprange fixture: the values are exact powers of two, so the sum commutes
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

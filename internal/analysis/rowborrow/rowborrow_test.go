@@ -1,0 +1,12 @@
+package rowborrow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/rowborrow"
+)
+
+func TestRowborrow(t *testing.T) {
+	analysistest.Run(t, rowborrow.Analyzer, "rowborrow")
+}
