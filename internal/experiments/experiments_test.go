@@ -3,6 +3,7 @@ package experiments
 import (
 	"math"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/experiments/runner"
@@ -247,14 +248,21 @@ func TestTableRocketfuelOrdering(t *testing.T) {
 }
 
 func TestAblationsRun(t *testing.T) {
-	for name, fn := range map[string]func(Options) (*trace.Table, error){
+	ablations := map[string]func(Options) (*trace.Table, error){
 		"queue":  AblationQueue,
 		"expiry": AblationExpiry,
 		"y":      AblationY,
 		"theta":  AblationTheta,
 		"load":   AblationLoad,
 		"assign": AblationAssign,
-	} {
+	}
+	names := make([]string, 0, len(ablations))
+	for name := range ablations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fn := ablations[name]
 		tab, err := fn(quick())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

@@ -11,6 +11,7 @@ package gen
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 )
@@ -108,14 +109,9 @@ func connect(g *graph.Graph, opts Options, rng *rand.Rand) {
 		ids = append(ids, id)
 	}
 	// Deterministic iteration order: component ids as assigned by the DFS
-	// in components are already 0..k-1; sort-free since map order varies.
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			if ids[i] > ids[j] {
-				ids[i], ids[j] = ids[j], ids[i]
-			}
-		}
-	}
+	// in components are already 0..k-1; the map iteration above shuffles
+	// them, so restore ascending order.
+	sort.Ints(ids)
 	base := byComp[ids[0]]
 	for _, id := range ids[1:] {
 		nodes := byComp[id]

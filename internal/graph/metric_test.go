@@ -3,6 +3,7 @@ package graph
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 )
@@ -261,10 +262,17 @@ func TestLandmarkDisconnected(t *testing.T) {
 // dense matrix picks, including on a disconnected graph (where every
 // eccentricity is Infinity and the tie breaks to node 0).
 func TestCenterOfParity(t *testing.T) {
-	for name, g := range map[string]*Graph{
+	graphs := map[string]*Graph{
 		"chorded":      chordedRing(25, 10, 9),
 		"disconnected": twoIslands(),
-	} {
+	}
+	names := make([]string, 0, len(graphs))
+	for name := range graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := graphs[name]
 		dense := g.AllPairs()
 		want := dense.Center()
 		if got := CenterOf(dense); got != want {

@@ -3,10 +3,22 @@ package scenario
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"repro/internal/cost"
 )
+
+// sortedKeys returns m's keys in ascending order, so test loops and
+// their failure messages are independent of map iteration order.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
 
 // collect materialises one round of a generator into a node→count map.
 func collect(g Gen, t int) map[int]int {
@@ -56,9 +68,9 @@ func TestNoiseDeterministicAndRandomAccess(t *testing.T) {
 		if totalAt(g, r) != 7 || totalAt(h, r) != 7 {
 			t.Fatalf("round %d: totals %d/%d, want 7", r, totalAt(g, r), totalAt(h, r))
 		}
-		for node, c := range a {
-			if b[node] != c {
-				t.Fatalf("round %d node %d: %d vs %d", r, node, c, b[node])
+		for _, node := range sortedKeys(a) {
+			if b[node] != a[node] {
+				t.Fatalf("round %d node %d: %d vs %d", r, node, a[node], b[node])
 			}
 		}
 	}
@@ -69,7 +81,7 @@ func TestNoiseOverRestrictsNodes(t *testing.T) {
 	g := NoiseOver(nodes, 9, 25, rand.New(rand.NewSource(8)))
 	allowed := map[int]bool{2: true, 5: true, 11: true}
 	for r := 0; r < 25; r++ {
-		for node := range collect(g, r) {
+		for _, node := range sortedKeys(collect(g, r)) {
 			if !allowed[node] {
 				t.Fatalf("round %d drew node %d outside %v", r, node, nodes)
 			}
@@ -89,9 +101,9 @@ func TestNoiseProfileVariesVolume(t *testing.T) {
 			t.Fatalf("round %d: %d requests, want %d", r, got, r)
 		}
 		a, b := collect(g, r), collect(h, r)
-		for node, c := range a {
-			if b[node] != c {
-				t.Fatalf("round %d node %d: %d vs %d", r, node, c, b[node])
+		for _, node := range sortedKeys(a) {
+			if b[node] != a[node] {
+				t.Fatalf("round %d node %d: %d vs %d", r, node, a[node], b[node])
 			}
 		}
 	}
@@ -151,9 +163,9 @@ func TestShiftDelays(t *testing.T) {
 		t.Fatalf("rounds = %d, want 5", g.Rounds())
 	}
 	wantAt := map[int]int{0: 0, 1: 0, 2: 4, 3: 4, 4: 4}
-	for r, want := range wantAt {
-		if got := collect(g, r)[5]; got != want {
-			t.Fatalf("round %d: %d, want %d", r, got, want)
+	for _, r := range sortedKeys(wantAt) {
+		if got := collect(g, r)[5]; got != wantAt[r] {
+			t.Fatalf("round %d: %d, want %d", r, got, wantAt[r])
 		}
 	}
 }

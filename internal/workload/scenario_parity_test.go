@@ -210,7 +210,13 @@ func TestScenariosDeterministic(t *testing.T) {
 			return WeekdayWeekend(m, WeeklyConfig{DayLen: 10, T: 6, WeekendRequests: 3}, 100, rand.New(rand.NewSource(seed)))
 		},
 	}
-	for label, build := range builders {
+	labels := make([]string, 0, len(builders))
+	for label := range builders {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		build := builders[label]
 		a, err := build(42)
 		if err != nil {
 			t.Fatalf("%s: %v", label, err)
