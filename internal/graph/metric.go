@@ -20,12 +20,16 @@ import (
 //     from u to v (Infinity when unreachable), and Row(u) is the full
 //     distance row from u.
 //   - Row returns a slice that is OWNED BY THE BACKEND and must not be
-//     modified by the caller.
-//   - A returned row stays valid and its contents never change for the
-//     lifetime of the backend, even after further Row calls evict it from
-//     an internal cache: backends never recycle row storage. Callers may
-//     therefore hold a row across other Metric calls, including from other
-//     goroutines.
+//     modified by the caller. The slice is a BORROW: consume it (or copy
+//     it with append([]float64(nil), row...)) before the next Row, Dist,
+//     or AddEdge call, and never store it in a struct field or capture it
+//     in a goroutine. The rowborrow analyzer (cmd/repcheck) enforces this
+//     consumer-side discipline; see ANALYSIS.md.
+//   - Today's backends never recycle row storage, so a stale borrow keeps
+//     its old contents rather than racing (the contract-pinning tests in
+//     metric_cache_test.go rely on this, under //repcheck:allow-rowborrow
+//     annotations). New call sites must not: a future backend is free to
+//     pool and overwrite evicted rows.
 //   - All methods are safe for concurrent use as long as the underlying
 //     Graph is not mutated concurrently.
 //   - Mutating the Graph (AddEdge) after a backend was constructed

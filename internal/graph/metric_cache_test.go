@@ -49,6 +49,7 @@ func TestSparseInvalidationOnAddEdge(t *testing.T) {
 	if d := s.Dist(1, 3); d != 1.5 {
 		t.Fatalf("Dist(1,3) after shortcut = %v, want 1.5 via 1-0-3 (stale cache?)", d)
 	}
+	//repcheck:allow-rowborrow this test pins the invalidation semantics: a pre-mutation borrow keeps its old contents
 	if before[3] != 3 {
 		t.Fatalf("row borrowed before AddEdge changed to %v, must keep 3", before[3])
 	}

@@ -97,6 +97,7 @@ func TestSparseLRUEviction(t *testing.T) {
 
 	row0 := s.Row(0)
 	borrowed := append([]float64(nil), row0...)
+	//repcheck:allow-rowborrow this test pins the backend aliasing guarantee: a cache hit must serve the identical slice
 	if again := s.Row(0); &again[0] != &row0[0] {
 		t.Fatal("cache hit recomputed the row instead of serving the cached slice")
 	}
@@ -135,6 +136,7 @@ func TestSparseLRUKeepsHotRows(t *testing.T) {
 		for u := 1; u <= 2; u++ {
 			s.Row(u)
 		}
+		//repcheck:allow-rowborrow this test pins LRU retention by slice identity across intervening Row calls
 		if got := s.Row(0); &got[0] != &hot[0] {
 			t.Fatalf("round %d: hot row was evicted despite being re-touched", round)
 		}
@@ -210,6 +212,7 @@ func TestLandmarkUpperBound(t *testing.T) {
 		for v := 0; v < 30; v++ {
 			truth := dense.Dist(u, v)
 			est := l.Dist(u, v)
+			//repcheck:allow-rowborrow Landmark.Row allocates per call (see its doc); this pins Dist/Row agreement bit for bit
 			if math.Float64bits(est) != math.Float64bits(row[v]) {
 				t.Fatalf("Dist(%d,%d)=%v disagrees with Row value %v", u, v, est, row[v])
 			}
