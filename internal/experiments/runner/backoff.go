@@ -55,7 +55,7 @@ type backoff struct {
 
 func newBackoff(cfg BackoffConfig, uniform func() float64) *backoff {
 	if uniform == nil {
-		uniform = rand.Float64
+		uniform = rand.Float64 //repcheck:allow-wallclock reconnect jitter must differ across workers; results never depend on it
 	}
 	return &backoff{cfg: cfg.withDefaults(), uniform: uniform}
 }

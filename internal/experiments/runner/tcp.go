@@ -117,7 +117,7 @@ func (c *tcpConn) Abort() {
 func (c *tcpConn) Shutdown() error {
 	var err error
 	c.once.Do(func() {
-		c.c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		c.c.SetWriteDeadline(time.Now().Add(2 * time.Second)) //repcheck:allow-wallclock socket write deadline on shutdown
 		fmt.Fprintf(c.c, "%s\n", protoBye)
 		err = c.c.Close()
 	})

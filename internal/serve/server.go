@@ -247,7 +247,7 @@ func (s *Server) Ingest(r Request) error {
 	if err := r.Validate(s.n()); err != nil {
 		return err
 	}
-	if err := s.queue.Admit(r, time.Now(), s.persist); err != nil {
+	if err := s.queue.Admit(r, time.Now(), s.persist); err != nil { //repcheck:allow-wallclock admission timestamps are live-traffic metadata; replay takes times from the WAL
 		return err
 	}
 	s.admitFlood(r)
@@ -270,7 +270,7 @@ func (s *Server) admitFlood(r Request) {
 	}
 	for i := 1; i < f.Factor; i++ {
 		synthetic := Request{Node: r.Node, Count: r.Count, Class: Standard}
-		if err := s.queue.Admit(synthetic, time.Now(), s.persist); err != nil {
+		if err := s.queue.Admit(synthetic, time.Now(), s.persist); err != nil { //repcheck:allow-wallclock admission timestamps are live-traffic metadata; replay takes times from the WAL
 			return // queue saturated — flood achieved
 		}
 	}
@@ -279,7 +279,7 @@ func (s *Server) admitFlood(r Request) {
 // Tick closes the current demand window explicitly. Ticks are WAL-logged,
 // so replay reproduces the same round boundaries.
 func (s *Server) Tick() error {
-	return s.queue.Tick(time.Now(), s.persist)
+	return s.queue.Tick(time.Now(), s.persist) //repcheck:allow-wallclock admission timestamps are live-traffic metadata; replay takes times from the WAL
 }
 
 // persist is the queue's WAL hook, called under the queue lock so the log
@@ -310,7 +310,7 @@ func (s *Server) consume() {
 		if !out.Closed() {
 			continue
 		}
-		now := time.Now()
+		now := time.Now() //repcheck:allow-wallclock latency metrics measure real elapsed time for live traffic
 		if out.Served {
 			for _, p := range s.pending {
 				s.metrics.ObserveServed(p.class, p.count, now.Sub(p.at))

@@ -102,9 +102,9 @@ func Render(w io.Writer, t *Table) error {
 	}
 	fmt.Fprintln(w)
 	for i, x := range t.X {
-		fmt.Fprintf(w, "%-12g", x)
+		fmt.Fprintf(w, "%-12g", x) //repcheck:allow-floatfmt fixed-width table is the pinned stdout format; full precision lives in f() and the JSON trace
 		for _, s := range t.Series {
-			fmt.Fprintf(w, " %16.4f", s.Values[i])
+			fmt.Fprintf(w, " %16.4f", s.Values[i]) //repcheck:allow-floatfmt fixed-width table is the pinned stdout format; full precision lives in f() and the JSON trace
 		}
 		fmt.Fprintln(w)
 	}
