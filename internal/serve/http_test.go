@@ -293,3 +293,36 @@ func TestHTTPRequestDeadline(t *testing.T) {
 		t.Fatal("deadline did not cut the stalled request short")
 	}
 }
+
+// TestMetricsSnapshotDeterministic pins the /metrics encoding contract:
+// marshaling the same Snapshot twice yields identical bytes. The only
+// map in the shape (Classes) relies on encoding/json's sorted-key
+// guarantee, so scrapers and the parity harness may diff raw bodies.
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	s, ts := newHTTPServer(t, 0, 0, true)
+
+	if resp, body := post(t, ts.URL+"/ingest",
+		`[{"node": 1, "slo_class": "critical"}, {"node": 2, "count": 4}, {"node": 3, "slo_class": "batch"}]`); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: %d %v", resp.StatusCode, body)
+	}
+	if resp, _ := post(t, ts.URL+"/tick", ""); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("tick: %d", resp.StatusCode)
+	}
+	waitCursor(t, s, 4) // 3 arrivals + 1 tick
+
+	snap := s.MetricsSnapshot()
+	first, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("two marshals of one Snapshot diverge:\n  %s\n  %s", first, second)
+	}
+	if len(snap.Classes) != 3 {
+		t.Fatalf("expected all %d classes in the snapshot, got %v", 3, snap.Classes)
+	}
+}
