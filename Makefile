@@ -1,0 +1,20 @@
+# Convenience entry points; CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: build test lint bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# gofmt + go vet + the repo's own repcheck analyzers (ANALYSIS.md).
+lint:
+	bash scripts/lint.sh
+
+# Hot-path benchmark snapshot with delta vs the previous PR's baseline.
+bench:
+	bash scripts/bench.sh

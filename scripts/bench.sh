@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the hot-path micro-benchmarks and emits a JSON perf snapshot
-# (default BENCH_9.json) so later PRs have a trajectory to compare
-# against. When a previous snapshot exists (default BENCH_8.json), a
+# (default BENCH_10.json) so later PRs have a trajectory to compare
+# against. When a previous snapshot exists (default BENCH_9.json), a
 # delta table old/new is printed per benchmark. Usage:
 #
 #   scripts/bench.sh [output.json [baseline.json]]
@@ -13,8 +13,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-6}"
-OUT="${1:-BENCH_9.json}"
-BASE="${2:-BENCH_8.json}"
+OUT="${1:-BENCH_10.json}"
+BASE="${2:-BENCH_9.json}"
 BENCH='BenchmarkAccessLinear$|BenchmarkAccessQuadratic$|BenchmarkScorerSweep$|BenchmarkScorerSweepReuse$|BenchmarkScorerApplyMove$|BenchmarkBestResponse$|BenchmarkOPTLine5$|BenchmarkONBRCommuter$|BenchmarkONTHCommuter$|BenchmarkAllPairs500$|BenchmarkSparseRowCold$|BenchmarkSparseRowWarm$|BenchmarkLandmarkDist$|BenchmarkSmallWorldConstruct100k$|BenchmarkONCONF$|BenchmarkWFA$|BenchmarkWFALargeSpace$|BenchmarkONCONFLargeSpace$|BenchmarkLookaheadOFFBR$|BenchmarkLookaheadReuseOFFBR$|BenchmarkFlashCrowdGen$|BenchmarkDiurnalGen$|BenchmarkFigureRunnerLocal$|BenchmarkPoolPipelined$|BenchmarkPoolPerFigure$|BenchmarkPoolTCPLoopback$|BenchmarkDeadlineTracker$|BenchmarkServeIngest$|BenchmarkCheckpoint$|BenchmarkEngineRound$'
 
 RAW="$(mktemp)"

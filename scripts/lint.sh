@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Static checks for the repo, in increasing order of specificity:
+#
+#   1. gofmt       — formatting, fail on any unformatted file
+#   2. go vet      — the toolchain's full analyzer set (printf, copylocks,
+#                    loopclosure, lostcancel, structtag, unreachable, …)
+#   3. repcheck    — the repo's own contract analyzers (rowborrow,
+#                    detrand, maprange, floatfmt); see ANALYSIS.md
+#
+# x/tools-only vet passes (nilness, unusedwrite, shadow) need a module
+# download and are not available in the offline build; repcheck carries
+# the repo-specific contracts instead. Run as `scripts/lint.sh` or
+# `make lint`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted="$(gofmt -l .)"
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt required on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== repcheck"
+go run ./cmd/repcheck ./...
+
+echo "lint clean"
